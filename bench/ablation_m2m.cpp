@@ -1,0 +1,67 @@
+// Extension bench: the paper's techniques applied to many-to-many patterns
+// (introduction / Section 5: "we hope the performance analysis and the
+// optimization techniques ... can also be applied for more complex
+// many-to-many communication patterns").
+//
+// Sweeps the fan-out of a random-subset pattern on an asymmetric torus and
+// compares direct adaptive routing against two-phase (TPS-style) routing.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/coll/many_to_many.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  auto ctx = bench::BenchContext::from_cli(cli);
+  cli.describe("shape", "partition (default 8x8x16)");
+  cli.describe("bytes", "message bytes per destination (default 960)");
+  cli.validate();
+
+  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 960));
+  const auto nodes = static_cast<std::int32_t>(shape.nodes());
+
+  bench::print_header("Extension — many-to-many fan-out sweep, direct vs two-phase",
+                      ("partition " + shape.to_string() + ", " + std::to_string(bytes) +
+                       " B per message")
+                          .c_str());
+
+  util::Table table({"pattern", "messages", "direct us", "two-phase us", "2ph speedup",
+                     "bottleneck axis util %"});
+
+  auto run = [&](const coll::Pattern& pattern, bool two_phase) {
+    coll::ManyToManyOptions options;
+    options.net.shape = shape;
+    options.net.seed = ctx.seed;
+    options.msg_bytes = bytes;
+    options.two_phase = two_phase;
+    return coll::run_many_to_many(pattern, options);
+  };
+
+  const auto halo = coll::Pattern::halo(shape);
+  {
+    const auto direct = run(halo, false);
+    const auto tps = run(halo, true);
+    const int axis = shape.longest_axis();
+    table.add_row({"halo", std::to_string(direct.messages), util::fmt(direct.elapsed_us, 1),
+                   util::fmt(tps.elapsed_us, 1),
+                   util::fmt(direct.elapsed_us / tps.elapsed_us, 2),
+                   util::fmt(100.0 * direct.links.axis[static_cast<std::size_t>(axis)].mean, 1)});
+  }
+  for (const int fanout : {4, 16, 64}) {
+    const auto pattern = coll::Pattern::random_subset(nodes, fanout, ctx.seed ^ 0x777);
+    const auto direct = run(pattern, false);
+    const auto tps = run(pattern, true);
+    const int axis = shape.longest_axis();
+    table.add_row({"random k=" + std::to_string(fanout), std::to_string(direct.messages),
+                   util::fmt(direct.elapsed_us, 1), util::fmt(tps.elapsed_us, 1),
+                   util::fmt(direct.elapsed_us / tps.elapsed_us, 2),
+                   util::fmt(100.0 * direct.links.axis[static_cast<std::size_t>(axis)].mean, 1)});
+  }
+  table.print();
+  std::printf("\nExpected shape: sparse fan-outs are latency-bound (two-phase's extra hop\n"
+              "hurts); dense fan-outs on an asymmetric torus congest like all-to-all\n"
+              "and two-phase routing wins — the paper's claim carried beyond AA.\n");
+  return 0;
+}

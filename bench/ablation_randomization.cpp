@@ -1,0 +1,42 @@
+// Ablation: destination-order randomization in the direct strategies.
+//
+// The production MPI all-to-all and the paper's AR scheme inject packets in
+// a random permutation "to smoothen the areas of link contention". This
+// bench removes that: `rotation` visits self+1, self+2, ... (the classic
+// structured order) and `identity` makes every node target node 0 first —
+// serializing the whole machine on one reception hotspot after another.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  auto ctx = bench::BenchContext::from_cli(cli);
+  cli.describe("bytes", "payload per destination (default 240)");
+  cli.validate();
+  const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 240));
+
+  bench::print_header("Ablation — destination-order randomization (AR strategy)",
+                      "percent of Eq. 2 peak by ordering policy");
+
+  util::Table table({"partition", "random *", "rotation", "identity"});
+  for (const char* spec : {"8x8x8", "8x8x16", "16x16", "16"}) {
+    const auto shape = topo::parse_shape(spec);
+    std::vector<std::string> row = {spec};
+    for (const auto policy : {coll::OrderPolicy::kRandom, coll::OrderPolicy::kRotation,
+                              coll::OrderPolicy::kIdentity}) {
+      auto options = bench::base_options(shape, bytes, ctx);
+      options.order = policy;
+      const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+      row.push_back(util::fmt(result.percent_peak, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nReading: the identity order turns the all-to-all into a rolling\n"
+              "congestion hotspot; rotation is balanced in aggregate but phase-locks\n"
+              "nodes onto the same links. Randomization decorrelates both — the paper's\n"
+              "premise for AR and the production MPI implementation.\n");
+  return 0;
+}

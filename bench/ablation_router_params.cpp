@@ -1,0 +1,81 @@
+// Ablation: router micro-architecture parameters vs all-to-all throughput.
+//
+// Three sweeps on a symmetric and an asymmetric partition:
+//   - VC buffer capacity (the adaptive-routing congestion collapse on
+//     asymmetric tori shows a sharp phase transition in buffer depth);
+//   - number of dynamic VCs;
+//   - injection FIFO count (FIFO head-of-line blocking at the source).
+// These are the design-space knobs behind DESIGN.md's fidelity discussion.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  auto ctx = bench::BenchContext::from_cli(cli);
+  cli.describe("bytes", "payload per destination (default 240)");
+  cli.validate();
+  const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 240));
+
+  bench::print_header("Ablation — router parameters vs AR % of peak",
+                      "symmetric 8x8x8 vs asymmetric 8x8x16; default marked *");
+
+  const auto sym = topo::parse_shape("8x8x8");
+  const auto asym = topo::parse_shape("8x8x16");
+
+  auto run = [&](const topo::Shape& shape, auto mutate) {
+    auto options = bench::base_options(shape, bytes, ctx);
+    mutate(options.net);
+    return coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+  };
+
+  {
+    util::Table table({"VC capacity (chunks)", "8x8x8 %", "8x8x16 %"});
+    for (const int vc : {32, 64, 96, 128}) {
+      const auto a = run(sym, [&](net::NetworkConfig& c) {
+        c.vc_capacity_chunks = static_cast<std::uint16_t>(vc);
+      });
+      const auto b = run(asym, [&](net::NetworkConfig& c) {
+        c.vc_capacity_chunks = static_cast<std::uint16_t>(vc);
+      });
+      table.add_row({std::to_string(vc) + (vc == 32 ? " *" : ""),
+                     util::fmt(a.percent_peak, 1), util::fmt(b.percent_peak, 1)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  {
+    util::Table table({"dynamic VCs", "8x8x8 %", "8x8x16 %"});
+    for (const int vcs : {1, 2, 4}) {
+      const auto a = run(sym, [&](net::NetworkConfig& c) {
+        c.dynamic_vcs = static_cast<std::uint8_t>(vcs);
+      });
+      const auto b = run(asym, [&](net::NetworkConfig& c) {
+        c.dynamic_vcs = static_cast<std::uint8_t>(vcs);
+      });
+      table.add_row({std::to_string(vcs) + (vcs == 2 ? " *" : ""),
+                     util::fmt(a.percent_peak, 1), util::fmt(b.percent_peak, 1)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  {
+    util::Table table({"injection FIFOs", "8x8x8 %", "8x8x16 %"});
+    for (const int fifos : {2, 4, 8}) {
+      const auto a = run(sym, [&](net::NetworkConfig& c) {
+        c.injection_fifos = static_cast<std::uint8_t>(fifos);
+      });
+      const auto b = run(asym, [&](net::NetworkConfig& c) {
+        c.injection_fifos = static_cast<std::uint8_t>(fifos);
+      });
+      table.add_row({std::to_string(fifos) + (fifos == 8 ? " *" : ""),
+                     util::fmt(a.percent_peak, 1), util::fmt(b.percent_peak, 1)});
+    }
+    table.print();
+  }
+  std::printf("\nReading: symmetric throughput is insensitive to buffering (randomization\n"
+              "already balances load); the asymmetric collapse is a buffer-depth\n"
+              "phenomenon — exactly the congestion-buildup mechanism of Section 3.2.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 1: AR strategy performance and prediction on an 8x8x8 midplane.
+//
+// Sweeps the per-destination message size and prints, per point: the
+// simulated AR all-to-all time, the Eq. 3 model prediction, and the Eq. 2
+// zero-overhead peak — the three curves of the paper's Figure 1.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/model/predict.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  auto ctx = bench::BenchContext::from_cli(cli);
+  cli.describe("sizes", "comma-separated payload sizes in bytes");
+  cli.validate();
+
+  const auto shape = topo::parse_shape("8x8x8");
+  bench::print_header(
+      "Figure 1 — AR all-to-all on an 8x8x8 midplane (512 nodes)",
+      "measured vs Eq. 3 prediction vs Eq. 2 peak; times in microseconds");
+
+  std::vector<std::int64_t> sizes = {8, 32, 64, 128, 240, 480, 960, 1920, 4096, 8192, 16384};
+  if (cli.has("sizes")) sizes = util::parse_int_list(cli.get("sizes", ""));
+
+  util::Table table({"msg bytes", "measured us", "model us", "peak us", "% of peak",
+                     "% of model"});
+  for (const std::int64_t size : sizes) {
+    const auto m = static_cast<std::uint64_t>(size);
+    auto options = bench::base_options(shape, m, ctx);
+    const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    const double model_us = model::direct_aa_time_us(shape, m);
+    const double peak_us = model::peak_aa_time_us(shape, m);
+    table.add_row({util::fmt_bytes(m), util::fmt(result.elapsed_us, 1),
+                   util::fmt(model_us, 1), util::fmt(peak_us, 1),
+                   util::fmt(result.percent_peak, 1),
+                   util::fmt(100.0 * model_us / result.elapsed_us, 1)});
+  }
+  table.print();
+  std::printf("\nPaper: AR reaches ~99%% of peak for large messages on the midplane;\n"
+              "the model tracks measurement closely across the sweep.\n");
+  return 0;
+}

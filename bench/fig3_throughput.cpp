@@ -1,0 +1,44 @@
+// Figure 3: per-node all-to-all throughput across partitions — the peak
+// bisection bandwidth per node, a one-packet all-to-all, and a large-message
+// all-to-all.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/model/predict.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  auto ctx = bench::BenchContext::from_cli(cli);
+  cli.validate();
+
+  bench::print_header(
+      "Figure 3 — AR per-node throughput (MB/s) vs partition",
+      "peak bisection BW/node (model) vs 1-packet (240 B) vs large-message AA");
+
+  const char* shapes[] = {"8",      "16",      "8x8",     "16x16",  "8x8x8",
+                          "8x8x16", "8x16x16", "16x16x8", "16x16x16"};
+
+  util::Table table({"partition", "run as", "peak MB/s (model)", "1-packet MB/s",
+                     "large-msg MB/s", "large %"});
+  for (const char* spec : shapes) {
+    const auto paper_shape = topo::parse_shape(spec);
+    const auto shape = ctx.runnable(paper_shape);
+    const double peak_mbps = model::peak_per_node_mbps(shape);
+
+    auto one = bench::base_options(shape, 240, ctx);
+    const auto r1 = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, one);
+
+    const std::uint64_t large = shape.nodes() <= 512 ? 3840 : 480;
+    auto big = bench::base_options(shape, large, ctx);
+    const auto r2 = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, big);
+
+    table.add_row({spec, bench::shape_note(paper_shape, shape), util::fmt(peak_mbps, 0),
+                   util::fmt(r1.per_node_mbps, 0), util::fmt(r2.per_node_mbps, 0),
+                   util::fmt(r2.percent_peak, 1)});
+  }
+  table.print();
+  std::printf("\nPaper: a one-packet all-to-all already achieves close to the achievable\n"
+              "throughput; symmetric partitions track the bisection limit.\n");
+  return 0;
+}

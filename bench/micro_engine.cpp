@@ -1,0 +1,82 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot components:
+// event queues, topology math, packetization and a small end-to-end AA.
+#include <benchmark/benchmark.h>
+
+#include "src/coll/alltoall.hpp"
+#include "src/runtime/packetizer.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/topology/torus.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace bgl;
+
+void BM_EventQueueHeap(benchmark::State& state) {
+  util::Xoshiro256StarStar rng(1);
+  sim::EventQueue queue;
+  for (int i = 0; i < 1024; ++i) queue.push(rng.below(4096), 0, 0, 0);
+  for (auto _ : state) {
+    const sim::Event e = queue.pop();
+    queue.push(e.time + 1 + rng.below(1024), 0, 0, 0);
+    benchmark::DoNotOptimize(queue.size());
+  }
+}
+BENCHMARK(BM_EventQueueHeap);
+
+void BM_TimingWheel(benchmark::State& state) {
+  util::Xoshiro256StarStar rng(1);
+  sim::TimingWheel wheel;
+  for (int i = 0; i < 1024; ++i) wheel.push(rng.below(4096), 0, 0, 0);
+  for (auto _ : state) {
+    const auto e = wheel.pop_if_at_most(~sim::Tick{0});
+    wheel.push(e->time + 1 + rng.below(1024), 0, 0, 0);
+    benchmark::DoNotOptimize(wheel.size());
+  }
+}
+BENCHMARK(BM_TimingWheel);
+
+void BM_TorusRoute(benchmark::State& state) {
+  const topo::Torus torus{topo::parse_shape("32x32x16")};
+  util::Xoshiro256StarStar rng(2);
+  for (auto _ : state) {
+    const auto a = static_cast<topo::Rank>(rng.below(static_cast<std::uint64_t>(torus.nodes())));
+    const auto b = static_cast<topo::Rank>(rng.below(static_cast<std::uint64_t>(torus.nodes())));
+    benchmark::DoNotOptimize(torus.distance(a, b));
+  }
+}
+BENCHMARK(BM_TorusRoute);
+
+void BM_Packetize4K(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::packetize(4096, rt::WireFormat::direct()));
+  }
+}
+BENCHMARK(BM_Packetize4K);
+
+void BM_Rng(benchmark::State& state) {
+  util::Xoshiro256StarStar rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(1000));
+}
+BENCHMARK(BM_Rng);
+
+void BM_AlltoallEndToEnd(benchmark::State& state) {
+  // Small complete AA per iteration; reports simulated events per second.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    coll::AlltoallOptions options;
+    options.net.shape = topo::parse_shape("4x4x4");
+    options.net.seed = 42;
+    options.msg_bytes = 240;
+    const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    events += result.events;
+    benchmark::DoNotOptimize(result.elapsed_cycles);
+  }
+  state.counters["sim_events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AlltoallEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Section 3 text claim: on an 8x8x8 midplane with a 4 KB message, the
+// low-overhead AR scheme reaches ~99% of peak vs ~97% for the production
+// MPI all-to-all (message-object allocation, protocol headers, burst 2).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  auto ctx = bench::BenchContext::from_cli(cli);
+  cli.validate();
+
+  const auto shape = topo::parse_shape("8x8x8");
+  bench::print_header("Section 3 — production MPI baseline vs the AR scheme (8x8x8, 4 KB)",
+                      "paper: MPI 97% of peak, AR 99% of peak");
+
+  util::Table table({"strategy", "measured %", "elapsed us", "paper %"});
+  for (const auto& [kind, paper] :
+       {std::pair{coll::StrategyKind::kMpi, 97.0},
+        std::pair{coll::StrategyKind::kAdaptiveRandom, 99.0}}) {
+    auto options = bench::base_options(shape, 4096, ctx);
+    const auto result = coll::run_alltoall(kind, options);
+    table.add_row({result.strategy, util::fmt(result.percent_peak, 1),
+                   util::fmt(result.elapsed_us, 1), util::fmt(paper, 0)});
+  }
+  table.print();
+  std::printf("\nPaper claim: removing MPI's per-message overheads buys ~2%% of peak at\n"
+              "4 KB (and more at small sizes).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Domain example: the all-to-all transpose inside a distributed 2-D FFT.
+//
+// A pencil-decomposed FFT of an N x N complex grid on P nodes performs the
+// row->column redistribution as an all-to-all personalized exchange where
+// every pair of nodes swaps an (N/P) x (N/P) tile of 16-byte complex
+// doubles. This is the paper's canonical motivating workload: the transpose
+// dominates FFT scaling on large machines, and its message size shrinks
+// quadratically with P — exactly the regime where strategy choice matters.
+//
+//   ./fft_transpose --shape 8x8x16 --n 4096
+#include <cstdio>
+
+#include "src/coll/alltoall.hpp"
+#include "src/coll/selector.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  cli.describe("shape", "partition (default 8x8x16)");
+  cli.describe("n", "FFT grid extent N for the N x N transform (default 4096)");
+  cli.describe("seed", "simulation seed");
+  cli.validate();
+
+  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 4096));
+  const auto nodes = static_cast<std::uint64_t>(shape.nodes());
+
+  // Tile exchanged per node pair: (N/P rows) x (N/P cols) complex doubles.
+  const std::uint64_t tile_elems = (n / nodes) * (n / nodes);
+  const std::uint64_t tile_bytes = tile_elems * 16;
+  if (n % nodes != 0 || tile_bytes == 0) {
+    std::fprintf(stderr, "N=%llu must be a multiple of P=%llu with a non-empty tile\n",
+                 static_cast<unsigned long long>(n), static_cast<unsigned long long>(nodes));
+    return 1;
+  }
+
+  std::printf("2-D FFT transpose: N=%llu grid on %s (%llu nodes)\n",
+              static_cast<unsigned long long>(n), shape.to_string().c_str(),
+              static_cast<unsigned long long>(nodes));
+  std::printf("per-pair tile: %llu complex values = %llu bytes\n\n",
+              static_cast<unsigned long long>(tile_elems),
+              static_cast<unsigned long long>(tile_bytes));
+
+  const auto selection = coll::select_strategy(shape, tile_bytes);
+  std::printf("selector recommends %s: %s\n\n",
+              coll::strategy_name(selection.kind).c_str(), selection.rationale.c_str());
+
+  util::Table table({"strategy", "transpose us", "% of peak", "per-node MB/s"});
+  for (const auto kind : {coll::StrategyKind::kAdaptiveRandom, coll::StrategyKind::kTwoPhase,
+                          coll::StrategyKind::kVirtualMesh}) {
+    coll::AlltoallOptions options;
+    options.net.shape = shape;
+    options.net.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    options.msg_bytes = tile_bytes;
+    const auto result = coll::run_alltoall(kind, options);
+    table.add_row({result.strategy, util::fmt(result.elapsed_us, 1),
+                   util::fmt(result.percent_peak, 1), util::fmt(result.per_node_mbps, 0)});
+  }
+  table.print();
+  std::printf("\nOne FFT needs two such transposes per timestep; a 20%% all-to-all win is\n"
+              "a direct end-to-end speedup at scale.\n");
+  return 0;
+}

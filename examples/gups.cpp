@@ -1,0 +1,71 @@
+// HPCC RandomAccess (GUPS)-style workload: every node issues a stream of
+// tiny 8-byte updates to uniformly random nodes. The paper credits its
+// indirect strategies to this benchmark's optimization (its reference [5]:
+// software routing and aggregation of messages), and Section 4.2's virtual
+// mesh is the same idea applied to all-to-all.
+//
+// Two implementations over the simulated torus:
+//   direct:     one 64-byte packet per update (48 B header + 8 B payload,
+//               rounded up) — the naive scheme;
+//   aggregated: updates are bucketed per row peer of a 2-D virtual mesh and
+//               flushed as combined messages (Section 4.2's two-phase
+//               combining), amortizing header and startup across updates.
+//
+//   ./gups --shape 8x8x8 --updates 256
+#include <cstdio>
+
+#include "src/coll/alltoall.hpp"
+#include "src/coll/vmesh.hpp"
+#include "src/model/peak.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  cli.describe("shape", "partition (default 8x8x8)");
+  cli.describe("updates", "updates issued per node (default 256)");
+  cli.describe("seed", "simulation seed");
+  cli.validate();
+
+  const auto shape = topo::parse_shape(cli.get("shape", "8x8x8"));
+  const auto updates = static_cast<std::uint64_t>(cli.get_int("updates", 256));
+  const auto nodes = static_cast<std::uint64_t>(shape.nodes());
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  // A uniform random-update stream of U updates per node is, in expectation,
+  // an all-to-all with m = 8*U/(P-1) bytes per pair; we model the two GUPS
+  // variants through the equivalent collective, which exercises exactly the
+  // same network paths and software costs.
+  const std::uint64_t bytes_per_pair =
+      std::max<std::uint64_t>(1, 8 * updates / (nodes - 1));
+
+  std::printf("GUPS-style random access on %s: %llu updates of 8 B per node\n",
+              shape.to_string().c_str(), static_cast<unsigned long long>(updates));
+  std::printf("equivalent all-to-all payload: %llu B per pair\n\n",
+              static_cast<unsigned long long>(bytes_per_pair));
+
+  util::Table table({"scheme", "time us", "MUP/s per node", "speedup"});
+  double direct_us = 0.0;
+  for (const bool aggregated : {false, true}) {
+    coll::AlltoallOptions options;
+    options.net.shape = shape;
+    options.net.seed = seed;
+    options.msg_bytes = bytes_per_pair;
+    const auto kind = aggregated ? coll::StrategyKind::kVirtualMesh
+                                 : coll::StrategyKind::kAdaptiveRandom;
+    const auto result = coll::run_alltoall(kind, options);
+    if (!aggregated) direct_us = result.elapsed_us;
+    const double updates_done = static_cast<double>(bytes_per_pair) / 8.0 *
+                                static_cast<double>(nodes - 1);
+    const double mups = updates_done / result.elapsed_us;  // updates/us == MUP/s
+    table.add_row({aggregated ? "aggregated (VMesh)" : "direct (64 B packets)",
+                   util::fmt(result.elapsed_us, 1), util::fmt(mups, 2),
+                   util::fmt(direct_us / result.elapsed_us, 2)});
+  }
+  table.print();
+  std::printf("\nAggregation amortizes the 48-byte header and per-message startup over\n"
+              "many updates — the effect behind the paper's 2x+ short-message win and\n"
+              "the HPCC RandomAccess optimization it cites.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: run one all-to-all on a simulated BG/L partition and print the
+// headline numbers.
+//
+//   ./quickstart --shape 8x8x8 --strategy ar --bytes 4096
+//
+// Strategies: mpi, ar, dr, throttle, tps, vmesh, best.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "src/coll/alltoall.hpp"
+#include "src/coll/selector.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+bgl::coll::StrategyKind parse_strategy(const std::string& name) {
+  using bgl::coll::StrategyKind;
+  if (name == "mpi") return StrategyKind::kMpi;
+  if (name == "ar") return StrategyKind::kAdaptiveRandom;
+  if (name == "dr") return StrategyKind::kDeterministic;
+  if (name == "throttle") return StrategyKind::kThrottled;
+  if (name == "tps") return StrategyKind::kTwoPhase;
+  if (name == "vmesh") return StrategyKind::kVirtualMesh;
+  if (name == "best") return StrategyKind::kBest;
+  throw std::runtime_error("unknown strategy: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bgl::util::Cli cli(argc, argv);
+  cli.describe("shape", "partition, e.g. 8x8x8 or 8x8x2M (default 8x8x8)");
+  cli.describe("strategy", "mpi|ar|dr|throttle|tps|vmesh|best (default best)");
+  cli.describe("bytes", "message payload per destination (default 4096)");
+  cli.describe("seed", "simulation seed (default 1)");
+  cli.describe("vc", "VC buffer capacity in 32 B chunks");
+  cli.describe("vcs", "number of dynamic VCs");
+  cli.describe("fifos", "injection FIFOs per node");
+  cli.describe("fifosize", "injection FIFO capacity in chunks");
+  cli.describe("cpulinks", "links the core can keep busy");
+  cli.validate();
+
+  bgl::coll::AlltoallOptions options;
+  options.net.shape = bgl::topo::parse_shape(cli.get("shape", "8x8x8"));
+  options.net.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  options.net.vc_capacity_chunks =
+      static_cast<std::uint16_t>(cli.get_int("vc", options.net.vc_capacity_chunks));
+  options.net.dynamic_vcs =
+      static_cast<std::uint8_t>(cli.get_int("vcs", options.net.dynamic_vcs));
+  options.net.injection_fifos =
+      static_cast<std::uint8_t>(cli.get_int("fifos", options.net.injection_fifos));
+  options.net.injection_fifo_chunks =
+      static_cast<std::uint16_t>(cli.get_int("fifosize", options.net.injection_fifo_chunks));
+  options.net.cpu_links = cli.get_double("cpulinks", options.net.cpu_links);
+  options.msg_bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 4096));
+  const auto kind = parse_strategy(cli.get("strategy", "best"));
+
+  if (kind == bgl::coll::StrategyKind::kBest) {
+    const auto selection =
+        bgl::coll::select_strategy(options.net.shape, options.msg_bytes);
+    std::printf("selector: %s (%s)\n",
+                bgl::coll::strategy_name(selection.kind).c_str(),
+                selection.rationale.c_str());
+  }
+
+  const auto result = bgl::coll::run_alltoall(kind, options);
+
+  std::printf("strategy        %s\n", result.strategy.c_str());
+  std::printf("partition       %s (%lld nodes)\n", result.shape.to_string().c_str(),
+              static_cast<long long>(result.shape.nodes()));
+  std::printf("message         %llu bytes per destination\n",
+              static_cast<unsigned long long>(result.msg_bytes));
+  std::printf("completed       %s\n", result.drained ? "yes" : "NO (stalled!)");
+  std::printf("elapsed         %.1f us (%llu cycles)\n", result.elapsed_us,
+              static_cast<unsigned long long>(result.elapsed_cycles));
+  std::printf("percent of peak %.1f%%\n", result.percent_peak);
+  std::printf("per-node rate   %.1f MB/s\n", result.per_node_mbps);
+  std::printf("packets         %llu delivered, %llu sim events\n",
+              static_cast<unsigned long long>(result.packets_delivered),
+              static_cast<unsigned long long>(result.events));
+  std::printf("link util       %s\n", result.links.to_string().c_str());
+  return result.drained ? 0 : 1;
+}

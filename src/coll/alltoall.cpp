@@ -1,0 +1,138 @@
+#include "src/coll/alltoall.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "src/coll/direct.hpp"
+#include "src/coll/selector.hpp"
+#include "src/coll/tps.hpp"
+#include "src/coll/vmesh.hpp"
+#include "src/model/peak.hpp"
+
+namespace bgl::coll {
+
+std::string strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kMpi: return "MPI";
+    case StrategyKind::kAdaptiveRandom: return "AR";
+    case StrategyKind::kDeterministic: return "DR";
+    case StrategyKind::kThrottled: return "AR+throttle";
+    case StrategyKind::kTwoPhase: return "TPS";
+    case StrategyKind::kVirtualMesh: return "VMesh";
+    case StrategyKind::kBest: return "best";
+  }
+  return "?";
+}
+
+double peak_cycles_for(const topo::Shape& shape, std::uint64_t msg_bytes,
+                       std::uint32_t chunk_cycles) {
+  const double chunks_per_pair = static_cast<double>(
+      rt::wire_chunks_total(msg_bytes, rt::WireFormat::direct()));
+  return model::aa_peak_cycles(shape, chunks_per_pair, chunk_cycles);
+}
+
+RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
+  if (kind == StrategyKind::kBest) {
+    kind = select_strategy(options.net.shape, options.msg_bytes).kind;
+  }
+  if (options.net.shape.nodes() < 2) {
+    throw std::invalid_argument("all-to-all needs at least 2 nodes");
+  }
+
+  std::unique_ptr<StrategyClient> client;
+  switch (kind) {
+    case StrategyKind::kMpi: {
+      DirectTuning t = DirectTuning::mpi();
+      t.burst = options.burst > 0 ? options.burst : t.burst;
+      t.order = options.order;
+      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
+                                              options.deliveries);
+      break;
+    }
+    case StrategyKind::kAdaptiveRandom: {
+      DirectTuning t = DirectTuning::ar();
+      t.burst = options.burst;
+      t.order = options.order;
+      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
+                                              options.deliveries);
+      break;
+    }
+    case StrategyKind::kDeterministic: {
+      DirectTuning t = DirectTuning::dr();
+      t.burst = options.burst;
+      t.order = options.order;
+      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
+                                              options.deliveries);
+      break;
+    }
+    case StrategyKind::kThrottled: {
+      DirectTuning t = DirectTuning::throttled(options.throttle);
+      t.burst = options.burst;
+      t.order = options.order;
+      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
+                                              options.deliveries);
+      break;
+    }
+    case StrategyKind::kTwoPhase: {
+      TpsTuning t;
+      t.linear_axis = options.linear_axis;
+      t.forward_cpu_cycles = options.forward_cpu_cycles;
+      t.reserved_fifos = options.reserved_fifos;
+      t.credit_window = options.credit_window;
+      t.credit_batch = options.credit_batch;
+      client = std::make_unique<TwoPhaseClient>(options.net, options.msg_bytes, t,
+                                                options.deliveries);
+      break;
+    }
+    case StrategyKind::kVirtualMesh: {
+      VmeshTuning t;
+      t.pvx = options.pvx;
+      t.pvy = options.pvy;
+      t.mapping = static_cast<MeshMapping>(options.vmesh_mapping);
+      client = std::make_unique<VirtualMeshClient>(options.net, options.msg_bytes, t,
+                                                   options.deliveries);
+      break;
+    }
+    case StrategyKind::kBest:
+      assert(false);
+      break;
+  }
+
+  net::Fabric fabric(options.net, *client);
+  client->bind(fabric);
+
+  const double peak = peak_cycles_for(options.net.shape, options.msg_bytes,
+                                      options.net.chunk_cycles);
+  // Generous watchdog: a healthy run finishes within a few peak times plus
+  // the CPU-bound startup term; hitting this means a stall (drained=false).
+  const Tick deadline = options.deadline != 0
+                            ? options.deadline
+                            : static_cast<Tick>(peak * 200.0) + (Tick{4} << 32);
+
+  RunResult result;
+  result.drained = fabric.run(deadline);
+  result.strategy = strategy_name(kind);
+  result.shape = options.net.shape;
+  result.msg_bytes = options.msg_bytes;
+  result.elapsed_cycles = client->completion_cycles();
+  result.elapsed_us = static_cast<double>(result.elapsed_cycles) / 700.0;
+  result.percent_peak = result.elapsed_cycles > 0
+                            ? 100.0 * peak / static_cast<double>(result.elapsed_cycles)
+                            : 0.0;
+  const double payload_per_node =
+      static_cast<double>(options.net.shape.nodes() - 1) *
+      static_cast<double>(options.msg_bytes);
+  result.per_node_mbps = result.elapsed_us > 0
+                             ? payload_per_node / result.elapsed_us  // B/us == MB/s
+                             : 0.0;
+  result.packets_delivered = fabric.stats().packets_delivered;
+  result.payload_bytes = fabric.stats().payload_bytes_delivered;
+  result.events = fabric.events_processed();
+  if (options.net.collect_link_stats) {
+    result.links = trace::summarize_links(fabric, result.elapsed_cycles);
+  }
+  return result;
+}
+
+}  // namespace bgl::coll

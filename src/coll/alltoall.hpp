@@ -1,0 +1,108 @@
+// Public entry point: run an all-to-all personalized exchange on a simulated
+// Blue Gene/L partition with one of the paper's strategies.
+//
+//   AlltoallOptions opts;
+//   opts.net.shape = topo::parse_shape("8x32x16");
+//   opts.msg_bytes = 4096;
+//   RunResult r = run_alltoall(StrategyKind::kTwoPhase, opts);
+//   // r.percent_peak, r.elapsed_us, r.links ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/coll/dest_order.hpp"
+#include "src/coll/verify.hpp"
+#include "src/network/config.hpp"
+#include "src/topology/torus.hpp"
+#include "src/trace/stats.hpp"
+
+namespace bgl::coll {
+
+using net::Tick;
+
+enum class StrategyKind {
+  kMpi,            // production-MPI-like baseline: message runtime overheads, burst 2
+  kAdaptiveRandom, // AR: randomized, adaptively routed, low-overhead (paper §3)
+  kDeterministic,  // DR: randomized order on the deterministic bubble VC
+  kThrottled,      // AR paced at the Eq. 2 bisection rate
+  kTwoPhase,       // TPS: linear phase + planar phase, reserved FIFOs (paper §4.1)
+  kVirtualMesh,    // 2-D virtual mesh message combining (paper §4.2)
+  kBest,           // paper §5 selection rule; see selector.hpp
+};
+
+std::string strategy_name(StrategyKind kind);
+
+struct AlltoallOptions {
+  /// Payload bytes per destination (the paper's m).
+  std::uint64_t msg_bytes = 240;
+
+  net::NetworkConfig net{};
+
+  // --- direct-family tuning ---
+  /// Packets sent to one destination before moving to the next (the MPI
+  /// tuning parameter; usually 1 or 2).
+  int burst = 1;
+  /// Throttle pace multiplier (kThrottled): 1.0 = exactly the Eq. 2 rate.
+  double throttle = 1.0;
+  /// Destination ordering for the direct family (randomization ablation).
+  OrderPolicy order = OrderPolicy::kRandom;
+
+  // --- TPS tuning ---
+  /// Linear (phase 1) dimension; -1 selects per the paper's rule.
+  int linear_axis = -1;
+  /// Software cost of forwarding one packet at the intermediate node.
+  std::uint32_t forward_cpu_cycles = 200;
+  /// Reserve half the injection FIFOs for each phase (ablation switch).
+  bool reserved_fifos = true;
+  /// Credit-based flow control for intermediate memory (paper §5 future
+  /// work): max phase-1 packets in flight per (source, intermediate);
+  /// 0 disables.
+  int credit_window = 0;
+  /// Forwarded packets per credit packet returned.
+  int credit_batch = 10;
+
+  // --- VMesh tuning ---
+  /// Virtual mesh extents; 0 = automatic near-square factorization.
+  int pvx = 0;
+  int pvy = 0;
+  /// Physical layout of the virtual mesh (0=XYZ fastest-X, 1=ZYX, 2=YXZ);
+  /// kept as an int to avoid pulling vmesh.hpp into this header.
+  int vmesh_mapping = 0;
+
+  /// Optional per-pair delivery verification (small partitions only).
+  DeliveryMatrix* deliveries = nullptr;
+
+  /// Abort-if-not-quiescent deadline in cycles; 0 = automatic.
+  Tick deadline = 0;
+};
+
+struct RunResult {
+  std::string strategy;
+  topo::Shape shape{};
+  std::uint64_t msg_bytes = 0;
+
+  Tick elapsed_cycles = 0;
+  double elapsed_us = 0.0;
+  /// Measured vs the Eq. 2 peak for this payload (direct wire format).
+  double percent_peak = 0.0;
+  /// Application payload moved per node per second, MB/s (Figures 3, 6, 7).
+  double per_node_mbps = 0.0;
+
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t events = 0;
+  bool drained = false;
+
+  trace::LinkReport links;
+};
+
+RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options);
+
+/// Eq. 2 peak time in cycles for an m-byte-per-pair AA on `shape`, counting
+/// the wire chunks of the direct packet format (used as the percent-of-peak
+/// denominator for every strategy).
+double peak_cycles_for(const topo::Shape& shape, std::uint64_t msg_bytes,
+                       std::uint32_t chunk_cycles);
+
+}  // namespace bgl::coll

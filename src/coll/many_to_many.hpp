@@ -1,0 +1,111 @@
+// Sparse (many-to-many) personalized communication over the same substrate
+// as the all-to-all strategies — the generalization the paper's introduction
+// and summary motivate ("we hope the performance analysis and optimization
+// techniques ... can also be applied for more complex many-to-many
+// communication patterns").
+//
+// A Pattern lists each node's destinations. Two transports are provided:
+//   - direct: randomized destination order, adaptive or deterministic
+//     routing (the AR/DR machinery applied to a sparse pattern);
+//   - two-phase: the TPS trick applied per message — packets first travel
+//     the chosen linear dimension to an intermediate that shares the
+//     destination's linear coordinate, then are forwarded within the plane,
+//     with the phases in separate injection-FIFO groups.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/coll/strategy_client.hpp"
+#include "src/coll/verify.hpp"
+#include "src/network/config.hpp"
+#include "src/runtime/packetizer.hpp"
+#include "src/topology/torus.hpp"
+#include "src/trace/stats.hpp"
+
+namespace bgl::coll {
+
+/// Per-node destination lists (self entries are ignored).
+struct Pattern {
+  std::vector<std::vector<topo::Rank>> dests;
+
+  std::size_t total_messages() const;
+
+  /// Every node sends to `fanout` distinct uniform-random peers.
+  static Pattern random_subset(std::int32_t nodes, int fanout, std::uint64_t seed);
+
+  /// 6-point halo exchange: each node talks to its torus neighbors
+  /// (deduplicated; mesh edges skipped).
+  static Pattern halo(const topo::Shape& shape);
+
+  /// Row/column partners of a process grid laid over the ranks: each node
+  /// sends to every rank sharing its row or column of an rows x cols grid
+  /// (a common sub-communicator collective footprint).
+  static Pattern grid_partners(std::int32_t nodes, int cols);
+};
+
+struct ManyToManyOptions {
+  net::NetworkConfig net{};
+  std::uint64_t msg_bytes = 240;
+  net::RoutingMode mode = net::RoutingMode::kAdaptive;
+  /// Route through TPS-style intermediates instead of directly.
+  bool two_phase = false;
+  int linear_axis = -1;  // -1 = paper rule (two_phase only)
+  double alpha_cycles = 450.0;
+  std::uint32_t forward_cpu_cycles = 200;
+  DeliveryMatrix* deliveries = nullptr;
+};
+
+struct ManyToManyResult {
+  net::Tick elapsed_cycles = 0;
+  double elapsed_us = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t packets_delivered = 0;
+  bool drained = false;
+  trace::LinkReport links;
+};
+
+ManyToManyResult run_many_to_many(const Pattern& pattern, const ManyToManyOptions& options);
+
+/// The fabric client behind run_many_to_many (exposed for tests).
+class SparseClient : public StrategyClient {
+ public:
+  SparseClient(const net::NetworkConfig& config, const Pattern& pattern,
+               const ManyToManyOptions& options);
+
+  bool next_packet(topo::Rank node, net::InjectDesc& out) override;
+  void on_delivery(topo::Rank node, const net::Packet& packet) override;
+
+  int linear_axis() const { return linear_axis_; }
+  std::uint64_t expected_final_packets() const { return expected_final_; }
+
+ private:
+  struct Forward {
+    topo::Rank final_dst;
+    topo::Rank orig_src;
+    std::uint32_t payload_bytes;
+    std::uint16_t chunks;
+  };
+  struct NodeState {
+    std::vector<topo::Rank> dests;  // shuffled
+    std::uint32_t dest_index = 0;
+    std::uint32_t packet_index = 0;
+    std::deque<Forward> forwards;
+    std::uint8_t fifo_rr1 = 0;
+    std::uint8_t fifo_rr2 = 0;
+  };
+
+  topo::Rank intermediate_for(topo::Rank src, topo::Rank dst) const;
+  std::uint8_t pick_fifo(NodeState& s, bool phase1);
+
+  net::NetworkConfig config_;
+  topo::Torus torus_;
+  ManyToManyOptions options_;
+  int linear_axis_ = -1;
+  std::vector<rt::PacketSpec> packets_;
+  std::vector<NodeState> nodes_;
+  std::uint64_t expected_final_ = 0;
+};
+
+}  // namespace bgl::coll

@@ -1,0 +1,18 @@
+#include "src/coll/selector.hpp"
+
+namespace bgl::coll {
+
+Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes) {
+  if (msg_bytes < kShortMessageBytes && shape.nodes() >= kVmeshMinNodes) {
+    return Selection{StrategyKind::kVirtualMesh,
+                     "short message below the 32-64 B change-over on a large partition"};
+  }
+  if (shape.symmetric() && shape.full_torus()) {
+    return Selection{StrategyKind::kAdaptiveRandom,
+                     "symmetric torus: randomized adaptive direct reaches ~99% of peak"};
+  }
+  return Selection{StrategyKind::kTwoPhase,
+                   "asymmetric partition: TPS avoids adaptive-routing congestion"};
+}
+
+}  // namespace bgl::coll

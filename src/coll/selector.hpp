@@ -1,0 +1,32 @@
+// Strategy selection rule from the paper's conclusion (Section 5):
+//  - short messages (at or below the measured 32-64 B change-over) on large
+//    partitions: the virtual-mesh message-combining scheme;
+//  - symmetric torus: the direct AR strategy (randomization + adaptive
+//    routing already reach ~99% of peak);
+//  - asymmetric torus or mesh: the Two Phase Schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/coll/alltoall.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::coll {
+
+struct Selection {
+  StrategyKind kind = StrategyKind::kAdaptiveRandom;
+  std::string rationale;
+};
+
+/// Message size at or below which the combining scheme wins (paper: the
+/// measured change-over sits between 32 and 64 bytes).
+inline constexpr std::uint64_t kShortMessageBytes = 64;
+
+/// Partitions smaller than this have negligible combining benefit (and the
+/// virtual mesh needs enough nodes for its two phases to pay off).
+inline constexpr std::int64_t kVmeshMinNodes = 256;
+
+Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes);
+
+}  // namespace bgl::coll

@@ -1,0 +1,32 @@
+// Common base for the all-to-all strategy fabric clients.
+#pragma once
+
+#include "src/coll/verify.hpp"
+#include "src/network/fabric.hpp"
+
+namespace bgl::coll {
+
+class StrategyClient : public net::Client {
+ public:
+  void bind(net::Fabric& fabric) { fabric_ = &fabric; }
+
+  /// Completion time of the collective: the last delivery of *final*
+  /// application data (excludes e.g. credit packets).
+  net::Tick completion_cycles() const { return completion_; }
+
+  /// Final application packets delivered so far (for progress checks).
+  std::uint64_t final_deliveries() const { return final_deliveries_; }
+
+ protected:
+  void note_final_delivery() {
+    ++final_deliveries_;
+    completion_ = fabric_->now();
+  }
+
+  net::Fabric* fabric_ = nullptr;
+  DeliveryMatrix* matrix_ = nullptr;
+  net::Tick completion_ = 0;
+  std::uint64_t final_deliveries_ = 0;
+};
+
+}  // namespace bgl::coll

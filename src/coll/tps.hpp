@@ -1,0 +1,112 @@
+// Two Phase Schedule (TPS) indirect all-to-all (paper Section 4.1).
+//
+// Phase 1 sends every packet along a chosen "linear" dimension to the
+// intermediate node that shares the final destination's linear coordinate
+// (and the source's planar coordinates). Phase 2 forwards from the
+// intermediate across the remaining two "planar" dimensions. The phases are
+// pipelined: forwarding starts as soon as phase-1 packets arrive, and each
+// phase has its own reserved injection-FIFO group so a linear packet is
+// never queued behind a planar packet (or vice versa). Both phases use
+// adaptive routing on the dynamic VCs.
+//
+// Linear-dimension choice (paper rule): the dimension whose removal leaves a
+// symmetric plane, if one exists; otherwise the longest dimension. For a
+// cube every choice is equivalent by symmetry (the paper lists Z for 8^3 and
+// X for 16^3); we use Z.
+//
+// The optional credit-based flow control implements the paper's Section 5
+// future work: a source may have at most `credit_window` un-forwarded
+// packets at any intermediate; intermediates return one 32-byte credit
+// packet per `credit_batch` forwards. This bounds intermediate memory at
+// the cost of ~1 extra packet per `credit_batch` data packets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/coll/dest_order.hpp"
+#include "src/coll/strategy_client.hpp"
+#include "src/runtime/packetizer.hpp"
+
+namespace bgl::coll {
+
+struct TpsTuning {
+  int linear_axis = -1;  // -1 = paper's selection rule
+  double alpha_cycles = 450.0;
+  std::uint32_t forward_cpu_cycles = 200;
+  bool reserved_fifos = true;
+  int credit_window = 0;  // phase-1 packets in flight per (src, intermediate); 0 = off
+  int credit_batch = 10;
+  std::uint32_t credit_cpu_cycles = 50;
+};
+
+/// The paper's linear-dimension selection rule for `shape`.
+int choose_linear_axis(const topo::Shape& shape);
+
+class TwoPhaseClient : public StrategyClient {
+ public:
+  TwoPhaseClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
+                 const TpsTuning& tuning, DeliveryMatrix* matrix);
+
+  bool next_packet(topo::Rank node, net::InjectDesc& out) override;
+  void on_delivery(topo::Rank node, const net::Packet& packet) override;
+
+  int linear_axis() const { return linear_axis_; }
+
+  /// Peak packets queued for forwarding at any single intermediate node —
+  /// the memory cost the Section 5 credit flow control bounds.
+  std::size_t max_forward_backlog() const { return max_forward_backlog_; }
+  std::uint64_t credit_packets_sent() const { return credit_packets_; }
+
+  /// Pipelining evidence (paper Section 4.1: "this is done in a pipelined
+  /// fashion allowing Phase 1 and Phase 2 to overlap"): the first phase-2
+  /// forward is injected long before the last phase-1 packet is sent.
+  net::Tick first_forward_cycles() const { return first_forward_; }
+  net::Tick last_stream_packet_cycles() const { return last_stream_packet_; }
+
+ private:
+  enum Kind : std::uint64_t { kStoreForward = 0, kFinal = 1, kCredit = 2 };
+  static std::uint64_t make_tag(Kind kind, topo::Rank orig_src, topo::Rank final_dst,
+                                std::uint32_t aux = 0);
+
+  struct Forward {
+    topo::Rank final_dst;
+    topo::Rank orig_src;
+    std::uint32_t payload_bytes;
+    std::uint16_t chunks;
+  };
+
+  struct NodeState {
+    DestOrder order;
+    std::uint32_t position = 0;
+    std::uint32_t round = 0;
+    bool stream_done = false;
+    std::deque<Forward> forwards;
+    std::uint8_t fifo_rr1 = 0;  // phase-1 group rotation
+    std::uint8_t fifo_rr2 = 0;  // phase-2 group rotation
+    // Credit flow control (indexed by the peer's linear coordinate).
+    std::vector<std::int32_t> outstanding;    // as source: un-credited sends
+    std::vector<std::int32_t> to_credit;      // as intermediate: forwards since credit
+    std::deque<topo::Rank> credit_queue;      // credit packets to send
+  };
+
+  topo::Rank intermediate_for(topo::Rank src, topo::Rank dst) const;
+  std::uint8_t pick_phase_fifo(NodeState& s, bool phase1);
+  bool emit_stream_packet(topo::Rank node, NodeState& s, net::InjectDesc& out);
+
+  net::NetworkConfig config_;
+  topo::Torus torus_;
+  std::uint64_t msg_bytes_;
+  TpsTuning tuning_;
+  int linear_axis_;
+  int linear_extent_;
+  std::vector<rt::PacketSpec> packets_;
+  std::vector<NodeState> nodes_;
+  std::size_t max_forward_backlog_ = 0;
+  std::uint64_t credit_packets_ = 0;
+  net::Tick first_forward_ = 0;
+  net::Tick last_stream_packet_ = 0;
+};
+
+}  // namespace bgl::coll

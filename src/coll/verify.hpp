@@ -1,0 +1,67 @@
+// Correctness checking for all-to-all runs.
+//
+// In verification mode every *final* delivery is recorded per (source,
+// destination) pair; a complete all-to-all of m bytes must put exactly m
+// bytes in every off-diagonal cell. Indirect strategies record the original
+// source (carried in the packet tag), not the forwarding intermediate, so
+// the check also catches mis-forwarded data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topology/torus.hpp"
+
+namespace bgl::coll {
+
+class DeliveryMatrix {
+ public:
+  explicit DeliveryMatrix(std::int32_t nodes)
+      : nodes_(nodes),
+        bytes_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), 0) {}
+
+  void record(topo::Rank src, topo::Rank dst, std::uint64_t payload_bytes) {
+    bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nodes_) +
+           static_cast<std::size_t>(dst)] += payload_bytes;
+  }
+
+  std::uint64_t bytes(topo::Rank src, topo::Rank dst) const {
+    return bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nodes_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  /// True when every ordered pair (src != dst) received exactly
+  /// `expected_per_pair` bytes and every diagonal cell is zero.
+  bool complete(std::uint64_t expected_per_pair) const {
+    for (topo::Rank s = 0; s < nodes_; ++s) {
+      for (topo::Rank d = 0; d < nodes_; ++d) {
+        const std::uint64_t want = (s == d) ? 0 : expected_per_pair;
+        if (bytes(s, d) != want) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Human-readable description of the first mismatching pair, or "".
+  std::string first_error(std::uint64_t expected_per_pair) const {
+    for (topo::Rank s = 0; s < nodes_; ++s) {
+      for (topo::Rank d = 0; d < nodes_; ++d) {
+        const std::uint64_t want = (s == d) ? 0 : expected_per_pair;
+        if (bytes(s, d) != want) {
+          return "pair (" + std::to_string(s) + " -> " + std::to_string(d) + "): got " +
+                 std::to_string(bytes(s, d)) + " bytes, want " + std::to_string(want);
+        }
+      }
+    }
+    return "";
+  }
+
+  std::int32_t nodes() const { return nodes_; }
+
+ private:
+  std::int32_t nodes_;
+  std::vector<std::uint64_t> bytes_;
+};
+
+}  // namespace bgl::coll

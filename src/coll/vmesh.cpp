@@ -1,0 +1,202 @@
+#include "src/coll/vmesh.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <tuple>
+
+namespace bgl::coll {
+
+std::pair<int, int> vmesh_factorize(std::int32_t nodes) {
+  const int root = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(nodes))));
+  for (int pvx = root; pvx <= nodes; ++pvx) {
+    if (nodes % pvx == 0) return {pvx, nodes / pvx};
+  }
+  return {nodes, 1};
+}
+
+VirtualMeshClient::VirtualMeshClient(const net::NetworkConfig& config,
+                                     std::uint64_t msg_bytes, const VmeshTuning& tuning,
+                                     DeliveryMatrix* matrix)
+    : config_(config), msg_bytes_(msg_bytes), tuning_(tuning) {
+  matrix_ = matrix;
+  const std::int32_t nodes = static_cast<std::int32_t>(config.shape.nodes());
+  if (tuning_.pvx > 0 && tuning_.pvy > 0) {
+    assert(static_cast<std::int64_t>(tuning_.pvx) * tuning_.pvy == nodes);
+    pvx_ = tuning_.pvx;
+    pvy_ = tuning_.pvy;
+  } else {
+    std::tie(pvx_, pvy_) = vmesh_factorize(nodes);
+  }
+  gamma_cycles_per_byte_ = tuning_.gamma_ns_per_byte * tuning_.clock_ghz;
+  build_mapping(config_.shape);
+
+  row_packets_ = rt::packetize(static_cast<std::uint64_t>(pvy_) * msg_bytes_,
+                               rt::WireFormat::combining());
+  col_packets_ = rt::packetize(static_cast<std::uint64_t>(pvx_) * msg_bytes_,
+                               rt::WireFormat::combining());
+
+  util::Xoshiro256StarStar master(config_.seed ^ 0x3e5affULL);
+  nodes_.resize(static_cast<std::size_t>(nodes));
+  for (std::int32_t n = 0; n < nodes; ++n) {
+    NodeState& s = nodes_[static_cast<std::size_t>(n)];
+    auto rng = master.fork();
+    const int col = col_of(n);
+    const int row = row_of(n);
+    s.row_peers.reserve(static_cast<std::size_t>(pvx_) - 1);
+    for (int j = 0; j < pvx_; ++j) {
+      if (j != col) s.row_peers.push_back(rank_at(j, row));
+    }
+    s.col_peers.reserve(static_cast<std::size_t>(pvy_) - 1);
+    for (int k = 0; k < pvy_; ++k) {
+      if (k != row) s.col_peers.push_back(rank_at(col, k));
+    }
+    rng.shuffle(s.row_peers);
+    rng.shuffle(s.col_peers);
+
+    s.p1_packets_left =
+        static_cast<std::uint64_t>(s.row_peers.size()) * row_packets_.size();
+    s.p1_msg_left.assign(static_cast<std::size_t>(pvx_),
+                         static_cast<std::uint32_t>(row_packets_.size()));
+    s.p2_msg_left.assign(static_cast<std::size_t>(pvy_),
+                         static_cast<std::uint32_t>(col_packets_.size()));
+    // A single-row mesh has no phase-1 receives: phase 2 is ready at once
+    // (and has no messages either when pvy == 1).
+    if (s.p1_packets_left == 0) s.phase2_ready = true;
+  }
+}
+
+void VirtualMeshClient::build_mapping(const topo::Shape& shape) {
+  const topo::Torus torus{shape};
+  const std::size_t nodes = static_cast<std::size_t>(torus.nodes());
+  vrank_of_rank_.resize(nodes);
+  rank_of_vrank_.resize(nodes);
+
+  // Axis iteration order: first entry varies fastest in the virtual order.
+  std::array<int, topo::kAxes> order{};
+  switch (tuning_.mapping) {
+    case MeshMapping::kXYZ: order = {topo::kX, topo::kY, topo::kZ}; break;
+    case MeshMapping::kZYX: order = {topo::kZ, topo::kY, topo::kX}; break;
+    case MeshMapping::kYXZ: order = {topo::kY, topo::kX, topo::kZ}; break;
+  }
+
+  int vrank = 0;
+  topo::Coord c;
+  for (int k = 0; k < shape.dim[static_cast<std::size_t>(order[2])]; ++k) {
+    for (int j = 0; j < shape.dim[static_cast<std::size_t>(order[1])]; ++j) {
+      for (int i = 0; i < shape.dim[static_cast<std::size_t>(order[0])]; ++i) {
+        c[order[0]] = i;
+        c[order[1]] = j;
+        c[order[2]] = k;
+        const topo::Rank r = torus.rank_of(c);
+        vrank_of_rank_[static_cast<std::size_t>(r)] = vrank;
+        rank_of_vrank_[static_cast<std::size_t>(vrank)] = r;
+        ++vrank;
+      }
+    }
+  }
+}
+
+bool VirtualMeshClient::next_packet(topo::Rank node, net::InjectDesc& out) {
+  NodeState& s = nodes_[static_cast<std::size_t>(node)];
+  if (s.done) return false;
+
+  const bool in_phase2 = s.phase2_sending;
+  const auto& peers = in_phase2 ? s.col_peers : s.row_peers;
+  const auto& packets = in_phase2 ? col_packets_ : row_packets_;
+
+  if (s.send_peer >= peers.size()) {
+    if (!in_phase2) {
+      // Finished phase-1 sends; phase 2 must also wait for receives + copy.
+      s.phase2_sending = true;
+      s.send_peer = 0;
+      s.send_pkt = 0;
+      if (!s.phase2_ready) return false;  // timer will wake us
+      return next_packet(node, out);
+    }
+    s.done = true;
+    return false;
+  }
+  if (in_phase2 && !s.phase2_ready) return false;
+
+  const rt::PacketSpec& spec = packets[s.send_pkt];
+  out.dst = peers[s.send_peer];
+  out.tag = make_tag(in_phase2 ? 2 : 1, node);
+  out.payload_bytes = spec.payload_bytes;
+  out.wire_chunks = spec.wire_chunks;
+  out.mode = net::RoutingMode::kAdaptive;
+  out.fifo = static_cast<std::uint8_t>((s.send_peer + s.send_pkt) % config_.injection_fifos);
+
+  double extra = 0.0;
+  if (s.send_pkt == 0) {
+    extra += tuning_.alpha_msg_cycles;
+    if (!in_phase2) {
+      // Send-side combining: gather the Pvy destination blocks into one
+      // contiguous message.
+      extra += gamma_cycles_per_byte_ * static_cast<double>(pvy_) *
+               static_cast<double>(msg_bytes_);
+    }
+  }
+  out.extra_cpu_cycles = static_cast<std::uint32_t>(std::lround(extra));
+
+  if (++s.send_pkt >= packets.size()) {
+    s.send_pkt = 0;
+    ++s.send_peer;
+  }
+  return true;
+}
+
+void VirtualMeshClient::on_delivery(topo::Rank node, const net::Packet& packet) {
+  NodeState& s = nodes_[static_cast<std::size_t>(node)];
+  const int phase = static_cast<int>(packet.tag >> 62);
+  const auto sender = static_cast<topo::Rank>(packet.tag & 0xffffffffU);
+  note_final_delivery();
+
+  if (phase == 1) {
+    assert(row_of(sender) == row_of(node));
+    if (matrix_ != nullptr) {
+      auto& left = s.p1_msg_left[static_cast<std::size_t>(col_of(sender))];
+      assert(left > 0);
+      if (--left == 0) {
+        // The block destined to this node itself arrived with this message.
+        matrix_->record(sender, node, msg_bytes_);
+      }
+    }
+    assert(s.p1_packets_left > 0);
+    if (--s.p1_packets_left == 0) {
+      // Re-sort the received blocks into column messages: a memory copy of
+      // everything received, at gamma cost, before phase 2 may start.
+      const double bytes = static_cast<double>(s.row_peers.size()) *
+                           static_cast<double>(pvy_) * static_cast<double>(msg_bytes_);
+      const auto delay =
+          static_cast<net::Tick>(std::llround(gamma_cycles_per_byte_ * bytes));
+      fabric_->schedule_timer(node, delay, /*cookie=*/1);
+    }
+    return;
+  }
+
+  assert(phase == 2);
+  assert(col_of(sender) == col_of(node));
+  if (matrix_ != nullptr) {
+    auto& left = s.p2_msg_left[static_cast<std::size_t>(row_of(sender))];
+    assert(left > 0);
+    if (--left == 0) {
+      // This combined message carried one block from every node of the
+      // sender's row (including the sender itself).
+      const int sender_row = row_of(sender);
+      for (int j = 0; j < pvx_; ++j) {
+        matrix_->record(rank_at(j, sender_row), node, msg_bytes_);
+      }
+    }
+  }
+}
+
+void VirtualMeshClient::on_timer(topo::Rank node, std::uint64_t cookie) {
+  assert(cookie == 1);
+  (void)cookie;
+  NodeState& s = nodes_[static_cast<std::size_t>(node)];
+  s.phase2_ready = true;
+  fabric_->wake_cpu(node);
+}
+
+}  // namespace bgl::coll

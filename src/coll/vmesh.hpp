@@ -1,0 +1,106 @@
+// 2-D Virtual Mesh message-combining all-to-all (paper Section 4.2).
+//
+// The P nodes are arranged in a Pvx x Pvy virtual mesh (rank r sits at
+// column r % Pvx of row r / Pvx; with BG/L's X-major rank order a row is a
+// contiguous slab of the physical torus, e.g. a half XY-plane for the 32x16
+// mesh on an 8x8x8 midplane — the mapping the paper uses).
+//
+//   Phase 1: every node combines, for each row peer w at column j, the m-byte
+//            blocks destined to all Pvy nodes of column j into one
+//            Pvy*m-byte message and sends it to w.  (Pvx-1 messages.)
+//   Phase 2: after all row messages arrive, the node re-sorts the received
+//            blocks by destination row (a gamma-cost memory copy) and sends
+//            each column peer one Pvx*m-byte combined message. (Pvy-1.)
+//
+// The phases do not overlap at a node: phase 2 starts only after the node's
+// phase-1 receives complete plus the copy delay. Messages use the combining
+// runtime's small (8 B) protocol header but pay the message-passing alpha
+// (~1170 cycles) per message — the trade the paper's Eq. 4 captures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coll/dest_order.hpp"
+#include "src/coll/strategy_client.hpp"
+#include "src/runtime/packetizer.hpp"
+
+namespace bgl::coll {
+
+/// Which axis varies fastest when laying the virtual mesh over the torus.
+/// The paper aligns rows with compact physical regions (half XY-planes on
+/// the 8x8x8 midplane); kXYZ reproduces that for the natural rank order,
+/// while the alternatives let the mapping ablation measure misalignment.
+enum class MeshMapping : std::uint8_t { kXYZ, kZYX, kYXZ };
+
+struct VmeshTuning {
+  int pvx = 0;  // 0 = automatic near-square factorization (pvx >= pvy)
+  int pvy = 0;
+  MeshMapping mapping = MeshMapping::kXYZ;
+  double alpha_msg_cycles = 1170.0;
+  double gamma_ns_per_byte = 1.6;
+  double clock_ghz = 0.7;
+};
+
+/// Near-square factorization P = pvx * pvy with pvx >= pvy; pvx is the
+/// smallest divisor of P at or above sqrt(P).
+std::pair<int, int> vmesh_factorize(std::int32_t nodes);
+
+class VirtualMeshClient : public StrategyClient {
+ public:
+  VirtualMeshClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
+                    const VmeshTuning& tuning, DeliveryMatrix* matrix);
+
+  bool next_packet(topo::Rank node, net::InjectDesc& out) override;
+  void on_delivery(topo::Rank node, const net::Packet& packet) override;
+  void on_timer(topo::Rank node, std::uint64_t cookie) override;
+
+  int pvx() const { return pvx_; }
+  int pvy() const { return pvy_; }
+
+ private:
+  // tag: [63:62] phase (1 or 2), [31:0] sending rank.
+  static std::uint64_t make_tag(int phase, topo::Rank sender) {
+    return (static_cast<std::uint64_t>(phase) << 62) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender));
+  }
+
+  struct NodeState {
+    std::vector<topo::Rank> row_peers;  // shuffled, size pvx-1
+    std::vector<topo::Rank> col_peers;  // shuffled, size pvy-1
+    std::uint32_t send_peer = 0;        // index into the active peer list
+    std::uint32_t send_pkt = 0;         // packet index within current message
+    bool phase2_sending = false;        // phase-1 sends finished
+    bool phase2_ready = false;          // receives + copy done
+    bool done = false;
+    std::uint64_t p1_packets_left = 0;  // phase-1 packets still expected
+    std::vector<std::uint32_t> p1_msg_left;  // per row-peer column, for verify
+    std::vector<std::uint32_t> p2_msg_left;  // per col-peer row, for verify
+  };
+
+  // The virtual mesh is laid over a *virtual* rank order (a relinearization
+  // of the torus coordinates per `mapping`); vrank_of/rank_of translate.
+  int col_of(topo::Rank r) const { return vrank_of(r) % pvx_; }
+  int row_of(topo::Rank r) const { return vrank_of(r) / pvx_; }
+  topo::Rank rank_at(int col, int row) const {
+    return rank_of_vrank_[static_cast<std::size_t>(row * pvx_ + col)];
+  }
+  int vrank_of(topo::Rank r) const {
+    return vrank_of_rank_[static_cast<std::size_t>(r)];
+  }
+  void build_mapping(const topo::Shape& shape);
+
+  net::NetworkConfig config_;
+  std::uint64_t msg_bytes_;
+  VmeshTuning tuning_;
+  int pvx_ = 1;
+  int pvy_ = 1;
+  double gamma_cycles_per_byte_;
+  std::vector<rt::PacketSpec> row_packets_;  // phase-1 message shape
+  std::vector<rt::PacketSpec> col_packets_;  // phase-2 message shape
+  std::vector<NodeState> nodes_;
+  std::vector<int> vrank_of_rank_;
+  std::vector<topo::Rank> rank_of_vrank_;
+};
+
+}  // namespace bgl::coll

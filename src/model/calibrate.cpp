@@ -1,0 +1,98 @@
+#include "src/model/calibrate.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "src/network/fabric.hpp"
+#include "src/runtime/packetizer.hpp"
+
+namespace bgl::model {
+
+namespace {
+
+/// Sends one packetized message and records the delivery of its last packet.
+class PingClient : public net::Client {
+ public:
+  PingClient(topo::Rank src, topo::Rank dst, std::uint64_t payload_bytes)
+      : src_(src), dst_(dst),
+        packets_(rt::packetize(payload_bytes, rt::WireFormat::direct())) {}
+
+  bool next_packet(topo::Rank node, net::InjectDesc& out) override {
+    if (node != src_ || index_ >= packets_.size()) return false;
+    const rt::PacketSpec& spec = packets_[index_];
+    out.dst = dst_;
+    out.payload_bytes = spec.payload_bytes;
+    out.wire_chunks = spec.wire_chunks;
+    out.extra_cpu_cycles = index_ == 0 ? 450 : 0;  // the AR per-message alpha
+    ++index_;
+    return true;
+  }
+
+  void on_delivery(topo::Rank node, const net::Packet&) override {
+    assert(node == dst_);
+    (void)node;
+    ++delivered_;
+  }
+
+  std::size_t expected() const { return packets_.size(); }
+  std::size_t delivered() const { return delivered_; }
+
+ private:
+  topo::Rank src_;
+  topo::Rank dst_;
+  std::vector<rt::PacketSpec> packets_;
+  std::size_t index_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace
+
+net::Tick ping_message_cycles(const net::NetworkConfig& config, topo::Rank src,
+                              topo::Rank dst, std::uint64_t payload_bytes) {
+  PingClient client(src, dst, payload_bytes);
+  net::Fabric fabric(config, client);
+  if (!fabric.run()) throw std::runtime_error("ping did not drain");
+  if (client.delivered() != client.expected()) {
+    throw std::runtime_error("ping lost packets");
+  }
+  return fabric.stats().last_delivery;
+}
+
+void fit_alpha_beta(const std::vector<PingPongSample>& samples, double& alpha,
+                    double& beta) {
+  if (samples.size() < 2) throw std::invalid_argument("need >= 2 samples to fit");
+  double sum_m = 0, sum_t = 0, sum_mm = 0, sum_mt = 0;
+  const double n = static_cast<double>(samples.size());
+  for (const PingPongSample& s : samples) {
+    const double m = static_cast<double>(s.payload_bytes);
+    const double t = static_cast<double>(s.one_way_cycles);
+    sum_m += m;
+    sum_t += t;
+    sum_mm += m * m;
+    sum_mt += m * t;
+  }
+  const double denom = n * sum_mm - sum_m * sum_m;
+  if (denom == 0.0) throw std::invalid_argument("degenerate size sweep");
+  beta = (n * sum_mt - sum_m * sum_t) / denom;
+  alpha = (sum_t - beta * sum_m) / n;
+}
+
+Calibration calibrate(const net::NetworkConfig& config,
+                      const std::vector<std::uint64_t>& sizes) {
+  const topo::Torus torus{config.shape};
+  if (torus.nodes() < 2) throw std::invalid_argument("need >= 2 nodes");
+  const topo::Rank src = 0;
+  const topo::Rank dst = torus.neighbor(src, topo::Direction{topo::kX, +1});
+  if (dst < 0) throw std::invalid_argument("no +X neighbor for the ping pair");
+
+  Calibration result;
+  for (const std::uint64_t bytes : sizes) {
+    result.samples.push_back(
+        PingPongSample{bytes, ping_message_cycles(config, src, dst, bytes)});
+  }
+  fit_alpha_beta(result.samples, result.alpha_cycles, result.beta_cycles_per_byte);
+  result.beta_ns_per_byte = result.beta_cycles_per_byte / 0.7;  // 700 MHz
+  return result;
+}
+
+}  // namespace bgl::model

@@ -1,0 +1,45 @@
+// Model-parameter calibration (paper Section 2.1: "The model parameters are
+// measured from ping-pong benchmark and measuring all-to-all performance
+// with small messages on smaller processor partitions").
+//
+// Runs single-message transfers of increasing size across an idle simulated
+// partition and least-squares fits T(m) = alpha + beta * m, recovering the
+// simulator's effective startup overhead and per-byte cost — the same
+// procedure the authors used on hardware to obtain alpha ~= 450 cycles and
+// beta = 6.48 ns/B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/network/config.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::model {
+
+struct PingPongSample {
+  std::uint64_t payload_bytes = 0;
+  net::Tick one_way_cycles = 0;
+};
+
+struct Calibration {
+  double alpha_cycles = 0.0;      // fitted startup overhead
+  double beta_cycles_per_byte = 0.0;
+  double beta_ns_per_byte = 0.0;  // at 700 MHz
+  std::vector<PingPongSample> samples;
+};
+
+/// One-way message time from `src` to `dst` on an otherwise idle partition,
+/// in cycles (measured from injection start to last-packet delivery).
+net::Tick ping_message_cycles(const net::NetworkConfig& config, topo::Rank src,
+                              topo::Rank dst, std::uint64_t payload_bytes);
+
+/// Runs the size sweep between two neighboring nodes and fits alpha/beta.
+Calibration calibrate(const net::NetworkConfig& config,
+                      const std::vector<std::uint64_t>& sizes);
+
+/// Ordinary least squares fit of T = alpha + beta * m over the samples.
+void fit_alpha_beta(const std::vector<PingPongSample>& samples, double& alpha,
+                    double& beta);
+
+}  // namespace bgl::model

@@ -1,0 +1,60 @@
+#include "src/model/peak.hpp"
+
+#include <algorithm>
+
+namespace bgl::model {
+
+double axis_load_factor(const topo::Shape& shape, int axis) {
+  const auto ax = static_cast<std::size_t>(axis);
+  const int extent = shape.dim[ax];
+  if (extent <= 1) return 0.0;
+  if (shape.wrap[ax]) {
+    const topo::Torus ring{shape};
+    return ring.mean_hops(axis) / 2.0;  // traffic splits over 2 directions
+  }
+  // Mesh: the center cut is the bottleneck; one directed link per line.
+  double worst = 0.0;
+  for (int k = 0; k + 1 < extent; ++k) {
+    const double crossing = static_cast<double>(k + 1) * (extent - 1 - k) / extent;
+    worst = std::max(worst, crossing);
+  }
+  return worst;
+}
+
+double bottleneck_factor(const topo::Shape& shape) {
+  double worst = 0.0;
+  for (int a = 0; a < topo::kAxes; ++a) worst = std::max(worst, axis_load_factor(shape, a));
+  return worst;
+}
+
+int bottleneck_axis(const topo::Shape& shape) {
+  int best = 0;
+  double worst = -1.0;
+  for (int a = 0; a < topo::kAxes; ++a) {
+    const double f = axis_load_factor(shape, a);
+    if (f > worst) {
+      worst = f;
+      best = a;
+    }
+  }
+  return best;
+}
+
+double aa_peak_cycles(const topo::Shape& shape, double chunks_per_pair,
+                      std::uint32_t chunk_cycles) {
+  const double nodes = static_cast<double>(shape.nodes());
+  return nodes * bottleneck_factor(shape) * chunks_per_pair * chunk_cycles;
+}
+
+double peak_per_node_bytes_per_cycle(const topo::Shape& shape,
+                                     double payload_bytes_per_pair,
+                                     double wire_chunks_per_pair,
+                                     std::uint32_t chunk_cycles) {
+  const double factor = bottleneck_factor(shape);
+  if (factor <= 0.0) return 0.0;
+  // Time per destination pair at peak is factor * wire_chunks * chunk_cycles;
+  // a node moves payload_bytes_per_pair of application data in that time.
+  return payload_bytes_per_pair / (factor * wire_chunks_per_pair * chunk_cycles);
+}
+
+}  // namespace bgl::model

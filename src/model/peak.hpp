@@ -1,0 +1,41 @@
+// Peak (zero-overhead) all-to-all time on a torus/mesh partition — the
+// paper's Equation 2 generalized to exact per-dimension link loads.
+//
+// For a full all-to-all where every ordered pair exchanges `chunks_per_pair`
+// 32 B chunks on the wire, the busiest directed link belongs to the dimension
+// maximizing the per-link load factor:
+//   torus dimension of extent E:  mean_hops(E) / 2      (E/8 per direction
+//     when E is even, matching the paper's C = M/8)
+//   mesh dimension of extent E:   max_k (k+1)(E-k-1)/E  (E/4 at the center
+//     cut, the paper's doubled contention for meshes)
+// and the peak time is  P * factor * chunks_per_pair * chunk_cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/torus.hpp"
+
+namespace bgl::model {
+
+/// Per-link load factor of one dimension (dimensionless; multiplies P * m).
+double axis_load_factor(const topo::Shape& shape, int axis);
+
+/// The bottleneck dimension's load factor; max over axes.
+double bottleneck_factor(const topo::Shape& shape);
+
+/// Axis achieving the bottleneck factor (ties toward X).
+int bottleneck_axis(const topo::Shape& shape);
+
+/// Peak AA time in cycles for `chunks_per_pair` wire chunks per ordered pair.
+double aa_peak_cycles(const topo::Shape& shape, double chunks_per_pair,
+                      std::uint32_t chunk_cycles);
+
+/// Peak achievable per-node throughput (bytes/cycle of application payload)
+/// for large messages, bisection-limited: payload_bytes_per_pair / (factor *
+/// wire_chunks_per_pair * chunk_cycles). Used for Figure 3's top curve.
+double peak_per_node_bytes_per_cycle(const topo::Shape& shape,
+                                     double payload_bytes_per_pair,
+                                     double wire_chunks_per_pair,
+                                     std::uint32_t chunk_cycles);
+
+}  // namespace bgl::model

@@ -1,0 +1,60 @@
+#include "src/model/predict.hpp"
+
+#include "src/model/peak.hpp"
+
+namespace bgl::model {
+
+namespace {
+
+/// Per-hop latency used for Eq. 1's L term; the paper notes it is not
+/// critical for all-to-all since many packets pipeline on the network.
+constexpr double kHopLatencyUs = 0.1;
+
+}  // namespace
+
+double ptp_time_us(std::uint64_t m_bytes, double contention, int hops,
+                   const PaperConstants& k) {
+  const double alpha_us = k.alpha_ar_us();
+  const double transfer_us = static_cast<double>(m_bytes + static_cast<std::uint64_t>(k.sw_header_bytes)) *
+                             contention * k.beta_ns_per_byte * 1e-3;
+  return alpha_us + transfer_us + hops * kHopLatencyUs;
+}
+
+double direct_aa_time_us(const topo::Shape& shape, std::uint64_t m_bytes,
+                         const PaperConstants& k) {
+  const double nodes = static_cast<double>(shape.nodes());
+  const double contention = bottleneck_factor(shape);
+  const double alpha_us = k.alpha_ar_us();
+  const double bytes = static_cast<double>(m_bytes) + k.sw_header_bytes;
+  return nodes * alpha_us + nodes * contention * bytes * k.beta_ns_per_byte * 1e-3;
+}
+
+double peak_aa_time_us(const topo::Shape& shape, std::uint64_t m_bytes,
+                       const PaperConstants& k) {
+  const double nodes = static_cast<double>(shape.nodes());
+  const double contention = bottleneck_factor(shape);
+  return nodes * contention * static_cast<double>(m_bytes) * k.beta_ns_per_byte * 1e-3;
+}
+
+double vmesh_aa_time_us(const topo::Shape& shape, int pvx, int pvy,
+                        std::uint64_t m_bytes, const PaperConstants& k) {
+  const double nodes = static_cast<double>(shape.nodes());
+  const double contention = bottleneck_factor(shape);
+  const double alpha_us = k.alpha_msg_us();
+  const double bytes = static_cast<double>(m_bytes) + k.proto_header_bytes;
+  const double per_byte_us = contention * k.beta_ns_per_byte * 1e-3 + k.gamma_ns_per_byte * 1e-3;
+  return (pvx + pvy) * alpha_us + 2.0 * nodes * bytes * per_byte_us;
+}
+
+double vmesh_changeover_bytes(const PaperConstants& k) {
+  return static_cast<double>(k.sw_header_bytes) - 2.0 * k.proto_header_bytes;
+}
+
+double peak_per_node_mbps(const topo::Shape& shape, const PaperConstants& k) {
+  const double contention = bottleneck_factor(shape);
+  if (contention <= 0.0) return 0.0;
+  // 1 / (C * beta) bytes per ns = 1e3 MB/s per (ns/byte).
+  return 1e3 / (contention * k.beta_ns_per_byte);
+}
+
+}  // namespace bgl::model

@@ -1,0 +1,42 @@
+// Closed-form all-to-all time predictions — the paper's Equations 1, 3 and 4.
+//
+// All predictions return microseconds using the paper's measured constants
+// (src/model/constants.hpp) unless a custom PaperConstants is passed. The
+// contention factor C is the generalized bottleneck load factor from
+// src/model/peak.hpp (C = M/8 for the longest torus dimension, Eq. 2).
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/constants.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::model {
+
+/// Eq. 1: point-to-point time for an m-byte message over `hops` links.
+/// T = alpha + (m + h) * C * beta + L, with L = hops * per_hop_latency.
+double ptp_time_us(std::uint64_t m_bytes, double contention, int hops,
+                   const PaperConstants& k = kPaper);
+
+/// Eq. 3: direct all-to-all, T ~= P*alpha + P*C*(m+h)*beta.
+double direct_aa_time_us(const topo::Shape& shape, std::uint64_t m_bytes,
+                         const PaperConstants& k = kPaper);
+
+/// Eq. 2 with no startup overheads: the achievable peak AA time.
+double peak_aa_time_us(const topo::Shape& shape, std::uint64_t m_bytes,
+                       const PaperConstants& k = kPaper);
+
+/// Eq. 4: balanced 2-D virtual mesh,
+/// T ~= (Pvx+Pvy)*alpha_msg + 2*P*(m+proto)*(C*beta + gamma).
+double vmesh_aa_time_us(const topo::Shape& shape, int pvx, int pvy,
+                        std::uint64_t m_bytes, const PaperConstants& k = kPaper);
+
+/// The paper's analytical AR-vs-VMesh change-over message size,
+/// m = h - 2*proto (Section 4.2): ~32 bytes with the default constants.
+double vmesh_changeover_bytes(const PaperConstants& k = kPaper);
+
+/// Peak bisection-limited per-node throughput in MB/s for large messages
+/// (Figure 3's reference curve): 1 / (C * beta).
+double peak_per_node_mbps(const topo::Shape& shape, const PaperConstants& k = kPaper);
+
+}  // namespace bgl::model

@@ -1,0 +1,73 @@
+// Configuration of the simulated Blue Gene/L torus network.
+//
+// Defaults reflect the published BG/L parameters (IBM J. R&D 49(2/3), 2005):
+//   - 6 bidirectional links per node, 0.25 B/cycle per direction at 700 MHz;
+//     we simulate at 32 B chunk granularity, so one chunk = 128 cycles.
+//   - packets of 32..256 B in 32 B multiples (<= 8 chunks);
+//   - 1 KB of input-buffer space per virtual channel (32 chunks);
+//   - 2 dynamic (adaptive) VCs plus the "bubble normal" escape VC used for
+//     deterministic dimension-ordered routing and deadlock prevention. The
+//     high-priority VC is not used by all-to-all traffic and is not modeled.
+//   - the cores can keep about 4 links busy when data is out of L1
+//     (`cpu_links`), the limit the paper measures in Section 2.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/event_queue.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::net {
+
+using sim::Tick;
+using topo::Rank;
+
+inline constexpr int kChunkBytes = 32;
+
+/// Virtual channels per input port: `dynamic_vcs` adaptive VCs numbered
+/// 0..dynamic_vcs-1 followed by the bubble escape VC at index dynamic_vcs.
+/// kMaxVcs bounds the per-port buffer array.
+inline constexpr int kMaxVcs = 7;
+
+enum class RoutingMode : std::uint8_t {
+  kAdaptive = 0,       // dynamic VCs, minimal adaptive (JSQ-like), bubble escape
+  kDeterministic = 1,  // dimension order (X, Y, Z) on the bubble VC only
+};
+
+struct NetworkConfig {
+  topo::Shape shape{};
+
+  /// Cycles for one 32 B chunk to cross a link (0.25 B/cycle => 128).
+  std::uint32_t chunk_cycles = 128;
+
+  /// Largest packet on the wire, in chunks (256 B => 8).
+  std::uint16_t max_packet_chunks = 8;
+
+  /// Input buffer capacity per VC, in chunks (1 KB => 32).
+  std::uint16_t vc_capacity_chunks = 32;
+
+  /// Number of dynamic (adaptive) VCs per input port. The BG/L router has
+  /// two plus chunk-granularity token flow control; at packet granularity
+  /// extra VC parallelism stands in for the chunk-level streaming the
+  /// packet model cannot express (see DESIGN.md).
+  std::uint8_t dynamic_vcs = 2;
+
+  /// Injection FIFOs per node and per-FIFO capacity in chunks (BG/L has 8
+  /// injection FIFOs per node).
+  std::uint8_t injection_fifos = 8;
+  std::uint16_t injection_fifo_chunks = 32;
+
+  /// Links' worth of bandwidth the core can sustain when injecting
+  /// (paper Section 2: ~4 out of L1, ~5 in L1).
+  double cpu_links = 4.0;
+
+  /// Per-hop pipeline latency in cycles added on top of serialization.
+  std::uint32_t hop_latency_cycles = 64;
+
+  /// Seed for all tie-breaking randomness (half-way direction choice).
+  std::uint64_t seed = 0x5eedULL;
+
+  bool collect_link_stats = true;
+};
+
+}  // namespace bgl::net

@@ -1,0 +1,703 @@
+#include "src/network/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bgl::net {
+
+namespace {
+
+constexpr int axis_of(int dir) noexcept { return dir / 2; }
+constexpr int sign_of(int dir) noexcept { return (dir % 2 == 0) ? +1 : -1; }
+constexpr int dir_index(int axis, int sign) noexcept { return axis * 2 + (sign > 0 ? 0 : 1); }
+
+}  // namespace
+
+Fabric::Fabric(const NetworkConfig& config, Client& client)
+    : config_(config),
+      torus_(config.shape),
+      client_(&client),
+      engine_(*this),
+      rng_(config.seed) {
+  for (int a = 0; a < topo::kAxes; ++a) {
+    if (config_.shape.dim[static_cast<std::size_t>(a)] > 128) {
+      throw std::invalid_argument("dimension extent > 128 not supported");
+    }
+  }
+  if (config_.injection_fifos == 0) throw std::invalid_argument("need >= 1 injection FIFO");
+  if (config_.max_packet_chunks == 0 ||
+      config_.max_packet_chunks > config_.vc_capacity_chunks) {
+    throw std::invalid_argument("max packet must fit in a VC buffer");
+  }
+
+  if (config_.dynamic_vcs < 1 || config_.dynamic_vcs >= kMaxVcs) {
+    throw std::invalid_argument("dynamic_vcs must be in [1, kMaxVcs)");
+  }
+
+  const int nodes = torus_.nodes();
+  fifo_count_ = config_.injection_fifos;
+  inputs_per_link_ = topo::kDirections + fifo_count_;
+  vcs_ = config_.dynamic_vcs + 1;
+  vc_bubble_ = config_.dynamic_vcs;
+
+  // The bubble escape VC is accounted in max-packet *slots* (one per packet
+  // regardless of its size): chunk-granular accounting lets small packets
+  // fragment the escape ring's free space until no full-sized packet can
+  // continue anywhere, wedging the ring despite the bubble invariant.
+  bubble_slots_ = config_.vc_capacity_chunks / config_.max_packet_chunks;
+  if (bubble_slots_ < 2) {
+    throw std::invalid_argument("VC buffer must hold >= 2 max packets (bubble rule)");
+  }
+  buffers_.resize(static_cast<std::size_t>(nodes) * topo::kDirections * vcs_);
+  buffer_free_.assign(buffers_.size(), config_.vc_capacity_chunks);
+  for (Rank n = 0; n < nodes; ++n) {
+    for (int p = 0; p < topo::kDirections; ++p) {
+      buffer_free_[static_cast<std::size_t>(buf_id(n, p, vc_bubble_))] = bubble_slots_;
+    }
+  }
+
+  buffer_want_.assign(buffers_.size(), 0);
+
+  fifos_.resize(static_cast<std::size_t>(nodes) * fifo_count_);
+  fifo_free_.assign(fifos_.size(), config_.injection_fifo_chunks);
+  fifo_want_.assign(fifos_.size(), 0);
+
+  const std::size_t links = static_cast<std::size_t>(nodes) * topo::kDirections;
+  link_busy_until_.assign(links, 0);
+  arb_scheduled_.assign(links, 0);
+  rr_next_.assign(links, 0);
+  link_peer_.resize(links);
+  link_busy_.assign(links, 0);
+  for (Rank n = 0; n < nodes; ++n) {
+    for (int d = 0; d < topo::kDirections; ++d) {
+      link_peer_[static_cast<std::size_t>(link_id(n, d))] =
+          torus_.neighbor(n, topo::Direction::from_index(d));
+    }
+  }
+
+  cpu_.resize(static_cast<std::size_t>(nodes));
+}
+
+bool Fabric::run(Tick deadline) {
+  if (!primed_) {
+    primed_ = true;
+    const int nodes = torus_.nodes();
+    for (Rank n = 0; n < nodes; ++n) {
+      cpu_[static_cast<std::size_t>(n)].pump_scheduled = true;
+      engine_.schedule(0, kEvCpu, static_cast<std::uint32_t>(n));
+    }
+  }
+  return engine_.run(deadline);
+}
+
+void Fabric::handle(const sim::Event& event) {
+  switch (event.type) {
+    case kEvArb:
+      arbitrate(static_cast<int>(event.a));
+      break;
+    case kEvArrival:
+      on_arrival(event.a);
+      break;
+    case kEvCpu:
+      pump_cpu(static_cast<Rank>(event.a));
+      break;
+    case kEvTimer:
+      client_->on_timer(static_cast<Rank>(event.a), event.b);
+      break;
+    default:
+      assert(false && "unknown event type");
+  }
+}
+
+void Fabric::wake_cpu(Rank node) {
+  CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
+  if (cpu.stalled) return;  // will resume when its FIFO drains
+  cpu.idle = false;
+  if (cpu.pump_scheduled) return;
+  cpu.pump_scheduled = true;
+  engine_.schedule(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(node));
+}
+
+void Fabric::schedule_timer(Rank node, Tick delay, std::uint64_t cookie) {
+  engine_.schedule_in(delay, kEvTimer, static_cast<std::uint32_t>(node), cookie);
+}
+
+int Fabric::fifo_free_chunks(Rank node, int fifo) const {
+  return fifo_free_[static_cast<std::size_t>(fifo_id(node, fifo))];
+}
+
+int Fabric::pick_fifo(Rank node, int begin, int end) const {
+  int best = begin;
+  int best_free = -1;
+  for (int f = begin; f < end; ++f) {
+    const int free = fifo_free_chunks(node, f);
+    if (free > best_free) {
+      best_free = free;
+      best = f;
+    }
+  }
+  return best;
+}
+
+Tick Fabric::cpu_inject_cycles(const InjectDesc& desc) const noexcept {
+  const double bandwidth_cost =
+      static_cast<double>(desc.wire_chunks) * config_.chunk_cycles / config_.cpu_links;
+  const Tick cycles = desc.extra_cpu_cycles + static_cast<Tick>(std::ceil(bandwidth_cost));
+  return cycles == 0 ? 1 : cycles;
+}
+
+void Fabric::pump_cpu(Rank node) {
+  CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
+  cpu.pump_scheduled = false;
+  if (now() < cpu.next_free) {
+    cpu.pump_scheduled = true;
+    engine_.schedule(cpu.next_free, kEvCpu, static_cast<std::uint32_t>(node));
+    return;
+  }
+
+  if (cpu.stalled) {
+    if (!try_inject(node, cpu.pending)) return;  // still no FIFO space
+    cpu.stalled = false;
+  } else {
+    InjectDesc desc;
+    if (!client_->next_packet(node, desc)) {
+      cpu.idle = true;
+      return;
+    }
+    assert(desc.dst >= 0 && desc.dst < torus_.nodes() && desc.dst != node);
+    assert(desc.wire_chunks >= 1 && desc.wire_chunks <= config_.max_packet_chunks);
+    assert(desc.fifo < fifo_count_);
+    if (!try_inject(node, desc)) {
+      cpu.pending = desc;
+      cpu.stalled = true;
+      return;  // resumes when the FIFO pops
+    }
+    cpu.pending = desc;  // keep for cost accounting below
+  }
+
+  cpu.next_free = now() + cpu_inject_cycles(cpu.pending);
+  cpu.pump_scheduled = true;
+  engine_.schedule(cpu.next_free, kEvCpu, static_cast<std::uint32_t>(node));
+}
+
+bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
+  const std::size_t fid = static_cast<std::size_t>(fifo_id(node, desc.fifo));
+  if (fifo_free_[fid] < desc.wire_chunks) return false;
+
+  Packet packet;
+  packet.src = node;
+  packet.dst = desc.dst;
+  packet.tag = desc.tag;
+  packet.payload_bytes = desc.payload_bytes;
+  packet.chunks = desc.wire_chunks;
+  packet.mode = desc.mode;
+
+  const topo::Coord from = torus_.coord_of(node);
+  const topo::Coord to = torus_.coord_of(desc.dst);
+  for (int a = 0; a < topo::kAxes; ++a) {
+    int signed_hops = torus_.hops_signed(from[a], to[a], a);
+    // A half-way destination on an even torus ring is reachable both ways;
+    // random choice balances the two directions across the all-to-all.
+    if (signed_hops != 0 && torus_.is_halfway_tie(from[a], to[a], a) && rng_.coin()) {
+      signed_hops = -signed_hops;
+    }
+    packet.hops[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(signed_hops);
+  }
+  assert(!packet.at_destination());
+
+  fifo_free_[fid] -= desc.wire_chunks;
+  const bool becomes_head = fifos_[fid].empty();
+  fifos_[fid].push_back(packet);
+  ++in_network_;
+  if (stats_.packets_injected == 0) stats_.first_injection = now();
+  ++stats_.packets_injected;
+  if (becomes_head) {
+    fifo_want_[fid] = want_mask(packet);
+    schedule_profitable_arbs(node, packet);
+  }
+  return true;
+}
+
+void Fabric::schedule_arb_if_idle(Rank node, int dir) {
+  const std::size_t link = static_cast<std::size_t>(link_id(node, dir));
+  if (link_peer_[link] < 0) return;        // mesh edge: no link
+  if (arb_scheduled_[link]) return;
+  if (link_busy_until_[link] > now()) return;  // busy-end arb already pending
+  // Skip the event when no current head wants this output; whichever future
+  // head appears will trigger its own wakeup. This prunes the vast majority
+  // of would-be no-candidate arbitration events under congestion.
+  const std::uint8_t dir_bit = static_cast<std::uint8_t>(1u << dir);
+  bool wanted = false;
+  const std::size_t base = static_cast<std::size_t>(buf_id(node, 0, 0));
+  const std::size_t nbufs = static_cast<std::size_t>(topo::kDirections) * vcs_;
+  for (std::size_t b = 0; b < nbufs; ++b) {
+    if (buffer_want_[base + b] & dir_bit) {
+      wanted = true;
+      break;
+    }
+  }
+  if (!wanted) {
+    const std::size_t fbase = static_cast<std::size_t>(fifo_id(node, 0));
+    for (int f = 0; f < fifo_count_; ++f) {
+      if (fifo_want_[fbase + static_cast<std::size_t>(f)] & dir_bit) {
+        wanted = true;
+        break;
+      }
+    }
+  }
+  if (!wanted) return;
+  arb_scheduled_[link] = 1;
+  engine_.schedule(now(), kEvArb, static_cast<std::uint32_t>(link));
+}
+
+void Fabric::schedule_profitable_arbs(Rank node, const Packet& packet) {
+  if (packet.mode == RoutingMode::kDeterministic) {
+    const int axis = packet.dim_order_axis();
+    if (axis < 0) return;
+    const int sign = packet.hops[static_cast<std::size_t>(axis)] > 0 ? +1 : -1;
+    schedule_arb_if_idle(node, dir_index(axis, sign));
+    return;
+  }
+  for (int a = 0; a < topo::kAxes; ++a) {
+    const std::int8_t h = packet.hops[static_cast<std::size_t>(a)];
+    if (h != 0) schedule_arb_if_idle(node, dir_index(a, h > 0 ? +1 : -1));
+  }
+}
+
+bool Fabric::wants_output(const Packet& packet, int axis, int sign) noexcept {
+  const std::int8_t h = packet.hops[static_cast<std::size_t>(axis)];
+  if (packet.mode == RoutingMode::kAdaptive) {
+    return static_cast<int>(h) * sign > 0;
+  }
+  return packet.dim_order_axis() == axis && static_cast<int>(h) * sign > 0;
+}
+
+std::uint8_t Fabric::want_mask(const Packet& packet) noexcept {
+  if (packet.mode == RoutingMode::kDeterministic) {
+    const int axis = packet.dim_order_axis();
+    if (axis < 0) return 0;
+    const int sign = packet.hops[static_cast<std::size_t>(axis)] > 0 ? +1 : -1;
+    return static_cast<std::uint8_t>(1u << dir_index(axis, sign));
+  }
+  std::uint8_t mask = 0;
+  for (int a = 0; a < topo::kAxes; ++a) {
+    const std::int8_t h = packet.hops[static_cast<std::size_t>(a)];
+    if (h != 0) mask |= static_cast<std::uint8_t>(1u << dir_index(a, h > 0 ? +1 : -1));
+  }
+  return mask;
+}
+
+int Fabric::select_downstream(const Packet& packet, Rank node, int dir, bool entering) const {
+  const int axis = axis_of(dir);
+  const int sign = sign_of(dir);
+  // Delivery: this hop is the packet's last.
+  if (packet.hops[static_cast<std::size_t>(axis)] == sign) {
+    bool others_zero = true;
+    for (int a = 0; a < topo::kAxes; ++a) {
+      if (a != axis && packet.hops[static_cast<std::size_t>(a)] != 0) others_zero = false;
+    }
+    if (others_zero) return kDeliverHere;
+  }
+
+  const Rank peer = link_peer_[static_cast<std::size_t>(link_id(node, dir))];
+  assert(peer >= 0);
+
+  if (packet.mode == RoutingMode::kAdaptive) {
+    // JSQ across the two dynamic VCs: take the one with most free space.
+    // BG/L's token flow control works at 32 B granularity with virtual
+    // cut-through, so a transfer may *start* as soon as any space exists:
+    // the tail chunks stream in as the buffer drains (only one link feeds
+    // each buffer, so nobody else can claim that space). We model this by
+    // granting with >= 1 free chunk and letting the counter go transiently
+    // negative by at most a packet; strict full-packet accounting would
+    // leave links idle whenever free < packet size and caps all-to-all
+    // throughput near 50% — far below the hardware's measured behaviour.
+    int best = kBlocked;
+    std::int32_t best_free = 0;
+    for (int vc = 0; vc < vc_bubble_; ++vc) {
+      const std::int32_t free = buffer_free_[static_cast<std::size_t>(buf_id(peer, dir, vc))];
+      if (free > best_free) {
+        best_free = free;
+        best = vc;
+      }
+    }
+    if (best != kBlocked) return best;
+    // Escape path: bubble VC, only along the dimension-order hop.
+    if (packet.dim_order_axis() != axis) return kBlocked;
+  }
+
+  // Bubble VC with the bubble insertion rule, in max-packet slots: a packet
+  // entering the ring (from injection, a turn, or a dynamic VC) must leave
+  // one whole slot free; a packet continuing along the ring needs only its
+  // own slot.
+  const std::int32_t free = buffer_free_[static_cast<std::size_t>(buf_id(peer, dir, vc_bubble_))];
+  const std::int32_t need = entering ? 2 : 1;
+  return free >= need ? vc_bubble_ : kBlocked;
+}
+
+void Fabric::arbitrate(int link) {
+  const std::size_t lk = static_cast<std::size_t>(link);
+  arb_scheduled_[lk] = 0;
+  if (link_busy_until_[lk] > now()) return;
+  const Rank peer = link_peer_[lk];
+  if (peer < 0) return;
+
+  const Rank node = static_cast<Rank>(link / topo::kDirections);
+  const int dir = link % topo::kDirections;
+  const int axis = axis_of(dir);
+  const std::uint8_t dir_bit = static_cast<std::uint8_t>(1u << dir);
+
+  // Transit traffic has strict priority over injection (as on BG/L: a
+  // packet already in the network covers several hops, so flow conservation
+  // requires transit to win most grants; fair sharing with injection clogs
+  // the network and collapses throughput). Round-robin within each class.
+  // The contiguous want-mask arrays let the scan skip ineligible inputs
+  // without touching the packet deques.
+  bool saw_candidate = false;
+  const int start = rr_next_[lk];
+
+  for (int i = 0; i < topo::kDirections; ++i) {
+    const int input = (start + i) % topo::kDirections;
+    const int base = buf_id(node, input, 0);
+    for (int vc = 0; vc < vcs_; ++vc) {
+      if ((buffer_want_[static_cast<std::size_t>(base + vc)] & dir_bit) == 0) continue;
+      auto& queue = buffers_[static_cast<std::size_t>(base + vc)];
+      Packet& head = queue.front();
+      // A packet "continues" on the bubble ring only if it is already on the
+      // bubble VC and keeps its axis; joining the ring from a dynamic VC or
+      // from another dimension is an entry and must pay the bubble rule.
+      const bool entering = (axis_of(input) != axis) || (vc != vc_bubble_);
+      saw_candidate = true;
+      const int target = select_downstream(head, node, dir, entering);
+      if (target == kBlocked) continue;
+
+      const Packet granted = head;
+      queue.pop_front();
+      buffer_free_[static_cast<std::size_t>(base + vc)] +=
+          (vc == vc_bubble_ ? 1 : granted.chunks);
+      buffer_want_[static_cast<std::size_t>(base + vc)] =
+          queue.empty() ? 0 : want_mask(queue.front());
+      // Credit return: the upstream link feeding this buffer may now proceed.
+      const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(input ^ 1));
+      if (upstream >= 0) schedule_arb_if_idle(upstream, input);
+      if (!queue.empty()) schedule_profitable_arbs(node, queue.front());
+
+      rr_next_[lk] = static_cast<std::uint8_t>((input + 1) % topo::kDirections);
+      commit_grant(lk, node, dir, peer, granted, target);
+      return;
+    }
+  }
+
+  for (int i = 0; i < fifo_count_; ++i) {
+    const int fifo = (start + i) % fifo_count_;
+    const std::size_t fid = static_cast<std::size_t>(fifo_id(node, fifo));
+    if ((fifo_want_[fid] & dir_bit) == 0) continue;
+    auto& queue = fifos_[fid];
+    Packet& head = queue.front();
+    saw_candidate = true;
+    const int target = select_downstream(head, node, dir, /*entering=*/true);
+    if (target == kBlocked) continue;
+
+    const Packet granted = head;
+    queue.pop_front();
+    fifo_free_[fid] += granted.chunks;
+    fifo_want_[fid] = queue.empty() ? 0 : want_mask(queue.front());
+    // The core may be stalled waiting for space in this FIFO.
+    CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
+    if (cpu.stalled && cpu.pending.fifo == fifo && !cpu.pump_scheduled) {
+      cpu.pump_scheduled = true;
+      engine_.schedule(std::max(now(), cpu.next_free), kEvCpu,
+                       static_cast<std::uint32_t>(node));
+    }
+    if (!queue.empty()) schedule_profitable_arbs(node, queue.front());
+
+    commit_grant(lk, node, dir, peer, granted, target);
+    return;
+  }
+
+  // No grant: the link stays idle; state changes re-schedule arbitration.
+  if (saw_candidate) {
+    ++stats_.arb_blocked;
+  } else {
+    ++stats_.arb_no_candidate;
+  }
+}
+
+void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
+                          const Packet& granted_in, int target) {
+  ++stats_.arb_grants;
+  Packet granted = granted_in;
+  const int axis = axis_of(dir);
+  const int sign = sign_of(dir);
+  granted.hops[static_cast<std::size_t>(axis)] =
+      static_cast<std::int8_t>(granted.hops[static_cast<std::size_t>(axis)] - sign);
+  if (hop_observer_) hop_observer_(granted, node, dir, target);
+  const Tick busy = static_cast<Tick>(granted.chunks) * config_.chunk_cycles;
+  link_busy_until_[lk] = now() + busy;
+  if (config_.collect_link_stats) link_busy_[lk] += busy;
+  stats_.chunk_hops += granted.chunks;
+
+  const std::uint32_t slot = alloc_flight_slot();
+  FlightSlot& flight = flights_[slot];
+  flight.packet = granted;
+  flight.to_node = peer;
+  flight.port = static_cast<std::uint8_t>(dir);
+  flight.deliver = (target == kDeliverHere);
+  if (!flight.deliver) {
+    flight.packet.vc = static_cast<std::uint8_t>(target);
+    buffer_free_[static_cast<std::size_t>(buf_id(peer, dir, target))] -=
+        (target == vc_bubble_ ? 1 : granted.chunks);
+  }
+  engine_.schedule(now() + busy + config_.hop_latency_cycles, kEvArrival, slot);
+  arb_scheduled_[lk] = 1;
+  engine_.schedule(link_busy_until_[lk], kEvArb, static_cast<std::uint32_t>(lk));
+}
+
+void Fabric::on_arrival(std::uint32_t slot_index) {
+  FlightSlot& flight = flights_[slot_index];
+  assert(flight.in_use);
+  const Packet packet = flight.packet;
+  const Rank node = flight.to_node;
+  const bool deliver = flight.deliver;
+  const std::uint8_t port = flight.port;
+  flight.in_use = false;
+  free_flights_.push_back(slot_index);
+
+  if (deliver) {
+    assert(packet.at_destination());
+    assert(packet.dst == node);
+    --in_network_;
+    ++stats_.packets_delivered;
+    stats_.payload_bytes_delivered += packet.payload_bytes;
+    stats_.last_delivery = std::max(stats_.last_delivery, now());
+    client_->on_delivery(node, packet);
+    return;
+  }
+
+  const std::size_t buf = static_cast<std::size_t>(buf_id(node, port, packet.vc));
+  auto& queue = buffers_[buf];
+  const bool becomes_head = queue.empty();
+  queue.push_back(packet);
+  if (becomes_head) {
+    buffer_want_[buf] = want_mask(packet);
+    schedule_profitable_arbs(node, packet);
+  }
+}
+
+std::string Fabric::check_invariants(bool quiescent) const {
+  const int nodes = torus_.nodes();
+  auto fail = [](const std::string& what) { return what; };
+
+  for (Rank n = 0; n < nodes; ++n) {
+    for (int p = 0; p < topo::kDirections; ++p) {
+      for (int vc = 0; vc < vcs_; ++vc) {
+        const std::size_t b = static_cast<std::size_t>(buf_id(n, p, vc));
+        const auto& queue = buffers_[b];
+        const std::int32_t free = buffer_free_[b];
+        const std::int32_t cap =
+            vc == vc_bubble_ ? bubble_slots_ : config_.vc_capacity_chunks;
+        // Dynamic VCs may transiently overfill by less than one max packet
+        // (chunk-streaming model); the bubble VC never may.
+        const std::int32_t floor_free =
+            vc == vc_bubble_ ? 0 : -(static_cast<std::int32_t>(config_.max_packet_chunks) - 1);
+        if (free < floor_free || free > cap) {
+          return fail("buffer free out of range at node " + std::to_string(n));
+        }
+        const std::uint8_t want = buffer_want_[b];
+        if (queue.empty() && want != 0) {
+          return fail("stale want mask on empty buffer at node " + std::to_string(n));
+        }
+        if (!queue.empty() && want != want_mask(queue.front())) {
+          return fail("want mask does not match head at node " + std::to_string(n));
+        }
+        if (quiescent && (!queue.empty() || free != cap)) {
+          return fail("non-drained buffer at node " + std::to_string(n));
+        }
+        for (const Packet& packet : queue) {
+          if (packet.at_destination()) {
+            return fail("terminated packet still buffered at node " + std::to_string(n));
+          }
+          if (packet.vc != vc) {
+            return fail("packet VC tag mismatch at node " + std::to_string(n));
+          }
+        }
+      }
+    }
+    for (int f = 0; f < fifo_count_; ++f) {
+      const std::size_t fid = static_cast<std::size_t>(fifo_id(n, f));
+      const auto& queue = fifos_[fid];
+      const std::int32_t free = fifo_free_[fid];
+      if (free < 0 || free > config_.injection_fifo_chunks) {
+        return fail("fifo free out of range at node " + std::to_string(n));
+      }
+      std::int32_t queued = 0;
+      for (const Packet& packet : queue) queued += packet.chunks;
+      if (free + queued != config_.injection_fifo_chunks) {
+        return fail("fifo accounting mismatch at node " + std::to_string(n));
+      }
+      if (queue.empty() != (fifo_want_[fid] == 0)) {
+        return fail("fifo want mask inconsistent at node " + std::to_string(n));
+      }
+      if (quiescent && !queue.empty()) {
+        return fail("non-drained fifo at node " + std::to_string(n));
+      }
+    }
+  }
+  if (quiescent && in_network_ != 0) {
+    return fail("packets still in network: " + std::to_string(in_network_));
+  }
+  std::int64_t inflight = 0;
+  for (const FlightSlot& slot : flights_) inflight += slot.in_use;
+  if (quiescent && inflight != 0) return fail("flight slots leaked");
+  return "";
+}
+
+void Fabric::dump_state() const {
+  std::fprintf(stderr, "=== fabric state at t=%llu, in_network=%lld ===\n",
+               static_cast<unsigned long long>(now()), static_cast<long long>(in_network_));
+  for (Rank n = 0; n < torus_.nodes(); ++n) {
+    const CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
+    if (cpu.stalled) {
+      std::fprintf(stderr, "node %d: CPU stalled on fifo %d (dst %d, %d chunks)\n", n,
+                   cpu.pending.fifo, cpu.pending.dst, cpu.pending.wire_chunks);
+    }
+    for (int f = 0; f < fifo_count_; ++f) {
+      const auto& q = fifos_[static_cast<std::size_t>(fifo_id(n, f))];
+      if (q.empty()) continue;
+      const Packet& h = q.front();
+      std::fprintf(stderr,
+                   "node %d fifo %d: %zu pkts, head dst=%d hops=(%d,%d,%d) mode=%d\n", n, f,
+                   q.size(), h.dst, h.hops[0], h.hops[1], h.hops[2],
+                   static_cast<int>(h.mode));
+    }
+    for (int p = 0; p < topo::kDirections; ++p) {
+      for (int vc = 0; vc < vcs_; ++vc) {
+        const auto& q = buffers_[static_cast<std::size_t>(buf_id(n, p, vc))];
+        if (q.empty()) continue;
+        const Packet& h = q.front();
+        std::fprintf(stderr,
+                     "node %d port %d vc %d: %zu pkts free=%d, head dst=%d hops=(%d,%d,%d) "
+                     "mode=%d\n",
+                     n, p, vc, q.size(),
+                     buffer_free_[static_cast<std::size_t>(buf_id(n, p, vc))], h.dst,
+                     h.hops[0], h.hops[1], h.hops[2], static_cast<int>(h.mode));
+      }
+    }
+    for (int d = 0; d < topo::kDirections; ++d) {
+      const auto link = static_cast<std::size_t>(link_id(n, d));
+      if (link_busy_until_[link] > now() || arb_scheduled_[link]) {
+        std::fprintf(stderr, "node %d link %d: busy_until=%llu arb_scheduled=%d\n", n, d,
+                     static_cast<unsigned long long>(link_busy_until_[link]),
+                     arb_scheduled_[link]);
+      }
+    }
+  }
+}
+
+void Fabric::kick() {
+  for (Rank n = 0; n < torus_.nodes(); ++n) {
+    for (int d = 0; d < topo::kDirections; ++d) schedule_arb_if_idle(n, d);
+    CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
+    if (!cpu.pump_scheduled) {
+      cpu.pump_scheduled = true;
+      engine_.schedule(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(n));
+    }
+  }
+}
+
+void Fabric::trace_wait_cycle() const {
+  // Find some non-empty transit buffer head.
+  int start_buf = -1;
+  for (std::size_t b = 0; b < buffers_.size(); ++b) {
+    if (!buffers_[b].empty()) {
+      start_buf = static_cast<int>(b);
+      break;
+    }
+  }
+  if (start_buf < 0) {
+    std::fprintf(stderr, "trace: no queued packets\n");
+    return;
+  }
+  std::vector<char> visited(buffers_.size(), 0);
+  int buf = start_buf;
+  for (int step = 0; step < 200; ++step) {
+    const Rank node = static_cast<Rank>(buf / (topo::kDirections * vcs_));
+    const int port = (buf / vcs_) % topo::kDirections;
+    const int vc = buf % vcs_;
+    const Packet& head = buffers_[static_cast<std::size_t>(buf)].front();
+    std::fprintf(stderr,
+                 "step %d: node %d port %d vc %d head: dst=%d hops=(%d,%d,%d) chunks=%d "
+                 "(buffer free=%d, %zu pkts)\n",
+                 step, node, port, vc, head.dst, head.hops[0], head.hops[1], head.hops[2],
+                 head.chunks, buffer_free_[static_cast<std::size_t>(buf)],
+                 buffers_[static_cast<std::size_t>(buf)].size());
+    if (visited[static_cast<std::size_t>(buf)]) {
+      std::fprintf(stderr, "  -> CYCLE (revisited this buffer)\n");
+      return;
+    }
+    visited[static_cast<std::size_t>(buf)] = 1;
+
+    // Which buffers could this head move into, and why is each blocked?
+    int next_buf = -1;
+    for (int d = 0; d < topo::kDirections; ++d) {
+      const int axis = d / 2;
+      const int sign = (d % 2 == 0) ? +1 : -1;
+      if (!wants_output(head, axis, sign)) continue;
+      const std::size_t lk = static_cast<std::size_t>(link_id(node, d));
+      if (link_peer_[lk] < 0) continue;
+      if (link_busy_until_[lk] > now()) {
+        std::fprintf(stderr, "  output %d: link busy (not deadlocked)\n", d);
+        return;
+      }
+      const bool entering = (port / 2 != axis) || (vc != vc_bubble_);
+      const int target = select_downstream(head, node, d, entering);
+      if (target == kDeliverHere) {
+        std::fprintf(stderr, "  output %d: would deliver — arbitration starvation?\n", d);
+        return;
+      }
+      if (target >= 0) {
+        std::fprintf(stderr, "  output %d: grantable to vc %d — lost wakeup!\n", d, target);
+        return;
+      }
+      // Blocked: report the fullest constraint and follow the bubble target.
+      const Rank peer = link_peer_[lk];
+      for (int tvc = 0; tvc < vcs_; ++tvc) {
+        std::fprintf(stderr, "  output %d -> peer %d vc %d free=%d%s\n", d, peer, tvc,
+                     buffer_free_[static_cast<std::size_t>(buf_id(peer, d, tvc))],
+                     tvc == vc_bubble_ && entering ? " (entering: needs chunks+max)" : "");
+      }
+      if (next_buf < 0) {
+        // Follow the most-loaded downstream buffer that has a head.
+        for (int tvc = 0; tvc < vcs_; ++tvc) {
+          const int cand = buf_id(peer, d, tvc);
+          if (!buffers_[static_cast<std::size_t>(cand)].empty()) {
+            next_buf = cand;
+            break;
+          }
+        }
+      }
+    }
+    if (next_buf < 0) {
+      std::fprintf(stderr, "  no downstream buffer with queued head to follow\n");
+      return;
+    }
+    buf = next_buf;
+  }
+}
+
+std::uint32_t Fabric::alloc_flight_slot() {
+  std::uint32_t slot;
+  if (!free_flights_.empty()) {
+    slot = free_flights_.back();
+    free_flights_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flights_.size());
+    flights_.emplace_back();
+  }
+  flights_[slot].in_use = true;
+  return slot;
+}
+
+}  // namespace bgl::net

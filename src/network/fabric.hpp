@@ -1,0 +1,240 @@
+// The torus network fabric: routers, links, virtual channels, injection
+// FIFOs and the per-node core (CPU) injection model, driven by a discrete
+// event engine.
+//
+// Model summary (see DESIGN.md Section 5):
+//  - Input-queued routers: each node has one input buffer per (incoming
+//    direction, VC) pair with `vc_capacity_chunks` of space, plus
+//    `injection_fifos` local injection FIFOs.
+//  - Virtual cut-through at packet granularity: a granted packet occupies the
+//    link for `chunks * chunk_cycles` and is appended to the downstream
+//    buffer `hop_latency_cycles` later. Credits (free chunks) are reserved at
+//    grant time and returned when the packet later leaves that buffer.
+//  - Adaptive routing: at each output-link arbitration, head packets of any
+//    input wanting that direction compete round-robin. An adaptive packet
+//    takes the dynamic VC with the most free downstream space; if neither
+//    dynamic VC fits and the link is the packet's dimension-order hop it may
+//    use the bubble escape VC. A packet *entering* a ring on the bubble VC
+//    (from injection or a turn) must leave one max-packet bubble free,
+//    guaranteeing deadlock freedom; packets continuing along the ring only
+//    need space for themselves.
+//  - Deterministic routing: bubble VC only, strict X->Y->Z dimension order.
+//  - Core model: a node's core injects packets sequentially; each packet
+//    costs `extra_cpu_cycles + chunks*chunk_cycles/cpu_links`, so a core can
+//    keep about `cpu_links` links busy, as measured in the paper. TPS
+//    forwarding re-injections share this budget, which reproduces the
+//    CPU-limited two-phase result on 8x8x8.
+//
+// The fabric pulls traffic from a Client (one per simulation, covering all
+// nodes). Clients are the all-to-all strategies in src/coll.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/network/config.hpp"
+#include "src/network/packet.hpp"
+#include "src/sim/engine.hpp"
+#include "src/topology/torus.hpp"
+#include "src/util/rng.hpp"
+
+namespace bgl::net {
+
+class Fabric;
+
+/// Traffic source/sink for every node. Implemented by all-to-all strategies.
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// Called when `node`'s core is free and willing to inject. Fill `out` and
+  /// return true to inject; return false to go idle (the fabric will not ask
+  /// again until `Fabric::wake_cpu(node)` is called).
+  virtual bool next_packet(Rank node, InjectDesc& out) = 0;
+
+  /// A packet addressed to `node` arrived. May call Fabric::wake_cpu.
+  virtual void on_delivery(Rank node, const Packet& packet) = 0;
+
+  /// A timer scheduled with Fabric::schedule_timer fired.
+  virtual void on_timer(Rank node, std::uint64_t cookie) { (void)node, (void)cookie; }
+};
+
+/// Aggregate counters for a run.
+struct FabricStats {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t payload_bytes_delivered = 0;
+  std::uint64_t chunk_hops = 0;   // chunks x links traversed
+  Tick first_injection = 0;
+  Tick last_delivery = 0;
+  // Arbitration outcome counters (diagnosis of idle links).
+  std::uint64_t arb_grants = 0;
+  std::uint64_t arb_no_candidate = 0;  // no head wanted this output
+  std::uint64_t arb_blocked = 0;       // candidates existed, all credit-blocked
+};
+
+class Fabric : public sim::EventHandler {
+ public:
+  Fabric(const NetworkConfig& config, Client& client);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Runs until quiescent (all traffic drained and all cores idle) or until
+  /// `deadline`. Returns true when quiescent. Can be called repeatedly; the
+  /// first call primes every node's core.
+  bool run(Tick deadline = ~Tick{0});
+
+  Tick now() const noexcept { return engine_.now(); }
+  const topo::Torus& torus() const noexcept { return torus_; }
+  const NetworkConfig& config() const noexcept { return config_; }
+  const FabricStats& stats() const noexcept { return stats_; }
+
+  /// Re-arms `node`'s core if idle (clients call this when new work arrives,
+  /// e.g. a TPS forward enqueued by on_delivery).
+  void wake_cpu(Rank node);
+
+  /// Fires Client::on_timer(node, cookie) after `delay` cycles.
+  void schedule_timer(Rank node, Tick delay, std::uint64_t cookie);
+
+  /// Free space of an injection FIFO, in chunks (for client FIFO choice).
+  int fifo_free_chunks(Rank node, int fifo) const;
+  /// Least-occupied FIFO index in [begin, end).
+  int pick_fifo(Rank node, int begin, int end) const;
+
+  /// Packets currently inside the network (FIFOs + buffers + in flight).
+  std::int64_t packets_in_network() const noexcept { return in_network_; }
+
+  /// Busy cycles of the directed link (node, direction); divide by elapsed
+  /// time for utilization. Empty when collect_link_stats is off.
+  const std::vector<Tick>& link_busy_cycles() const noexcept { return link_busy_; }
+
+  void handle(const sim::Event& event) override;
+
+  std::uint64_t events_processed() const noexcept { return engine_.events_processed(); }
+
+  /// Observer invoked at every link grant: (packet after hop decrement,
+  /// node granting, direction index, downstream VC or kDeliverHere).
+  /// For tests and tracing; adds a branch per grant when unset.
+  using HopObserver = std::function<void(const Packet&, Rank, int, int)>;
+  void set_hop_observer(HopObserver observer) { hop_observer_ = std::move(observer); }
+
+  /// Validates internal consistency; returns "" or a description of the
+  /// first violation. With `quiescent` also requires empty queues, full
+  /// credit counters and an empty network.
+  std::string check_invariants(bool quiescent) const;
+
+  /// Debug dump of all non-empty buffers/FIFOs and stalled cores (stderr).
+  void dump_state() const;
+
+  /// Debug aid: re-arm arbitration on every link and re-ask every idle core.
+  /// If a subsequent run() makes progress, a wakeup was lost somewhere.
+  void kick();
+
+  /// Debug aid: starting from an arbitrary blocked head packet, follow the
+  /// chain of "waits for buffer X, whose head waits for..." and print it
+  /// until a repeat (the deadlock cycle) or a movable packet is found.
+  void trace_wait_cycle() const;
+
+ private:
+  // --- event types ---
+  static constexpr std::uint32_t kEvArb = 0;      // a = link id
+  static constexpr std::uint32_t kEvArrival = 1;  // a = flight slot
+  static constexpr std::uint32_t kEvCpu = 2;      // a = node
+  static constexpr std::uint32_t kEvTimer = 3;    // a = node, b = cookie
+
+  struct FlightSlot {
+    Packet packet;
+    Rank to_node = -1;
+    std::uint8_t port = 0;
+    bool deliver = false;
+    bool in_use = false;
+  };
+
+  struct CpuState {
+    Tick next_free = 0;
+    bool pump_scheduled = false;
+    bool idle = false;     // client said "no work"; needs wake_cpu
+    bool stalled = false;  // has a descriptor waiting for FIFO space
+    InjectDesc pending{};
+  };
+
+  // --- indexing helpers ---
+  int link_id(Rank node, int dir) const noexcept { return node * topo::kDirections + dir; }
+  int buf_id(Rank node, int port, int vc) const noexcept {
+    return (node * topo::kDirections + port) * vcs_ + vc;
+  }
+  int fifo_id(Rank node, int fifo) const noexcept { return node * fifo_count_ + fifo; }
+
+  // --- core simulation steps ---
+  void pump_cpu(Rank node);
+  void arbitrate(int link);
+  void commit_grant(std::size_t lk, Rank node, int dir, Rank peer, const Packet& granted,
+                    int target);
+  void on_arrival(std::uint32_t slot_index);
+  bool try_inject(Rank node, const InjectDesc& desc);
+  void schedule_arb_if_idle(Rank node, int dir);
+  void schedule_profitable_arbs(Rank node, const Packet& packet);
+
+  /// Downstream VC selection; returns VC index, kDeliverHere, or kBlocked.
+  static constexpr int kDeliverHere = -1;
+  static constexpr int kBlocked = -2;
+  int select_downstream(const Packet& packet, Rank node, int dir, bool entering) const;
+
+  /// True if `packet` may use output axis/sign under its routing mode.
+  static bool wants_output(const Packet& packet, int axis, int sign) noexcept;
+
+  /// Bitmask over direction indices the packet may use as its next hop.
+  static std::uint8_t want_mask(const Packet& packet) noexcept;
+
+  Tick cpu_inject_cycles(const InjectDesc& desc) const noexcept;
+
+  std::uint32_t alloc_flight_slot();
+
+  NetworkConfig config_;
+  topo::Torus torus_;
+  Client* client_;
+  sim::Engine engine_;
+  util::Xoshiro256StarStar rng_;
+
+  int fifo_count_;
+  int inputs_per_link_;  // 6 transit ports + injection FIFOs
+  int vcs_;              // dynamic VCs + 1 bubble escape
+  int vc_bubble_;        // index of the bubble VC (== config.dynamic_vcs)
+  int bubble_slots_;     // bubble VC capacity in max-packet slots
+
+  // Per (node, port, vc): queued packets and free space in chunks (the
+  // bubble VC counts max-packet slots instead; see constructor).
+  std::vector<std::deque<Packet>> buffers_;
+  std::vector<std::int32_t> buffer_free_;
+  // Output-direction wish mask of each buffer's head packet (0 if empty);
+  // contiguous so arbitration scans without touching the deques.
+  std::vector<std::uint8_t> buffer_want_;
+
+  // Per (node, fifo).
+  std::vector<std::deque<Packet>> fifos_;
+  std::vector<std::int32_t> fifo_free_;
+  std::vector<std::uint8_t> fifo_want_;
+
+  // Per directed link.
+  std::vector<Tick> link_busy_until_;
+  std::vector<std::uint8_t> arb_scheduled_;
+  std::vector<std::uint8_t> rr_next_;
+  std::vector<Rank> link_peer_;  // downstream node, -1 if mesh edge
+  std::vector<Tick> link_busy_;  // accumulated busy cycles (stats)
+
+  std::vector<CpuState> cpu_;
+
+  std::vector<FlightSlot> flights_;
+  std::vector<std::uint32_t> free_flights_;
+
+  FabricStats stats_;
+  std::int64_t in_network_ = 0;
+  bool primed_ = false;
+  HopObserver hop_observer_;
+};
+
+}  // namespace bgl::net

@@ -1,0 +1,51 @@
+// In-network packet representation and the client-side injection descriptor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/network/config.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::net {
+
+/// A packet in flight. Route state is the remaining signed hop count per
+/// axis; the sign encodes the travel direction chosen at injection (minimal
+/// path, half-way ties broken at random).
+struct Packet {
+  Rank src = -1;
+  Rank dst = -1;
+  std::uint64_t tag = 0;            // opaque client cookie
+  std::uint32_t payload_bytes = 0;  // application bytes carried (stats only)
+  std::uint16_t chunks = 1;         // wire size in 32 B chunks
+  std::array<std::int8_t, topo::kAxes> hops{0, 0, 0};
+  RoutingMode mode = RoutingMode::kAdaptive;
+  std::uint8_t vc = 0;  // VC the packet currently occupies
+
+  bool at_destination() const noexcept {
+    return hops[0] == 0 && hops[1] == 0 && hops[2] == 0;
+  }
+
+  /// First axis (in X, Y, Z order) with remaining hops, or -1 at destination.
+  int dim_order_axis() const noexcept {
+    for (int a = 0; a < topo::kAxes; ++a) {
+      if (hops[static_cast<std::size_t>(a)] != 0) return a;
+    }
+    return -1;
+  }
+};
+
+/// What a client hands the fabric when the node's core injects a packet.
+struct InjectDesc {
+  Rank dst = -1;
+  std::uint64_t tag = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint16_t wire_chunks = 1;
+  RoutingMode mode = RoutingMode::kAdaptive;
+  std::uint8_t fifo = 0;  // injection FIFO index (TPS reserves FIFO groups)
+  /// Non-pipelined software cost charged to the core for this packet on top
+  /// of the bandwidth-proportional injection cost (the paper's per-message α).
+  std::uint32_t extra_cpu_cycles = 0;
+};
+
+}  // namespace bgl::net

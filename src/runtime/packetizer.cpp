@@ -1,0 +1,82 @@
+#include "src/runtime/packetizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgl::rt {
+
+namespace {
+
+constexpr std::uint32_t round_up_chunks(std::uint32_t bytes) {
+  return (bytes + kChunkBytes - 1) / kChunkBytes;
+}
+
+constexpr std::uint32_t capacity(int overhead) {
+  return static_cast<std::uint32_t>(kMaxWireBytes - overhead);
+}
+
+}  // namespace
+
+std::vector<PacketSpec> packetize(std::uint64_t payload_bytes, const WireFormat& format) {
+  assert(format.first_packet_overhead >= 0 && format.first_packet_overhead < kMaxWireBytes);
+  assert(format.later_packet_overhead >= 0 && format.later_packet_overhead < kMaxWireBytes);
+
+  std::vector<PacketSpec> packets;
+  std::uint64_t remaining = payload_bytes;
+
+  const std::uint32_t first_take =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, capacity(format.first_packet_overhead)));
+  packets.push_back(PacketSpec{
+      first_take,
+      static_cast<std::uint16_t>(std::max<std::uint32_t>(
+          1, round_up_chunks(first_take + static_cast<std::uint32_t>(format.first_packet_overhead))))});
+  remaining -= first_take;
+
+  while (remaining > 0) {
+    const std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, capacity(format.later_packet_overhead)));
+    packets.push_back(PacketSpec{
+        take,
+        static_cast<std::uint16_t>(round_up_chunks(
+            take + static_cast<std::uint32_t>(format.later_packet_overhead)))});
+    remaining -= take;
+  }
+  return packets;
+}
+
+std::uint64_t wire_chunks_total(std::uint64_t payload_bytes, const WireFormat& format) {
+  // First packet.
+  const std::uint64_t first_take =
+      std::min<std::uint64_t>(payload_bytes, capacity(format.first_packet_overhead));
+  std::uint64_t chunks = std::max<std::uint32_t>(
+      1, round_up_chunks(static_cast<std::uint32_t>(first_take) +
+                         static_cast<std::uint32_t>(format.first_packet_overhead)));
+  std::uint64_t remaining = payload_bytes - first_take;
+
+  if (remaining > 0) {
+    const std::uint64_t cap = capacity(format.later_packet_overhead);
+    const std::uint64_t full = remaining / cap;
+    const std::uint64_t tail = remaining % cap;
+    chunks += full * round_up_chunks(static_cast<std::uint32_t>(cap) +
+                                     static_cast<std::uint32_t>(format.later_packet_overhead));
+    if (tail > 0) {
+      chunks += round_up_chunks(static_cast<std::uint32_t>(tail) +
+                                static_cast<std::uint32_t>(format.later_packet_overhead));
+    }
+  }
+  return chunks;
+}
+
+std::uint64_t packet_count(std::uint64_t payload_bytes, const WireFormat& format) {
+  const std::uint64_t first_take =
+      std::min<std::uint64_t>(payload_bytes, capacity(format.first_packet_overhead));
+  std::uint64_t count = 1;
+  std::uint64_t remaining = payload_bytes - first_take;
+  if (remaining > 0) {
+    const std::uint64_t cap = capacity(format.later_packet_overhead);
+    count += (remaining + cap - 1) / cap;
+  }
+  return count;
+}
+
+}  // namespace bgl::rt

@@ -1,0 +1,50 @@
+// Message packetization matching the Blue Gene/L messaging runtime described
+// in the paper (Section 3):
+//  - packets are 32..256 byte multiples of 32 bytes on the wire;
+//  - direct strategies and TPS place a ~48 byte software header in the first
+//    packet of each message (making the shortest all-to-all packet 64 bytes);
+//    subsequent packets carry only the ~16 byte hardware header, so a full
+//    256 byte packet holds 240 bytes of payload;
+//  - the virtual-mesh (message combining) runtime instead uses a small ~8
+//    byte protocol header carrying size and source (Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bgl::rt {
+
+inline constexpr int kChunkBytes = 32;
+inline constexpr int kMaxWireBytes = 256;
+inline constexpr int kHwOverheadBytes = 16;
+
+/// Per-message wire overhead layout.
+struct WireFormat {
+  /// Overhead bytes in the message's first packet (includes hardware header).
+  int first_packet_overhead = 48;
+  /// Overhead bytes in every subsequent packet.
+  int later_packet_overhead = kHwOverheadBytes;
+
+  /// Direct strategies / TPS: 48 B software header, first packet only.
+  static WireFormat direct() { return WireFormat{48, kHwOverheadBytes}; }
+  /// Message-combining runtime: 8 B protocol header + hardware header.
+  static WireFormat combining() { return WireFormat{8 + kHwOverheadBytes, kHwOverheadBytes}; }
+};
+
+struct PacketSpec {
+  std::uint32_t payload_bytes = 0;
+  std::uint16_t wire_chunks = 1;
+};
+
+/// Splits a `payload_bytes` message into wire packets. A zero-byte payload
+/// still produces one (header-only) packet, as a real runtime must move the
+/// envelope. The result is never empty.
+std::vector<PacketSpec> packetize(std::uint64_t payload_bytes, const WireFormat& format);
+
+/// Total wire chunks for a message without materializing the packet list.
+std::uint64_t wire_chunks_total(std::uint64_t payload_bytes, const WireFormat& format);
+
+/// Number of packets for a message.
+std::uint64_t packet_count(std::uint64_t payload_bytes, const WireFormat& format);
+
+}  // namespace bgl::rt

@@ -1,0 +1,14 @@
+#include "src/sim/engine.hpp"
+
+namespace bgl::sim {
+
+bool Engine::run(Tick deadline) {
+  while (auto event = queue_.pop_if_at_most(deadline)) {
+    now_ = event->time;
+    ++processed_;
+    handler_->handle(*event);
+  }
+  return queue_.empty();
+}
+
+}  // namespace bgl::sim

@@ -1,0 +1,47 @@
+// Event loop driving a single handler (the network fabric).
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/event_queue.hpp"
+
+namespace bgl::sim {
+
+/// Receiver of simulation events. One handler per engine; event `type`
+/// namespaces are the handler's concern.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void handle(const Event& event) = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EventHandler& handler) : handler_(&handler) {}
+
+  Tick now() const noexcept { return now_; }
+
+  void schedule(Tick at, std::uint32_t type, std::uint32_t a = 0, std::uint64_t b = 0) {
+    queue_.push(at < now_ ? now_ : at, type, a, b);
+  }
+  void schedule_in(Tick delay, std::uint32_t type, std::uint32_t a = 0, std::uint64_t b = 0) {
+    queue_.push(now_ + delay, type, a, b);
+  }
+
+  /// Runs until the queue drains or `deadline` passes. Returns true if the
+  /// queue drained (i.e. the simulation reached quiescence).
+  bool run(Tick deadline = ~Tick{0});
+
+  /// Processed event count (for micro-benchmarks and budget checks).
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  TimingWheel& queue() noexcept { return queue_; }
+
+ private:
+  EventHandler* handler_;
+  TimingWheel queue_;
+  Tick now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace bgl::sim

@@ -1,0 +1,107 @@
+#include "src/sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace bgl::sim {
+
+void EventQueue::push(Tick time, std::uint32_t type, std::uint32_t a, std::uint64_t b) {
+  heap_.push_back(Event{time, next_seq_++, type, a, b});
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::push_event(const Event& event) {
+  heap_.push_back(event);
+  next_seq_ = std::max(next_seq_, event.seq + 1);
+  sift_up(heap_.size() - 1);
+}
+
+Event EventQueue::pop() {
+  Event out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  Event e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  Event e = heap_[i];
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && later(heap_[child], heap_[child + 1])) ++child;
+    if (!later(e, heap_[child])) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+TimingWheel::TimingWheel(std::size_t size_pow2) : buckets_(size_pow2), mask_(size_pow2 - 1) {
+  assert((size_pow2 & mask_) == 0 && "wheel size must be a power of two");
+}
+
+void TimingWheel::push(Tick time, std::uint32_t type, std::uint32_t a, std::uint64_t b) {
+  if (time < cursor_) time = cursor_;
+  const Event event{time, next_seq_++, type, a, b};
+  if (time - cursor_ < buckets_.size()) {
+    buckets_[time & mask_].push_back(event);
+    ++count_;
+  } else {
+    overflow_.push_event(event);
+  }
+}
+
+std::optional<Event> TimingWheel::pop_if_at_most(Tick deadline) {
+  while (true) {
+    auto& bucket = buckets_[cursor_ & mask_];
+    if (bucket_pos_ < bucket.size()) {
+      const Event event = bucket[bucket_pos_];
+      assert(event.time == cursor_);
+      if (event.time > deadline) return std::nullopt;
+      ++bucket_pos_;
+      --count_;
+      if (bucket_pos_ == bucket.size()) {
+        bucket.clear();
+        bucket_pos_ = 0;
+      }
+      return event;
+    }
+    bucket.clear();
+    bucket_pos_ = 0;
+
+    if (count_ == 0) {
+      if (overflow_.empty()) return std::nullopt;
+      // Jump over the empty span straight to the next overflow event.
+      cursor_ = overflow_.next_time();
+    } else {
+      ++cursor_;
+    }
+    // Migrate overflow events that fit the horizon *before* any handler can
+    // push same-time events directly, keeping (time, seq) order intact.
+    while (!overflow_.empty() && overflow_.next_time() - cursor_ < buckets_.size()) {
+      const Event event = overflow_.pop();
+      buckets_[event.time & mask_].push_back(event);
+      ++count_;
+    }
+  }
+}
+
+}  // namespace bgl::sim

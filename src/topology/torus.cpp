@@ -1,0 +1,168 @@
+#include "src/topology/torus.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bgl::topo {
+
+int Shape::longest() const noexcept {
+  return std::max(dim[0], std::max(dim[1], dim[2]));
+}
+
+int Shape::longest_axis() const noexcept {
+  int best = 0;
+  for (int a = 1; a < kAxes; ++a) {
+    if (dim[static_cast<std::size_t>(a)] > dim[static_cast<std::size_t>(best)]) best = a;
+  }
+  return best;
+}
+
+bool Shape::symmetric() const noexcept {
+  // The paper calls a partition symmetric when all dimensions of extent > 1
+  // are equal: a 16x16 plane and an 8-node line count as symmetric.
+  int ref = 0;
+  for (int a = 0; a < kAxes; ++a) {
+    const int d = dim[static_cast<std::size_t>(a)];
+    if (d == 1) continue;
+    if (ref == 0) {
+      ref = d;
+    } else if (d != ref) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Shape::full_torus() const noexcept {
+  for (int a = 0; a < kAxes; ++a) {
+    if (dim[static_cast<std::size_t>(a)] > 1 && !wrap[static_cast<std::size_t>(a)]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::string out;
+  for (int a = 0; a < kAxes; ++a) {
+    const auto i = static_cast<std::size_t>(a);
+    if (a > 0) out += "x";
+    out += std::to_string(dim[i]);
+    if (dim[i] > 1 && !wrap[i]) out += "M";
+  }
+  return out;
+}
+
+Shape parse_shape(const std::string& text) {
+  Shape shape;
+  int axis = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (axis >= kAxes) throw std::invalid_argument("too many dimensions: " + text);
+    std::size_t end = pos;
+    while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) ++end;
+    if (end == pos) throw std::invalid_argument("bad partition spec: " + text);
+    const int extent = std::atoi(text.substr(pos, end - pos).c_str());
+    if (extent <= 0) throw std::invalid_argument("bad extent in: " + text);
+    bool wrap = true;
+    if (end < text.size() && (text[end] == 'M' || text[end] == 'm')) {
+      wrap = false;
+      ++end;
+    }
+    shape.dim[static_cast<std::size_t>(axis)] = extent;
+    shape.wrap[static_cast<std::size_t>(axis)] = wrap && extent > 1;
+    ++axis;
+    if (end < text.size()) {
+      if (text[end] != 'x' && text[end] != 'X') {
+        throw std::invalid_argument("bad separator in: " + text);
+      }
+      ++end;
+      if (end == text.size()) throw std::invalid_argument("trailing separator: " + text);
+    }
+    pos = end;
+  }
+  if (axis == 0) throw std::invalid_argument("empty partition spec");
+  for (int a = 0; a < kAxes; ++a) {
+    if (shape.dim[static_cast<std::size_t>(a)] <= 1) shape.wrap[static_cast<std::size_t>(a)] = false;
+  }
+  return shape;
+}
+
+Torus::Torus(Shape shape) : shape_(shape) {
+  nodes_ = static_cast<std::int32_t>(shape_.nodes());
+  assert(nodes_ >= 1);
+}
+
+Rank Torus::rank_of(const Coord& c) const noexcept {
+  return static_cast<Rank>(c[0] + shape_.dim[0] * (c[1] + static_cast<std::int64_t>(shape_.dim[1]) * c[2]));
+}
+
+Coord Torus::coord_of(Rank r) const noexcept {
+  Coord c;
+  c[0] = static_cast<int>(r % shape_.dim[0]);
+  const auto rest = r / shape_.dim[0];
+  c[1] = static_cast<int>(rest % shape_.dim[1]);
+  c[2] = static_cast<int>(rest / shape_.dim[1]);
+  return c;
+}
+
+Rank Torus::neighbor(Rank r, Direction dir) const noexcept {
+  Coord c = coord_of(r);
+  const auto axis = static_cast<std::size_t>(dir.axis);
+  const int extent = shape_.dim[axis];
+  int next = c[dir.axis] + dir.sign;
+  if (next < 0 || next >= extent) {
+    if (!shape_.wrap[axis]) return -1;
+    next = (next + extent) % extent;
+  }
+  c[dir.axis] = next;
+  return rank_of(c);
+}
+
+int Torus::hops_signed(int a, int b, int axis) const noexcept {
+  const auto ax = static_cast<std::size_t>(axis);
+  const int extent = shape_.dim[ax];
+  int delta = b - a;
+  if (!shape_.wrap[ax]) return delta;
+  // Reduce to the minimal representative in (-extent/2, extent/2].
+  delta %= extent;
+  if (delta > extent / 2) delta -= extent;
+  if (delta < -(extent - 1) / 2) delta += extent;
+  return delta;
+}
+
+int Torus::hops(int a, int b, int axis) const noexcept {
+  return std::abs(hops_signed(a, b, axis));
+}
+
+int Torus::distance(Rank a, Rank b) const noexcept {
+  const Coord ca = coord_of(a);
+  const Coord cb = coord_of(b);
+  int total = 0;
+  for (int axis = 0; axis < kAxes; ++axis) total += hops(ca[axis], cb[axis], axis);
+  return total;
+}
+
+double Torus::mean_hops(int axis) const noexcept {
+  const auto ax = static_cast<std::size_t>(axis);
+  const int extent = shape_.dim[ax];
+  if (extent <= 1) return 0.0;
+  // Exact mean over all ordered pairs (a, b) including a == b, matching the
+  // averaging in the paper's Eq. 2 (which uses M/4 for a torus).
+  std::int64_t total = 0;
+  for (int a = 0; a < extent; ++a) {
+    for (int b = 0; b < extent; ++b) total += hops(a, b, axis);
+  }
+  return static_cast<double>(total) / (static_cast<double>(extent) * extent);
+}
+
+bool Torus::is_halfway_tie(int a, int b, int axis) const noexcept {
+  const auto ax = static_cast<std::size_t>(axis);
+  if (!shape_.wrap[ax]) return false;
+  const int extent = shape_.dim[ax];
+  if (extent % 2 != 0) return false;
+  return hops(a, b, axis) == extent / 2;
+}
+
+}  // namespace bgl::topo

@@ -1,0 +1,107 @@
+// Three-dimensional torus / mesh topology for the Blue Gene/L network.
+//
+// A partition is a box of Dx x Dy x Dz nodes; each dimension independently is
+// either a torus (wraparound links present) or a mesh. The paper's partition
+// notation "8 x 8 x 2M" means the Z dimension is a mesh. Node ranks are
+// X-major: rank = x + Dx * (y + Dy * z), matching BG/L's natural ordering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bgl::topo {
+
+using Rank = std::int32_t;
+
+/// Dimension indices; BG/L routes dimension order X, then Y, then Z.
+enum Axis : int { kX = 0, kY = 1, kZ = 2 };
+inline constexpr int kAxes = 3;
+
+/// One of the six torus directions: axis + sign.
+struct Direction {
+  int axis = 0;   // 0..2
+  int sign = +1;  // +1 or -1
+
+  /// Dense index in [0, 6): X+,X-,Y+,Y-,Z+,Z-.
+  constexpr int index() const noexcept { return axis * 2 + (sign > 0 ? 0 : 1); }
+  static constexpr Direction from_index(int i) noexcept {
+    return Direction{i / 2, (i % 2 == 0) ? +1 : -1};
+  }
+  friend constexpr bool operator==(const Direction&, const Direction&) = default;
+};
+inline constexpr int kDirections = 6;
+
+struct Coord {
+  std::array<int, kAxes> v{0, 0, 0};
+  int& operator[](int axis) { return v[static_cast<std::size_t>(axis)]; }
+  int operator[](int axis) const { return v[static_cast<std::size_t>(axis)]; }
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Shape of a partition: per-dimension extent and wrap (torus) flag.
+struct Shape {
+  std::array<int, kAxes> dim{1, 1, 1};
+  std::array<bool, kAxes> wrap{true, true, true};
+
+  std::int64_t nodes() const noexcept {
+    return static_cast<std::int64_t>(dim[0]) * dim[1] * dim[2];
+  }
+  /// Longest dimension extent (the paper's M).
+  int longest() const noexcept;
+  /// Axis of the longest dimension (ties broken toward X).
+  int longest_axis() const noexcept;
+  bool symmetric() const noexcept;
+  /// True if every dimension wraps.
+  bool full_torus() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+/// Parses the paper's partition notation: "8", "8x8", "40x32x16", with an
+/// optional "M" suffix per dimension marking it as a mesh ("8x8x2M").
+/// Dimensions of extent 1 are treated as meshes (wrap is meaningless).
+/// Throws std::invalid_argument on malformed input.
+Shape parse_shape(const std::string& text);
+
+/// Geometry queries over a Shape. Cheap value type; copy freely.
+class Torus {
+ public:
+  Torus() = default;
+  explicit Torus(Shape shape);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::int32_t nodes() const noexcept { return nodes_; }
+
+  Rank rank_of(const Coord& c) const noexcept;
+  Coord coord_of(Rank r) const noexcept;
+
+  /// Neighbor along `dir`; returns -1 when stepping off a mesh edge.
+  Rank neighbor(Rank r, Direction dir) const noexcept;
+
+  /// Minimal signed hop count from `a` to `b` along `axis`; positive means
+  /// travel in the + direction. On a torus an exact half-way distance is a
+  /// tie; this deterministic variant prefers +. See `hops_signed_rand`.
+  int hops_signed(int a, int b, int axis) const noexcept;
+
+  /// Number of hops (absolute) on the minimal path along `axis`.
+  int hops(int a, int b, int axis) const noexcept;
+
+  /// Total minimal hop distance between two ranks.
+  int distance(Rank a, Rank b) const noexcept;
+
+  /// Mean hops along `axis` over ordered pairs (including self pairs), the
+  /// quantity the paper's Eq. 2 peak uses: M/4 for a torus, ~M/3 for a mesh.
+  double mean_hops(int axis) const noexcept;
+
+  /// True if the half-way tie case exists for this axis distance (torus with
+  /// even extent and |delta| == extent/2).
+  bool is_halfway_tie(int a, int b, int axis) const noexcept;
+
+ private:
+  Shape shape_{};
+  std::int32_t nodes_ = 1;
+};
+
+}  // namespace bgl::topo

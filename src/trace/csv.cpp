@@ -1,0 +1,49 @@
+#include "src/trace/csv.hpp"
+
+#include <stdexcept>
+
+namespace bgl::trace {
+
+namespace {
+
+void write_row(std::FILE* file, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) std::fputc(',', file);
+    std::fputs(CsvWriter::escape(cells[i]).c_str(), file);
+  }
+  std::fputc('\n', file);
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& headers)
+    : columns_(headers.size()) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) throw std::runtime_error("cannot open CSV file: " + path);
+  write_row(file_, headers);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CSV row width mismatch");
+  }
+  write_row(file_, cells);
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace bgl::trace

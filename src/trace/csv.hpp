@@ -1,0 +1,37 @@
+// Minimal CSV emission for bench results (plot-friendly output).
+//
+// Cells containing commas, quotes or newlines are quoted per RFC 4180 so
+// downstream tooling (pandas, gnuplot with `set datafile separator`) reads
+// the files unmodified.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bgl::trace {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes one cell per RFC 4180 (exposed for tests).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace bgl::trace

@@ -1,0 +1,81 @@
+#include "src/trace/heatmap.hpp"
+
+#include <algorithm>
+
+namespace bgl::trace {
+
+namespace {
+
+constexpr char kShades[] = " .:-=+*#%@";
+constexpr int kShadeCount = 10;
+
+double link_util(const net::Fabric& fabric, net::Tick elapsed, topo::Rank node, int dir) {
+  if (elapsed == 0) return 0.0;
+  const auto& busy = fabric.link_busy_cycles();
+  return static_cast<double>(
+             busy[static_cast<std::size_t>(node) * topo::kDirections +
+                  static_cast<std::size_t>(dir)]) /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace
+
+char shade(double utilization) {
+  const int index = std::clamp(static_cast<int>(utilization * kShadeCount), 0,
+                               kShadeCount - 1);
+  return kShades[index];
+}
+
+std::string plane_heatmap(const net::Fabric& fabric, net::Tick elapsed, int z) {
+  const topo::Torus& torus = fabric.torus();
+  const auto& shape = torus.shape();
+  std::string out = "z=" + std::to_string(z) + " plane (cell: +X+Y link shades)\n";
+  for (int y = shape.dim[1] - 1; y >= 0; --y) {
+    for (int x = 0; x < shape.dim[0]; ++x) {
+      const topo::Rank node = torus.rank_of({{x, y, z}});
+      out += shade(link_util(fabric, elapsed, node, 0));  // X+
+      out += shade(link_util(fabric, elapsed, node, 2));  // Y+
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string axis_summary(const net::Fabric& fabric, net::Tick elapsed) {
+  const topo::Torus& torus = fabric.torus();
+  const auto& shape = torus.shape();
+  static constexpr const char* kNames[topo::kAxes] = {"X", "Y", "Z"};
+  std::string out;
+  for (int axis = 0; axis < topo::kAxes; ++axis) {
+    out += kNames[axis];
+    out += " lines: ";
+    // One character per line along `axis`: iterate over the other two dims.
+    const int a1 = (axis + 1) % topo::kAxes;
+    const int a2 = (axis + 2) % topo::kAxes;
+    for (int i = 0; i < shape.dim[static_cast<std::size_t>(a1)]; ++i) {
+      for (int j = 0; j < shape.dim[static_cast<std::size_t>(a2)]; ++j) {
+        double total = 0.0;
+        int links = 0;
+        for (int k = 0; k < shape.dim[static_cast<std::size_t>(axis)]; ++k) {
+          topo::Coord c;
+          c[axis] = k;
+          c[a1] = i;
+          c[a2] = j;
+          const topo::Rank node = torus.rank_of(c);
+          for (int sign = 0; sign < 2; ++sign) {
+            const int dir = axis * 2 + sign;
+            if (torus.neighbor(node, topo::Direction::from_index(dir)) < 0) continue;
+            total += link_util(fabric, elapsed, node, dir);
+            ++links;
+          }
+        }
+        out += shade(links > 0 ? total / links : 0.0);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bgl::trace

@@ -1,0 +1,26 @@
+// ASCII heatmaps of per-link utilization — the quickest way to *see* the
+// paper's contention stories: the X links of a 2n x n x n torus glowing at
+// twice the Y/Z shade under AR, or TPS evening them out.
+#pragma once
+
+#include <string>
+
+#include "src/network/fabric.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::trace {
+
+/// Renders one Z-plane of the partition as a grid of cells; each cell shows
+/// the utilization of the node's +X and +Y links as shade characters
+/// (" .:-=+*#%@" for 0..100%). Returns a multi-line string.
+std::string plane_heatmap(const net::Fabric& fabric, net::Tick elapsed, int z);
+
+/// Renders per-axis utilization of every X/Y/Z line as one shaded character
+/// per line, averaged over the line's directed links — a compact full-machine
+/// view (one row per axis).
+std::string axis_summary(const net::Fabric& fabric, net::Tick elapsed);
+
+/// Shade character for a utilization in [0, 1].
+char shade(double utilization);
+
+}  // namespace bgl::trace

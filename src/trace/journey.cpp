@@ -1,0 +1,43 @@
+#include "src/trace/journey.hpp"
+
+namespace bgl::trace {
+
+std::string dir_name(int dir) {
+  static constexpr const char* kNames[topo::kDirections] = {"X+", "X-", "Y+",
+                                                            "Y-", "Z+", "Z-"};
+  if (dir < 0 || dir >= topo::kDirections) return "?";
+  return kNames[dir];
+}
+
+JourneyRecorder::JourneyRecorder(net::Fabric& fabric, std::uint64_t sample_every)
+    : sample_every_(sample_every == 0 ? 1 : sample_every) {
+  fabric.set_hop_observer(
+      [this](const net::Packet& packet, topo::Rank node, int dir, int target_vc) {
+        if (packet.tag % sample_every_ != 0) return;
+        journeys_[packet.tag].push_back(Hop{node, dir, target_vc});
+      });
+}
+
+std::string JourneyRecorder::to_string(std::uint64_t tag) const {
+  const auto it = journeys_.find(tag);
+  if (it == journeys_.end()) return "";
+  std::string out;
+  for (const Hop& hop : it->second) {
+    out += std::to_string(hop.from);
+    out += " -";
+    out += dir_name(hop.dir);
+    if (hop.vc >= 0) {
+      out += "(vc" + std::to_string(hop.vc) + ")";
+    }
+    out += "-> ";
+  }
+  out += "delivered";
+  return out;
+}
+
+std::size_t JourneyRecorder::hops(std::uint64_t tag) const {
+  const auto it = journeys_.find(tag);
+  return it == journeys_.end() ? 0 : it->second.size();
+}
+
+}  // namespace bgl::trace

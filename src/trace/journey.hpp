@@ -1,0 +1,44 @@
+// Packet-journey recording via the fabric's hop observer: captures the
+// sequence of (node, direction, VC) hops of sampled packets — the tool for
+// debugging routing behavior and for the routing-discipline tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/network/fabric.hpp"
+
+namespace bgl::trace {
+
+struct Hop {
+  topo::Rank from = -1;
+  int dir = -1;  // direction index 0..5 (X+,X-,Y+,Y-,Z+,Z-)
+  int vc = -1;   // downstream VC, or -1 for the delivery hop
+};
+
+class JourneyRecorder {
+ public:
+  /// Attaches to the fabric's hop observer. `sample_every` = record packets
+  /// whose tag is a multiple of it (1 = all); clients must put distinct tags
+  /// on the packets they want traced.
+  explicit JourneyRecorder(net::Fabric& fabric, std::uint64_t sample_every = 1);
+
+  const std::map<std::uint64_t, std::vector<Hop>>& journeys() const { return journeys_; }
+
+  /// "0 -X+(vc0)-> 1 -Y-(vc2)-> 5 -> delivered" for one tag; "" if unseen.
+  std::string to_string(std::uint64_t tag) const;
+
+  /// Hops recorded for a tag (0 if unseen).
+  std::size_t hops(std::uint64_t tag) const;
+
+ private:
+  std::uint64_t sample_every_;
+  std::map<std::uint64_t, std::vector<Hop>> journeys_;
+};
+
+/// Direction index -> "X+", "X-", ...
+std::string dir_name(int dir);
+
+}  // namespace bgl::trace

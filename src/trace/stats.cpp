@@ -1,0 +1,87 @@
+#include "src/trace/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bgl::trace {
+
+LinkReport summarize_links(const net::Fabric& fabric, net::Tick elapsed) {
+  LinkReport report;
+  if (elapsed == 0) return report;
+  const auto& busy = fabric.link_busy_cycles();
+  const auto& torus = fabric.torus();
+
+  std::array<double, topo::kAxes> sum{};
+  std::array<int, topo::kAxes> count{};
+  for (auto& a : report.axis) {
+    a.min = 1.0;
+  }
+
+  for (topo::Rank n = 0; n < torus.nodes(); ++n) {
+    for (int d = 0; d < topo::kDirections; ++d) {
+      if (torus.neighbor(n, topo::Direction::from_index(d)) < 0) continue;  // mesh edge
+      const double util =
+          static_cast<double>(busy[static_cast<std::size_t>(n * topo::kDirections + d)]) /
+          static_cast<double>(elapsed);
+      const int axis = d / 2;
+      const auto ax = static_cast<std::size_t>(axis);
+      sum[ax] += util;
+      ++count[ax];
+      report.axis[ax].max = std::max(report.axis[ax].max, util);
+      report.axis[ax].min = std::min(report.axis[ax].min, util);
+      report.overall_max = std::max(report.overall_max, util);
+    }
+  }
+
+  double total = 0.0;
+  int links = 0;
+  for (int a = 0; a < topo::kAxes; ++a) {
+    const auto ax = static_cast<std::size_t>(a);
+    if (count[ax] == 0) {
+      report.axis[ax].min = 0.0;
+      continue;
+    }
+    report.axis[ax].mean = sum[ax] / count[ax];
+    total += sum[ax];
+    links += count[ax];
+  }
+  if (links > 0) report.overall_mean = total / links;
+  return report;
+}
+
+std::vector<int> utilization_histogram(const net::Fabric& fabric, net::Tick elapsed,
+                                       int buckets) {
+  std::vector<int> histogram(static_cast<std::size_t>(buckets), 0);
+  if (elapsed == 0 || buckets <= 0) return histogram;
+  const auto& busy = fabric.link_busy_cycles();
+  const auto& torus = fabric.torus();
+  for (topo::Rank n = 0; n < torus.nodes(); ++n) {
+    for (int d = 0; d < topo::kDirections; ++d) {
+      if (torus.neighbor(n, topo::Direction::from_index(d)) < 0) continue;
+      const double util =
+          static_cast<double>(busy[static_cast<std::size_t>(n * topo::kDirections + d)]) /
+          static_cast<double>(elapsed);
+      int bucket = static_cast<int>(util * buckets);
+      bucket = std::clamp(bucket, 0, buckets - 1);
+      ++histogram[static_cast<std::size_t>(bucket)];
+    }
+  }
+  return histogram;
+}
+
+std::string LinkReport::to_string() const {
+  char buf[256];
+  std::string out;
+  static constexpr const char* kNames[topo::kAxes] = {"X", "Y", "Z"};
+  for (int a = 0; a < topo::kAxes; ++a) {
+    const auto& ax = axis[static_cast<std::size_t>(a)];
+    std::snprintf(buf, sizeof(buf), "%s: mean %.1f%% max %.1f%%  ", kNames[a],
+                  100.0 * ax.mean, 100.0 * ax.max);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "overall mean %.1f%%", 100.0 * overall_mean);
+  out += buf;
+  return out;
+}
+
+}  // namespace bgl::trace

@@ -1,0 +1,102 @@
+#include "src/util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bgl::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option; otherwise a
+    // bare flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) != 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "on" || it->second == "yes") {
+    return true;
+  }
+  return false;
+}
+
+void Cli::describe(const std::string& name, const std::string& help) {
+  described_.emplace_back(name, help);
+}
+
+void Cli::validate() const {
+  if (has("help")) {
+    std::printf("usage: %s [options]\n", program_.c_str());
+    for (const auto& [name, help] : described_) {
+      std::printf("  --%-20s %s\n", name.c_str(), help.c_str());
+    }
+    std::exit(0);
+  }
+  if (described_.empty()) return;
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    bool known = key == "help";
+    for (const auto& [name, help] : described_) {
+      (void)help;
+      if (name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw std::runtime_error("unknown option: --" + key);
+  }
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto piece = text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!piece.empty()) out.push_back(std::stoll(piece));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace bgl::util

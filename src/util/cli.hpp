@@ -1,0 +1,51 @@
+// Minimal command-line option parsing shared by benches and examples.
+//
+// Supports `--flag`, `--key value` and `--key=value` forms. Unknown options
+// raise an error so a typo'd sweep parameter cannot silently run the default
+// experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bgl::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+  /// Declares an accepted option for `--help` output and typo checking.
+  /// Call before `validate()`.
+  void describe(const std::string& name, const std::string& help);
+
+  /// Exits with usage text when `--help` given; throws std::runtime_error on
+  /// unknown options if any were described.
+  void validate() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> described_;
+};
+
+/// Parses a comma-separated list of integers ("8,64,512").
+std::vector<std::int64_t> parse_int_list(const std::string& text);
+
+}  // namespace bgl::util

@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All randomness in the library flows through Xoshiro256StarStar seeded via
+// SplitMix64 so that a run is exactly reproducible from a single 64-bit seed.
+// We deliberately avoid <random> engines in the hot path: the simulator draws
+// per-packet tie-break bits, and std::mt19937_64 is several times slower and
+// its distributions are not reproducible across standard library versions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace bgl::util {
+
+/// SplitMix64 step; used to expand a single seed into a full generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool coin() noexcept { return ((*this)() >> 63) != 0; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Xoshiro256StarStar fork() noexcept { return Xoshiro256StarStar{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// A random bijection on [0, n) with O(1) memory: i -> (a*i + b) mod n with
+/// gcd(a, n) == 1. Used for destination orderings on partitions too large to
+/// materialize a shuffled permutation per node.
+class AffinePermutation {
+ public:
+  AffinePermutation() = default;
+
+  AffinePermutation(std::uint64_t n, Xoshiro256StarStar& rng) : n_(n) {
+    if (n_ == 0) return;
+    do {
+      a_ = 1 + rng.below(n_);
+    } while (std::gcd(a_, n_) != 1);
+    b_ = rng.below(n_);
+  }
+
+  std::uint64_t size() const noexcept { return n_; }
+
+  std::uint64_t operator()(std::uint64_t i) const noexcept {
+    return (a_ * (i % n_) + b_) % n_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t a_ = 1;
+  std::uint64_t b_ = 0;
+};
+
+}  // namespace bgl::util

@@ -1,0 +1,90 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace bgl::util {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (const char c : cell) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == '%' || c == 'e')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      out += ' ';
+      if (looks_numeric(row[c])) {
+        out.append(pad, ' ');
+        out += row[c];
+      } else {
+        out += row[c];
+        out.append(pad, ' ');
+      }
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluMB", static_cast<unsigned long long>(bytes / (1024 * 1024)));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluKB", static_cast<unsigned long long>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace bgl::util

@@ -1,0 +1,37 @@
+// Plain-text table rendering for bench output.
+//
+// Every reproduction bench prints a table whose rows mirror the paper's table
+// or figure series, with paper-reported and measured columns side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bgl::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment; numeric-looking cells right-aligned.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming to a fixed notation.
+std::string fmt(double value, int precision = 1);
+
+/// Formats a byte count with unit suffix for axis labels ("8B", "4KB").
+std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace bgl::util

@@ -1,0 +1,195 @@
+#include "src/coll/alltoall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coll/selector.hpp"
+#include "src/coll/tps.hpp"
+#include "src/coll/vmesh.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::coll {
+namespace {
+
+AlltoallOptions make_options(const char* shape, std::uint64_t msg_bytes,
+                             std::uint64_t seed = 1) {
+  AlltoallOptions options;
+  options.net.shape = topo::parse_shape(shape);
+  options.net.seed = seed;
+  options.msg_bytes = msg_bytes;
+  return options;
+}
+
+class StrategyCorrectness
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, const char*, std::uint64_t>> {};
+
+TEST_P(StrategyCorrectness, EveryPairReceivesExactlyItsBytes) {
+  const auto& [kind, shape, msg_bytes] = GetParam();
+  AlltoallOptions options = make_options(shape, msg_bytes);
+  DeliveryMatrix matrix(static_cast<std::int32_t>(options.net.shape.nodes()));
+  options.deliveries = &matrix;
+  const RunResult result = run_alltoall(kind, options);
+  EXPECT_TRUE(result.drained) << "collective stalled";
+  EXPECT_TRUE(matrix.complete(msg_bytes)) << matrix.first_error(msg_bytes);
+  EXPECT_GT(result.elapsed_cycles, 0u);
+  EXPECT_GT(result.percent_peak, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesSmallShapes, StrategyCorrectness,
+    ::testing::Combine(
+        ::testing::Values(StrategyKind::kMpi, StrategyKind::kAdaptiveRandom,
+                          StrategyKind::kDeterministic, StrategyKind::kThrottled,
+                          StrategyKind::kTwoPhase, StrategyKind::kVirtualMesh),
+        ::testing::Values("4x4x4", "8x4x2", "4x2M", "8", "4Mx4x2"),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{100}, std::uint64_t{700})));
+
+TEST(Alltoall, TwoNodeEdgeCase) {
+  for (const auto kind : {StrategyKind::kAdaptiveRandom, StrategyKind::kTwoPhase,
+                          StrategyKind::kVirtualMesh}) {
+    AlltoallOptions options = make_options("2", 64);
+    DeliveryMatrix matrix(2);
+    options.deliveries = &matrix;
+    const RunResult result = run_alltoall(kind, options);
+    EXPECT_TRUE(result.drained);
+    EXPECT_TRUE(matrix.complete(64)) << strategy_name(kind) << ": "
+                                     << matrix.first_error(64);
+  }
+}
+
+TEST(Alltoall, RejectsSingleNode) {
+  AlltoallOptions options = make_options("1", 64);
+  EXPECT_THROW(run_alltoall(StrategyKind::kAdaptiveRandom, options), std::invalid_argument);
+}
+
+TEST(Alltoall, DeterministicForFixedSeed) {
+  const RunResult a =
+      run_alltoall(StrategyKind::kAdaptiveRandom, make_options("4x4x4", 240, 5));
+  const RunResult b =
+      run_alltoall(StrategyKind::kAdaptiveRandom, make_options("4x4x4", 240, 5));
+  EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles);
+  EXPECT_EQ(a.events, b.events);
+  const RunResult c =
+      run_alltoall(StrategyKind::kAdaptiveRandom, make_options("4x4x4", 240, 6));
+  EXPECT_NE(a.elapsed_cycles, c.elapsed_cycles);
+}
+
+TEST(Alltoall, PercentPeakIsSane) {
+  // Percent of peak must be positive and cannot meaningfully exceed 100
+  // (small slack for rounding of the wire-chunk accounting).
+  for (const auto kind :
+       {StrategyKind::kAdaptiveRandom, StrategyKind::kDeterministic, StrategyKind::kTwoPhase}) {
+    const RunResult r = run_alltoall(kind, make_options("4x4x4", 960));
+    EXPECT_GT(r.percent_peak, 10.0) << strategy_name(kind);
+    EXPECT_LE(r.percent_peak, 102.0) << strategy_name(kind);
+  }
+}
+
+TEST(Alltoall, TpsLinearAxisFollowsPaperRule) {
+  using topo::parse_shape;
+  // Table 3's choices.
+  EXPECT_EQ(choose_linear_axis(parse_shape("16x8x8")), topo::kX);
+  EXPECT_EQ(choose_linear_axis(parse_shape("8x16x8")), topo::kY);
+  EXPECT_EQ(choose_linear_axis(parse_shape("8x8x16")), topo::kZ);
+  EXPECT_EQ(choose_linear_axis(parse_shape("16x16x8")), topo::kZ);
+  EXPECT_EQ(choose_linear_axis(parse_shape("16x8x16")), topo::kY);
+  EXPECT_EQ(choose_linear_axis(parse_shape("8x16x16")), topo::kX);
+  EXPECT_EQ(choose_linear_axis(parse_shape("8x32x16")), topo::kY);
+  EXPECT_EQ(choose_linear_axis(parse_shape("16x32x16")), topo::kY);
+  EXPECT_EQ(choose_linear_axis(parse_shape("32x16x16")), topo::kX);
+  EXPECT_EQ(choose_linear_axis(parse_shape("32x32x16")), topo::kZ);
+  EXPECT_EQ(choose_linear_axis(parse_shape("40x32x16")), topo::kX);
+  // Cubes: all three choices are equivalent; we use Z.
+  EXPECT_EQ(choose_linear_axis(parse_shape("8x8x8")), topo::kZ);
+}
+
+TEST(Alltoall, TpsExplicitLinearAxisRespected) {
+  AlltoallOptions options = make_options("4x4x8", 100);
+  options.linear_axis = topo::kX;
+  DeliveryMatrix matrix(static_cast<std::int32_t>(options.net.shape.nodes()));
+  options.deliveries = &matrix;
+  const RunResult result = run_alltoall(StrategyKind::kTwoPhase, options);
+  EXPECT_TRUE(result.drained);
+  EXPECT_TRUE(matrix.complete(100)) << matrix.first_error(100);
+}
+
+TEST(Alltoall, TpsCreditFlowControlStaysCorrect) {
+  for (int window : {1, 4, 16}) {
+    AlltoallOptions options = make_options("8x4x4", 300);
+    options.credit_window = window;
+    options.credit_batch = 4;
+    DeliveryMatrix matrix(static_cast<std::int32_t>(options.net.shape.nodes()));
+    options.deliveries = &matrix;
+    const RunResult result = run_alltoall(StrategyKind::kTwoPhase, options);
+    EXPECT_TRUE(result.drained) << "window=" << window;
+    EXPECT_TRUE(matrix.complete(300)) << "window=" << window << ": "
+                                      << matrix.first_error(300);
+  }
+}
+
+TEST(Alltoall, TpsCreditWindowBoundsForwardBacklog) {
+  auto run_with = [](int window) {
+    net::NetworkConfig config;
+    config.shape = topo::parse_shape("8x4x4");
+    config.seed = 3;
+    TpsTuning tuning;
+    tuning.credit_window = window;
+    tuning.credit_batch = window > 0 ? std::max(1, window / 2) : 10;
+    TwoPhaseClient client(config, 480, tuning, nullptr);
+    net::Fabric fabric(config, client);
+    client.bind(fabric);
+    EXPECT_TRUE(fabric.run());
+    return client.max_forward_backlog();
+  };
+  const std::size_t unbounded = run_with(0);
+  const std::size_t bounded = run_with(2);
+  // With a window of 2 per source, an intermediate with k sources can hold at
+  // most ~2k un-forwarded packets; unbounded runs hold far more.
+  EXPECT_LT(bounded, unbounded);
+}
+
+TEST(Alltoall, VmeshFactorization) {
+  EXPECT_EQ(vmesh_factorize(512), (std::pair<int, int>{32, 16}));
+  EXPECT_EQ(vmesh_factorize(64), (std::pair<int, int>{8, 8}));
+  EXPECT_EQ(vmesh_factorize(4096), (std::pair<int, int>{64, 64}));
+  EXPECT_EQ(vmesh_factorize(2), (std::pair<int, int>{2, 1}));
+  EXPECT_EQ(vmesh_factorize(13), (std::pair<int, int>{13, 1}));
+  EXPECT_EQ(vmesh_factorize(20480), (std::pair<int, int>{160, 128}));
+}
+
+TEST(Alltoall, VmeshExplicitDecomposition) {
+  AlltoallOptions options = make_options("4x4x4", 16);
+  options.pvx = 16;
+  options.pvy = 4;
+  DeliveryMatrix matrix(64);
+  options.deliveries = &matrix;
+  const RunResult result = run_alltoall(StrategyKind::kVirtualMesh, options);
+  EXPECT_TRUE(result.drained);
+  EXPECT_TRUE(matrix.complete(16)) << matrix.first_error(16);
+}
+
+TEST(Alltoall, SelectorFollowsPaperRule) {
+  using topo::parse_shape;
+  EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 4096).kind, StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("16x16x16"), 4096).kind,
+            StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("8x32x16"), 4096).kind, StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("8x8x16"), 4096).kind, StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("8x8x2M"), 4096).kind, StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 8).kind, StrategyKind::kVirtualMesh);
+  EXPECT_EQ(select_strategy(parse_shape("8x32x16"), 8).kind, StrategyKind::kVirtualMesh);
+  // Small partitions do not combine.
+  EXPECT_EQ(select_strategy(parse_shape("4x4x4"), 8).kind, StrategyKind::kAdaptiveRandom);
+}
+
+TEST(Alltoall, BestDispatchesAndCompletes) {
+  AlltoallOptions options = make_options("4x4x8", 128);
+  DeliveryMatrix matrix(static_cast<std::int32_t>(options.net.shape.nodes()));
+  options.deliveries = &matrix;
+  const RunResult result = run_alltoall(StrategyKind::kBest, options);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.strategy, "TPS");
+  EXPECT_TRUE(matrix.complete(128)) << matrix.first_error(128);
+}
+
+}  // namespace
+}  // namespace bgl::coll

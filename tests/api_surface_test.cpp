@@ -1,0 +1,112 @@
+// Coverage for small public API surfaces not exercised elsewhere: direction
+// helpers, packet route state, name tables, and the remaining model entry
+// points.
+#include <gtest/gtest.h>
+
+#include "src/coll/alltoall.hpp"
+#include "src/model/peak.hpp"
+#include "src/model/predict.hpp"
+#include "src/network/packet.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(Direction, IndexRoundTrip) {
+  for (int i = 0; i < topo::kDirections; ++i) {
+    const auto dir = topo::Direction::from_index(i);
+    EXPECT_EQ(dir.index(), i);
+    EXPECT_TRUE(dir.sign == 1 || dir.sign == -1);
+    EXPECT_GE(dir.axis, 0);
+    EXPECT_LT(dir.axis, topo::kAxes);
+  }
+  EXPECT_EQ((topo::Direction{topo::kX, +1}).index(), 0);
+  EXPECT_EQ((topo::Direction{topo::kZ, -1}).index(), 5);
+}
+
+TEST(ShapeToString, RoundTripsThroughParse) {
+  for (const char* spec : {"8x8x8", "8x8x2M", "4Mx4x2M", "16", "8x32", "40x32x16"}) {
+    const auto shape = topo::parse_shape(spec);
+    EXPECT_EQ(topo::parse_shape(shape.to_string()), shape) << spec;
+  }
+}
+
+TEST(Packet, RouteStateHelpers) {
+  net::Packet packet;
+  EXPECT_TRUE(packet.at_destination());
+  EXPECT_EQ(packet.dim_order_axis(), -1);
+  packet.hops = {0, -2, 1};
+  EXPECT_FALSE(packet.at_destination());
+  EXPECT_EQ(packet.dim_order_axis(), topo::kY) << "first non-zero axis in X,Y,Z order";
+  packet.hops = {0, 0, 3};
+  EXPECT_EQ(packet.dim_order_axis(), topo::kZ);
+}
+
+TEST(StrategyNames, AllDistinctAndNonEmpty) {
+  const coll::StrategyKind kinds[] = {
+      coll::StrategyKind::kMpi,        coll::StrategyKind::kAdaptiveRandom,
+      coll::StrategyKind::kDeterministic, coll::StrategyKind::kThrottled,
+      coll::StrategyKind::kTwoPhase,   coll::StrategyKind::kVirtualMesh,
+      coll::StrategyKind::kBest,
+  };
+  std::set<std::string> names;
+  for (const auto kind : kinds) {
+    const auto name = coll::strategy_name(kind);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(PeakModel, PerNodeBytesPerCycle) {
+  const auto shape = topo::parse_shape("8x8x8");
+  // factor 1: one payload byte per (wire_chunks * chunk_cycles) per pair.
+  const double rate = model::peak_per_node_bytes_per_cycle(shape, 240.0, 8.0, 128);
+  EXPECT_NEAR(rate, 240.0 / (8.0 * 128.0), 1e-12);
+  // Degenerate single-line-of-one shape: no network, rate reported as 0.
+  EXPECT_DOUBLE_EQ(model::peak_per_node_bytes_per_cycle(topo::parse_shape("1"), 1, 1, 128),
+                   0.0);
+}
+
+TEST(Predict, PointToPointEquation1) {
+  // T = alpha + (m + h) * C * beta + hops * L; check the size derivative.
+  const double t1 = model::ptp_time_us(1000, 1.0, 3);
+  const double t2 = model::ptp_time_us(2000, 1.0, 3);
+  EXPECT_NEAR(t2 - t1, 1000 * 6.48e-3, 1e-9);
+  // Contention multiplies the transfer term only.
+  const double t4 = model::ptp_time_us(1000, 2.0, 3);
+  EXPECT_GT(t4, t1);
+  // More hops cost latency.
+  EXPECT_GT(model::ptp_time_us(1000, 1.0, 10), model::ptp_time_us(1000, 1.0, 1));
+}
+
+TEST(PeakCyclesFor, MatchesManualComputation) {
+  // 240 B direct = 208 B behind the 48 B header (8 chunks) + a 32 B tail
+  // packet with the 16 B hardware header (2 chunks); 8x8x8 factor 1.0.
+  const double peak = coll::peak_cycles_for(topo::parse_shape("8x8x8"), 240, 128);
+  EXPECT_DOUBLE_EQ(peak, 512.0 * 1.0 * 10.0 * 128.0);
+  // 1 B = one 64 B (2-chunk) packet.
+  const double tiny = coll::peak_cycles_for(topo::parse_shape("8x8x8"), 1, 128);
+  EXPECT_DOUBLE_EQ(tiny, 512.0 * 1.0 * 2.0 * 128.0);
+}
+
+TEST(Shape, LongestAxisTieGoesToX) {
+  EXPECT_EQ(topo::parse_shape("16x16x8").longest_axis(), topo::kX);
+  EXPECT_EQ(topo::parse_shape("8x16x16").longest_axis(), topo::kY);
+}
+
+TEST(AlltoallOptions, DefaultsAreThePaperConfiguration) {
+  const coll::AlltoallOptions options;
+  EXPECT_EQ(options.net.chunk_cycles, 128u);       // 0.25 B/cycle links
+  EXPECT_EQ(options.net.max_packet_chunks, 8);     // 256 B packets
+  EXPECT_EQ(options.net.vc_capacity_chunks, 32);   // 1 KB per VC
+  EXPECT_EQ(options.net.dynamic_vcs, 2);           // BG/L's two dynamic VCs
+  EXPECT_EQ(options.net.injection_fifos, 8);
+  EXPECT_DOUBLE_EQ(options.net.cpu_links, 4.0);    // out-of-L1 core limit
+  EXPECT_EQ(options.burst, 1);
+  EXPECT_TRUE(options.reserved_fifos);
+  EXPECT_EQ(options.credit_window, 0);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,78 @@
+// Tests for the bench scaling rules: scaled rows must preserve the paper
+// shapes' asymmetry ratios and wrap flags, or the reproduced tables would
+// quietly measure a different phenomenon.
+#include "bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgl::bench {
+namespace {
+
+BenchContext make_context(std::int64_t budget, bool full = false) {
+  BenchContext ctx;
+  ctx.node_budget = budget;
+  ctx.full = full;
+  return ctx;
+}
+
+TEST(Runnable, FullFlagKeepsPaperShape) {
+  const auto ctx = make_context(64, /*full=*/true);
+  const auto shape = topo::parse_shape("40x32x16");
+  EXPECT_EQ(ctx.runnable(shape), shape);
+}
+
+TEST(Runnable, UnderBudgetShapesUntouched) {
+  const auto ctx = make_context(2048);
+  for (const char* spec : {"8x8x8", "16x8x8", "8x16x16", "8"}) {
+    const auto shape = topo::parse_shape(spec);
+    EXPECT_EQ(ctx.runnable(shape), shape) << spec;
+  }
+}
+
+TEST(Runnable, HalvesAllDimensionsPreservingRatio) {
+  const auto ctx = make_context(2048);
+  const auto scaled = ctx.runnable(topo::parse_shape("32x32x16"));
+  EXPECT_EQ(scaled.to_string(), "16x16x8");
+  const auto scaled2 = ctx.runnable(topo::parse_shape("8x32x16"));
+  EXPECT_EQ(scaled2.to_string(), "4x16x8");
+}
+
+TEST(Runnable, SlackAvoidsOvershooting) {
+  // 40x32x16 -> 20x16x8 = 2560 nodes, within the 25% slack of a 2048
+  // budget; halving again (to 320) would overshoot massively.
+  const auto ctx = make_context(2048);
+  const auto scaled = ctx.runnable(topo::parse_shape("40x32x16"));
+  EXPECT_EQ(scaled.to_string(), "20x16x8");
+}
+
+TEST(Runnable, PreservesWrapFlags) {
+  const auto ctx = make_context(64);
+  const auto scaled = ctx.runnable(topo::parse_shape("16x16x8M"));
+  EXPECT_TRUE(scaled.wrap[0]);
+  EXPECT_TRUE(scaled.wrap[1]);
+  EXPECT_FALSE(scaled.wrap[2]);
+  EXPECT_EQ(scaled.to_string(), "4x4x2M");  // halved twice, mesh flag kept
+}
+
+TEST(Runnable, StopsWhenDimensionsTooSmallToHalve) {
+  const auto ctx = make_context(2);
+  const auto scaled = ctx.runnable(topo::parse_shape("2x2x2"));
+  EXPECT_EQ(scaled.to_string(), "2x2x2") << "never drops a dimension below 2";
+}
+
+TEST(Runnable, FallsBackToLargestWhenMixed) {
+  // 16x2x2: the 2s cannot halve, so only X shrinks.
+  const auto ctx = make_context(16);
+  const auto scaled = ctx.runnable(topo::parse_shape("16x2x2"));
+  EXPECT_EQ(scaled.to_string(), "4x2x2");
+}
+
+TEST(ShapeNote, AnnotatesOnlyWhenScaled) {
+  const auto paper = topo::parse_shape("32x32x16");
+  EXPECT_EQ(shape_note(paper, paper), "32x32x16");
+  EXPECT_EQ(shape_note(paper, topo::parse_shape("16x16x8")),
+            "16x16x8 (paper 32x32x16)");
+}
+
+}  // namespace
+}  // namespace bgl::bench

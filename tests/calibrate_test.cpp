@@ -1,0 +1,67 @@
+#include "src/model/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgl::model {
+namespace {
+
+net::NetworkConfig make_config(const char* shape) {
+  net::NetworkConfig config;
+  config.shape = topo::parse_shape(shape);
+  config.seed = 1;
+  return config;
+}
+
+TEST(Fit, RecoversExactLine) {
+  std::vector<PingPongSample> samples;
+  for (std::uint64_t m = 0; m <= 1000; m += 100) {
+    samples.push_back({m, static_cast<net::Tick>(500 + 4 * m)});
+  }
+  double alpha = 0, beta = 0;
+  fit_alpha_beta(samples, alpha, beta);
+  EXPECT_NEAR(alpha, 500.0, 1e-6);
+  EXPECT_NEAR(beta, 4.0, 1e-6);
+}
+
+TEST(Fit, RejectsDegenerateInput) {
+  double alpha = 0, beta = 0;
+  std::vector<PingPongSample> one = {{100, 900}};
+  EXPECT_THROW(fit_alpha_beta(one, alpha, beta), std::invalid_argument);
+  std::vector<PingPongSample> same_size = {{100, 900}, {100, 950}};
+  EXPECT_THROW(fit_alpha_beta(same_size, alpha, beta), std::invalid_argument);
+}
+
+TEST(PingPong, TimeGrowsWithSizeAndDistance) {
+  const auto config = make_config("8x8x8");
+  const net::Tick small = ping_message_cycles(config, 0, 1, 64);
+  const net::Tick large = ping_message_cycles(config, 0, 1, 4096);
+  EXPECT_GT(large, small);
+
+  const topo::Torus torus{config.shape};
+  const topo::Rank far_node = torus.rank_of({{4, 4, 4}});
+  const net::Tick near_time = ping_message_cycles(config, 0, 1, 64);
+  const net::Tick far_time = ping_message_cycles(config, 0, far_node, 64);
+  EXPECT_GT(far_time, near_time) << "per-hop latency must show up";
+}
+
+TEST(Calibrate, RecoversSimulatorGroundTruth) {
+  const auto config = make_config("8x8x8");
+  const auto calibration =
+      calibrate(config, {64, 256, 1024, 4096, 16384});
+  // Ground truth: 450 charged startup cycles, partially hidden behind the
+  // first packet's wire time (the fit sees the non-overlapped remainder).
+  EXPECT_GT(calibration.alpha_cycles, 150.0);
+  EXPECT_LT(calibration.alpha_cycles, 2500.0);
+  // Links run at 4 cycles/byte = 5.71 ns/B; headers push the effective
+  // per-payload-byte cost a bit above that, toward the paper's 6.48.
+  EXPECT_GT(calibration.beta_ns_per_byte, 5.0);
+  EXPECT_LT(calibration.beta_ns_per_byte, 7.5);
+  ASSERT_EQ(calibration.samples.size(), 5u);
+}
+
+TEST(Calibrate, ThrowsOnSingleNode) {
+  EXPECT_THROW(calibrate(make_config("1"), {64, 128}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgl::model

@@ -1,0 +1,105 @@
+#include "src/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/table.hpp"
+
+namespace bgl::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, KeyValueForms) {
+  const Cli cli = make({"--shape", "8x8x8", "--bytes=4096"});
+  EXPECT_EQ(cli.get("shape", ""), "8x8x8");
+  EXPECT_EQ(cli.get_int("bytes", 0), 4096);
+  EXPECT_EQ(cli.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, BareFlagBeforeAnotherOption) {
+  const Cli cli = make({"--full", "--seed", "3"});
+  EXPECT_TRUE(cli.has("full"));
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_EQ(cli.get_int("seed", 0), 3);
+}
+
+TEST(Cli, BoolValueForms) {
+  const Cli cli = make({"--a=0", "--b=false", "--c=yes", "--d=1"});
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_TRUE(cli.get_bool("d", false));
+  EXPECT_TRUE(cli.get_bool("missing", true));
+}
+
+TEST(Cli, DoubleValues) {
+  const Cli cli = make({"--factor", "2.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("factor", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"first", "--opt", "v", "second"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "first");
+  EXPECT_EQ(cli.positional()[1], "second");
+}
+
+TEST(Cli, ValidateRejectsUnknownOptions) {
+  Cli cli = make({"--typo", "1"});
+  cli.describe("real", "a real option");
+  EXPECT_THROW(cli.validate(), std::runtime_error);
+}
+
+TEST(Cli, ValidateAcceptsDescribedOptions) {
+  Cli cli = make({"--real", "1"});
+  cli.describe("real", "a real option");
+  EXPECT_NO_THROW(cli.validate());
+}
+
+TEST(ParseIntList, Basics) {
+  EXPECT_EQ(parse_int_list("8,64,512"), (std::vector<std::int64_t>{8, 64, 512}));
+  EXPECT_EQ(parse_int_list("42"), (std::vector<std::int64_t>{42}));
+  EXPECT_TRUE(parse_int_list("").empty());
+  EXPECT_EQ(parse_int_list("1,,2"), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "450"});
+  table.add_row({"beta", "6.48"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric cells right-aligned: "  450" ends at the column edge.
+  EXPECT_NE(out.find("  450 |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(Fmt, Bytes) {
+  EXPECT_EQ(fmt_bytes(8), "8B");
+  EXPECT_EQ(fmt_bytes(1024), "1KB");
+  EXPECT_EQ(fmt_bytes(4096), "4KB");
+  EXPECT_EQ(fmt_bytes(1536), "1536B");
+  EXPECT_EQ(fmt_bytes(2 * 1024 * 1024), "2MB");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(99.94, 1), "99.9");
+  EXPECT_EQ(fmt(5.0, 0), "5");
+}
+
+}  // namespace
+}  // namespace bgl::util

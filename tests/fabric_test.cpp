@@ -1,0 +1,253 @@
+#include "src/network/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace bgl::net {
+namespace {
+
+NetworkConfig make_config(const char* shape, std::uint64_t seed = 1) {
+  NetworkConfig config;
+  config.shape = topo::parse_shape(shape);
+  config.seed = seed;
+  return config;
+}
+
+/// Sends a fixed list of (src, dst, chunks, mode) packets, one per call.
+class ScriptedClient : public Client {
+ public:
+  struct Send {
+    topo::Rank src;
+    topo::Rank dst;
+    std::uint16_t chunks = 1;
+    RoutingMode mode = RoutingMode::kAdaptive;
+  };
+
+  explicit ScriptedClient(std::vector<Send> sends) : sends_(std::move(sends)) {}
+
+  bool next_packet(topo::Rank node, InjectDesc& out) override {
+    for (std::size_t i = 0; i < sends_.size(); ++i) {
+      if (sends_[i].src != node || sent_[i]) continue;
+      sent_[i] = true;
+      out.dst = sends_[i].dst;
+      out.payload_bytes = sends_[i].chunks * 32u;
+      out.wire_chunks = sends_[i].chunks;
+      out.mode = sends_[i].mode;
+      out.tag = i;
+      return true;
+    }
+    return false;
+  }
+
+  void on_delivery(topo::Rank node, const Packet& packet) override {
+    deliveries.push_back({node, packet});
+  }
+
+  std::vector<std::pair<topo::Rank, Packet>> deliveries;
+
+ private:
+  std::vector<Send> sends_;
+  std::map<std::size_t, bool> sent_;
+};
+
+TEST(Fabric, SingleHopDelivery) {
+  auto config = make_config("4x4x4");
+  ScriptedClient client({{0, 1, 2}});
+  Fabric fabric(config, client);
+  EXPECT_TRUE(fabric.run());
+  ASSERT_EQ(client.deliveries.size(), 1u);
+  EXPECT_EQ(client.deliveries[0].first, 1);
+  EXPECT_EQ(client.deliveries[0].second.src, 0);
+  EXPECT_EQ(client.deliveries[0].second.dst, 1);
+  EXPECT_TRUE(client.deliveries[0].second.at_destination());
+  EXPECT_EQ(fabric.packets_in_network(), 0);
+  // One hop: serialization (2 chunks x 128) + hop latency, after CPU inject.
+  EXPECT_GT(fabric.stats().last_delivery, 0u);
+}
+
+TEST(Fabric, MultiHopDeliveryBothModes) {
+  for (const auto mode : {RoutingMode::kAdaptive, RoutingMode::kDeterministic}) {
+    auto config = make_config("4x4x4");
+    const topo::Torus t{config.shape};
+    const topo::Rank src = t.rank_of({{0, 0, 0}});
+    const topo::Rank dst = t.rank_of({{2, 1, 3}});
+    ScriptedClient client({{src, dst, 8, mode}});
+    Fabric fabric(config, client);
+    EXPECT_TRUE(fabric.run());
+    ASSERT_EQ(client.deliveries.size(), 1u);
+    EXPECT_EQ(client.deliveries[0].first, dst);
+    // Minimal route: 2 + 1 + 1 = 4 hops of serialization at least.
+    EXPECT_GE(fabric.stats().chunk_hops, 4u * 8u);
+  }
+}
+
+TEST(Fabric, MeshEdgeRoutesTheLongWay) {
+  // On a 4-mesh X dimension, 0 -> 3 must take 3 hops (no wrap link).
+  auto config = make_config("4Mx1x1");
+  ScriptedClient client({{0, 3, 1}});
+  Fabric fabric(config, client);
+  EXPECT_TRUE(fabric.run());
+  ASSERT_EQ(client.deliveries.size(), 1u);
+  EXPECT_EQ(fabric.stats().chunk_hops, 3u);
+}
+
+TEST(Fabric, AllPairsConservation) {
+  // Every node sends one packet to every other node; all must arrive exactly
+  // once with payload intact.
+  auto config = make_config("3x4x2");
+  const std::int32_t nodes = static_cast<std::int32_t>(config.shape.nodes());
+  std::vector<ScriptedClient::Send> sends;
+  for (topo::Rank s = 0; s < nodes; ++s) {
+    for (topo::Rank d = 0; d < nodes; ++d) {
+      if (s != d) sends.push_back({s, d, 2});
+    }
+  }
+  ScriptedClient client(sends);
+  Fabric fabric(config, client);
+  EXPECT_TRUE(fabric.run());
+  EXPECT_EQ(client.deliveries.size(), static_cast<std::size_t>(nodes) * (nodes - 1));
+  EXPECT_EQ(fabric.stats().packets_delivered, static_cast<std::uint64_t>(nodes) * (nodes - 1));
+  EXPECT_EQ(fabric.packets_in_network(), 0);
+
+  std::map<std::pair<topo::Rank, topo::Rank>, int> count;
+  for (const auto& [node, packet] : client.deliveries) {
+    EXPECT_EQ(packet.dst, node);
+    ++count[{packet.src, packet.dst}];
+  }
+  for (const auto& [pair, c] : count) EXPECT_EQ(c, 1) << pair.first << "->" << pair.second;
+  EXPECT_EQ(count.size(), static_cast<std::size_t>(nodes) * (nodes - 1));
+}
+
+/// Random heavy traffic: every node fires `per_node` random-destination
+/// packets back to back. Checks quiescence (deadlock freedom) and counts.
+class RandomTrafficClient : public Client {
+ public:
+  RandomTrafficClient(std::int32_t nodes, int per_node, RoutingMode mode,
+                      std::uint64_t seed)
+      : nodes_(nodes), remaining_(static_cast<std::size_t>(nodes), per_node),
+        mode_(mode), rng_(seed) {}
+
+  bool next_packet(topo::Rank node, InjectDesc& out) override {
+    auto& left = remaining_[static_cast<std::size_t>(node)];
+    if (left == 0) return false;
+    --left;
+    topo::Rank dst;
+    do {
+      dst = static_cast<topo::Rank>(rng_.below(static_cast<std::uint64_t>(nodes_)));
+    } while (dst == node);
+    out.dst = dst;
+    out.wire_chunks = static_cast<std::uint16_t>(1 + rng_.below(8));
+    out.payload_bytes = out.wire_chunks * 32u;
+    out.mode = mode_;
+    out.fifo = static_cast<std::uint8_t>(rng_.below(4));
+    return true;
+  }
+
+  void on_delivery(topo::Rank, const Packet&) override { ++delivered; }
+
+  std::uint64_t delivered = 0;
+
+ private:
+  std::int32_t nodes_;
+  std::vector<int> remaining_;
+  RoutingMode mode_;
+  util::Xoshiro256StarStar rng_;
+};
+
+class RoutingModeTest : public ::testing::TestWithParam<std::tuple<const char*, RoutingMode>> {};
+
+TEST_P(RoutingModeTest, HeavyRandomTrafficDrains) {
+  const auto& [shape, mode] = GetParam();
+  auto config = make_config(shape, 99);
+  const auto nodes = static_cast<std::int32_t>(config.shape.nodes());
+  RandomTrafficClient client(nodes, 200, mode, 42);
+  Fabric fabric(config, client);
+  // A hang (deadlock) would blow this generous deadline.
+  EXPECT_TRUE(fabric.run(Tick{1} << 36)) << "network did not drain";
+  EXPECT_EQ(client.delivered, static_cast<std::uint64_t>(nodes) * 200u);
+  EXPECT_EQ(fabric.packets_in_network(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndModes, RoutingModeTest,
+    ::testing::Combine(::testing::Values("4x4x4", "8x4x2", "4Mx4x4", "8x2M", "2x2x2"),
+                       ::testing::Values(RoutingMode::kAdaptive,
+                                         RoutingMode::kDeterministic)));
+
+TEST(Fabric, DeterministicRunsAreBitIdentical) {
+  for (int rep = 0; rep < 2; ++rep) {
+    static Tick first_time = 0;
+    static std::uint64_t first_events = 0;
+    auto config = make_config("4x4x4", 7);
+    RandomTrafficClient client(64, 100, RoutingMode::kAdaptive, 7);
+    Fabric fabric(config, client);
+    EXPECT_TRUE(fabric.run());
+    if (rep == 0) {
+      first_time = fabric.stats().last_delivery;
+      first_events = fabric.events_processed();
+    } else {
+      EXPECT_EQ(fabric.stats().last_delivery, first_time);
+      EXPECT_EQ(fabric.events_processed(), first_events);
+    }
+  }
+}
+
+TEST(Fabric, DifferentSeedsDiffer) {
+  Tick times[2];
+  for (int rep = 0; rep < 2; ++rep) {
+    auto config = make_config("4x4x4", 1000 + static_cast<std::uint64_t>(rep));
+    RandomTrafficClient client(64, 100, RoutingMode::kAdaptive, 7);
+    Fabric fabric(config, client);
+    EXPECT_TRUE(fabric.run());
+    times[rep] = fabric.stats().last_delivery;
+  }
+  // Half-way tie-breaking randomness differs between seeds; identical totals
+  // would indicate the seed is ignored.
+  EXPECT_NE(times[0], times[1]);
+}
+
+TEST(Fabric, CpuRateLimitsInjection) {
+  // One node sending many max-size packets to its +X neighbor can keep at
+  // most one link busy; with cpu_links = 4 the CPU is not the bottleneck and
+  // the link serializes: elapsed ~= n * 8 chunks * 128 cycles.
+  auto config = make_config("8x1x1");
+  std::vector<ScriptedClient::Send> sends(50, {0, 1, 8});
+  ScriptedClient client(sends);
+  Fabric fabric(config, client);
+  EXPECT_TRUE(fabric.run());
+  const Tick serialization = 50u * 8u * 128u;
+  EXPECT_GE(fabric.stats().last_delivery, serialization);
+  EXPECT_LE(fabric.stats().last_delivery, serialization + serialization / 4 + 2000);
+}
+
+TEST(Fabric, RejectsBadConfig) {
+  ScriptedClient client({});
+  {
+    auto config = make_config("4x4x4");
+    config.injection_fifos = 0;
+    EXPECT_THROW(Fabric(config, client), std::invalid_argument);
+  }
+  {
+    auto config = make_config("4x4x4");
+    config.max_packet_chunks = 64;  // larger than VC buffer
+    config.vc_capacity_chunks = 32;
+    EXPECT_THROW(Fabric(config, client), std::invalid_argument);
+  }
+}
+
+TEST(Fabric, LinkStatsAccumulate) {
+  auto config = make_config("4x1x1");
+  ScriptedClient client({{0, 1, 4}, {0, 1, 4}});
+  Fabric fabric(config, client);
+  EXPECT_TRUE(fabric.run());
+  // The X+ link out of node 0 carried 2 packets x 4 chunks x 128 cycles.
+  const auto& busy = fabric.link_busy_cycles();
+  EXPECT_EQ(busy[0], 2u * 4u * 128u);  // link (node 0, X+)
+}
+
+}  // namespace
+}  // namespace bgl::net

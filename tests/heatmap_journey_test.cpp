@@ -1,0 +1,108 @@
+// Tests for the visualization/tracing helpers: heatmaps and packet journeys.
+#include <gtest/gtest.h>
+
+#include "src/coll/direct.hpp"
+#include "src/network/fabric.hpp"
+#include "src/trace/heatmap.hpp"
+#include "src/trace/journey.hpp"
+
+namespace bgl::trace {
+namespace {
+
+TEST(Shade, MapsUtilizationToCharacters) {
+  EXPECT_EQ(shade(0.0), ' ');
+  EXPECT_EQ(shade(0.05), ' ');
+  EXPECT_EQ(shade(0.15), '.');
+  EXPECT_EQ(shade(0.95), '@');
+  EXPECT_EQ(shade(1.0), '@');   // clamped
+  EXPECT_EQ(shade(1.7), '@');   // over-unity clamped (transient overfill)
+  EXPECT_EQ(shade(-0.1), ' ');  // clamped below
+}
+
+class TrafficFixture : public ::testing::Test {
+ protected:
+  void run(const char* shape) {
+    config_.shape = topo::parse_shape(shape);
+    config_.seed = 5;
+    client_ = std::make_unique<coll::DirectClient>(config_, 240,
+                                                   coll::DirectTuning::ar(), nullptr);
+    fabric_ = std::make_unique<net::Fabric>(config_, *client_);
+    client_->bind(*fabric_);
+    ASSERT_TRUE(fabric_->run());
+  }
+  net::NetworkConfig config_;
+  std::unique_ptr<coll::DirectClient> client_;
+  std::unique_ptr<net::Fabric> fabric_;
+};
+
+TEST_F(TrafficFixture, PlaneHeatmapHasGridDimensions) {
+  run("4x3x2");
+  const auto text = plane_heatmap(*fabric_, fabric_->stats().last_delivery, 0);
+  // Header line + 3 rows (Y extent), each with 4 cells of "cc " = 12 chars.
+  int lines = 0;
+  for (const char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(text.find("z=0 plane"), std::string::npos);
+}
+
+TEST_F(TrafficFixture, AxisSummaryShadesBusyLines) {
+  run("4x4x4");
+  const auto text = axis_summary(*fabric_, fabric_->stats().last_delivery);
+  EXPECT_NE(text.find("X lines: "), std::string::npos);
+  EXPECT_NE(text.find("Y lines: "), std::string::npos);
+  EXPECT_NE(text.find("Z lines: "), std::string::npos);
+  // An all-to-all keeps links busy: some non-blank shades must appear.
+  EXPECT_NE(text.find_first_of(".:-=+*#%@"), std::string::npos);
+}
+
+/// Single tagged packet whose journey we trace.
+class OneTaggedPacket : public net::Client {
+ public:
+  OneTaggedPacket(topo::Rank src, topo::Rank dst) : src_(src), dst_(dst) {}
+  bool next_packet(topo::Rank node, net::InjectDesc& out) override {
+    if (node != src_ || sent_) return false;
+    sent_ = true;
+    out.dst = dst_;
+    out.wire_chunks = 2;
+    out.payload_bytes = 64;
+    out.tag = 42;
+    return true;
+  }
+  void on_delivery(topo::Rank, const net::Packet&) override {}
+
+ private:
+  topo::Rank src_;
+  topo::Rank dst_;
+  bool sent_ = false;
+};
+
+TEST(Journey, RecordsEveryHopInOrder) {
+  net::NetworkConfig config;
+  config.shape = topo::parse_shape("4x4x4");
+  const topo::Torus torus{config.shape};
+  const topo::Rank dst = torus.rank_of({{1, 1, 0}});  // no half-way direction tie
+  OneTaggedPacket client(0, dst);
+  net::Fabric fabric(config, client);
+  JourneyRecorder recorder(fabric, /*sample_every=*/42);
+  ASSERT_TRUE(fabric.run());
+
+  ASSERT_EQ(recorder.hops(42), 2u);  // 1 X hop + 1 Y hop, minimal
+  const auto& hops = recorder.journeys().at(42);
+  EXPECT_EQ(hops.front().from, 0);
+  EXPECT_EQ(hops.back().vc, -1) << "last hop is the delivery";
+  const std::string text = recorder.to_string(42);
+  EXPECT_NE(text.find("delivered"), std::string::npos);
+  EXPECT_NE(text.find("X+"), std::string::npos);
+  EXPECT_NE(text.find("Y+"), std::string::npos);
+  EXPECT_EQ(recorder.to_string(7), "") << "unseen tags yield empty strings";
+}
+
+TEST(Journey, DirNames) {
+  EXPECT_EQ(dir_name(0), "X+");
+  EXPECT_EQ(dir_name(1), "X-");
+  EXPECT_EQ(dir_name(5), "Z-");
+  EXPECT_EQ(dir_name(9), "?");
+}
+
+}  // namespace
+}  // namespace bgl::trace

@@ -1,0 +1,132 @@
+#include "src/coll/many_to_many.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/network/fabric.hpp"
+
+namespace bgl::coll {
+namespace {
+
+net::NetworkConfig make_config(const char* shape, std::uint64_t seed = 1) {
+  net::NetworkConfig config;
+  config.shape = topo::parse_shape(shape);
+  config.seed = seed;
+  return config;
+}
+
+TEST(Pattern, RandomSubsetHasExactFanout) {
+  const auto pattern = Pattern::random_subset(64, 5, 9);
+  ASSERT_EQ(pattern.dests.size(), 64u);
+  for (std::size_t n = 0; n < 64; ++n) {
+    EXPECT_EQ(pattern.dests[n].size(), 5u);
+    std::set<topo::Rank> unique(pattern.dests[n].begin(), pattern.dests[n].end());
+    EXPECT_EQ(unique.size(), 5u);
+    EXPECT_EQ(unique.count(static_cast<topo::Rank>(n)), 0u);
+  }
+  EXPECT_EQ(pattern.total_messages(), 64u * 5u);
+}
+
+TEST(Pattern, HaloMatchesTorusNeighbors) {
+  const auto shape = topo::parse_shape("4x4x4");
+  const auto pattern = Pattern::halo(shape);
+  for (const auto& dests : pattern.dests) EXPECT_EQ(dests.size(), 6u);
+
+  // On a 2-extent dimension +/- reach the same node: deduplicated.
+  const auto thin = Pattern::halo(topo::parse_shape("4x4x2"));
+  for (const auto& dests : thin.dests) EXPECT_EQ(dests.size(), 5u);
+
+  // Mesh corner has fewer neighbors.
+  const auto mesh = Pattern::halo(topo::parse_shape("4Mx4x4"));
+  const topo::Torus torus{topo::parse_shape("4Mx4x4")};
+  const topo::Rank corner = torus.rank_of({{0, 0, 0}});
+  EXPECT_EQ(mesh.dests[static_cast<std::size_t>(corner)].size(), 5u);
+}
+
+TEST(Pattern, GridPartnersRowAndColumn) {
+  const auto pattern = Pattern::grid_partners(16, 4);
+  // Each of 16 ranks talks to 3 row + 3 column partners.
+  for (const auto& dests : pattern.dests) EXPECT_EQ(dests.size(), 6u);
+  // Rank 5 (row 1, col 1): row partners 4,6,7; column partners 1,9,13.
+  const std::set<topo::Rank> expected = {4, 6, 7, 1, 9, 13};
+  const std::set<topo::Rank> actual(pattern.dests[5].begin(), pattern.dests[5].end());
+  EXPECT_EQ(actual, expected);
+}
+
+class M2MTransport : public ::testing::TestWithParam<bool> {};
+
+TEST_P(M2MTransport, DeliversEveryMessageExactlyOnce) {
+  const bool two_phase = GetParam();
+  ManyToManyOptions options;
+  options.net = make_config("4x4x8");
+  options.msg_bytes = 333;
+  options.two_phase = two_phase;
+  DeliveryMatrix matrix(static_cast<std::int32_t>(options.net.shape.nodes()));
+  options.deliveries = &matrix;
+
+  const auto pattern = Pattern::random_subset(128, 7, 3);
+  const auto result = run_many_to_many(pattern, options);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.messages, 128u * 7u);
+
+  // Exactly the patterned pairs received exactly msg_bytes.
+  for (topo::Rank s = 0; s < 128; ++s) {
+    std::set<topo::Rank> expected(pattern.dests[static_cast<std::size_t>(s)].begin(),
+                                  pattern.dests[static_cast<std::size_t>(s)].end());
+    for (topo::Rank d = 0; d < 128; ++d) {
+      const std::uint64_t want = expected.count(d) ? 333u : 0u;
+      ASSERT_EQ(matrix.bytes(s, d), want) << s << " -> " << d;
+    }
+  }
+}
+
+TEST_P(M2MTransport, HaloCompletes) {
+  const bool two_phase = GetParam();
+  ManyToManyOptions options;
+  options.net = make_config("4x4x4");
+  options.msg_bytes = 1024;
+  options.two_phase = two_phase;
+  const auto pattern = Pattern::halo(options.net.shape);
+  const auto result = run_many_to_many(pattern, options);
+  EXPECT_TRUE(result.drained);
+  EXPECT_GT(result.elapsed_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(DirectAndTwoPhase, M2MTransport, ::testing::Bool());
+
+TEST(M2M, TwoPhaseUsesChosenLinearAxis) {
+  ManyToManyOptions options;
+  options.net = make_config("4x4x8");
+  options.two_phase = true;
+  const auto pattern = Pattern::random_subset(128, 3, 1);
+  SparseClient client(options.net, pattern, options);
+  EXPECT_EQ(client.linear_axis(), topo::kZ);
+}
+
+TEST(M2M, DeterministicRoutingWorksToo) {
+  ManyToManyOptions options;
+  options.net = make_config("4x4x4");
+  options.mode = net::RoutingMode::kDeterministic;
+  options.msg_bytes = 100;
+  DeliveryMatrix matrix(64);
+  options.deliveries = &matrix;
+  const auto pattern = Pattern::random_subset(64, 4, 5);
+  const auto result = run_many_to_many(pattern, options);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.packets_delivered, 64u * 4u);
+}
+
+TEST(M2M, EmptyPatternFinishesImmediately) {
+  ManyToManyOptions options;
+  options.net = make_config("4x4x4");
+  Pattern pattern;
+  pattern.dests.resize(64);
+  const auto result = run_many_to_many(pattern, options);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.elapsed_cycles, 0u);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+}  // namespace
+}  // namespace bgl::coll

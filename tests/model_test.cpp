@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "src/model/constants.hpp"
+#include "src/model/peak.hpp"
+#include "src/model/predict.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::model {
+namespace {
+
+using topo::parse_shape;
+
+TEST(PeakModel, TorusFactorMatchesPaperM8) {
+  // Eq. 2: contention C = M/8 per directed link for the longest torus dim.
+  EXPECT_DOUBLE_EQ(axis_load_factor(parse_shape("8x8x8"), topo::kX), 1.0);
+  EXPECT_DOUBLE_EQ(axis_load_factor(parse_shape("16x8x8"), topo::kX), 2.0);
+  EXPECT_DOUBLE_EQ(axis_load_factor(parse_shape("40x32x16"), topo::kX), 5.0);
+  EXPECT_DOUBLE_EQ(bottleneck_factor(parse_shape("40x32x16")), 5.0);
+  EXPECT_EQ(bottleneck_axis(parse_shape("8x32x16")), topo::kY);
+}
+
+TEST(PeakModel, MeshFactorIsDoubled) {
+  // A mesh dimension's center cut gives C = E/4: twice the torus value.
+  EXPECT_DOUBLE_EQ(axis_load_factor(parse_shape("8M"), topo::kX), 2.0);
+  EXPECT_DOUBLE_EQ(axis_load_factor(parse_shape("16M"), topo::kX), 4.0);
+  // 8x8x2M from Table 2: the 2-mesh contributes (1*1)/2 = 0.5; X dominates.
+  const auto shape = parse_shape("8x8x2M");
+  EXPECT_DOUBLE_EQ(axis_load_factor(shape, topo::kZ), 0.5);
+  EXPECT_DOUBLE_EQ(bottleneck_factor(shape), 1.0);
+}
+
+TEST(PeakModel, ExtentOneContributesNothing) {
+  EXPECT_DOUBLE_EQ(axis_load_factor(parse_shape("8"), topo::kY), 0.0);
+  EXPECT_DOUBLE_EQ(bottleneck_factor(parse_shape("8")), 1.0);
+}
+
+TEST(PeakModel, PeakCyclesScalesLinearlyInLoad) {
+  const auto shape = parse_shape("8x8x8");
+  const double one = aa_peak_cycles(shape, 1.0, 128);
+  EXPECT_DOUBLE_EQ(one, 512.0 * 1.0 * 128.0);
+  EXPECT_DOUBLE_EQ(aa_peak_cycles(shape, 8.0, 128), 8.0 * one);
+}
+
+TEST(Predict, Equation3DirectTime) {
+  // T ~= P*alpha + P*C*(m+h)*beta on 8x8x8, m = 4096 B.
+  const auto shape = parse_shape("8x8x8");
+  const double t = direct_aa_time_us(shape, 4096);
+  const double alpha_term = 512.0 * kPaper.alpha_ar_us();
+  const double net_term = 512.0 * 1.0 * (4096.0 + 48.0) * 6.48e-3;
+  EXPECT_NEAR(t, alpha_term + net_term, 1e-9);
+  EXPECT_GT(net_term, alpha_term);  // large messages are bandwidth-bound
+}
+
+TEST(Predict, PeakIsBelowDirectPrediction) {
+  for (const char* spec : {"8x8x8", "16x16x16", "8x32x16"}) {
+    const auto shape = parse_shape(spec);
+    for (std::uint64_t m : {8u, 240u, 4096u}) {
+      EXPECT_LT(peak_aa_time_us(shape, m), direct_aa_time_us(shape, m))
+          << spec << " m=" << m;
+    }
+  }
+}
+
+TEST(Predict, Equation4VmeshCrossover) {
+  // Paper Section 4.2: the analytical change-over point is m = h - 2*proto
+  // = 32 bytes; below it VMesh wins, well above it the direct scheme wins.
+  EXPECT_DOUBLE_EQ(vmesh_changeover_bytes(), 32.0);
+
+  const auto shape = parse_shape("8x8x8");
+  const double vmesh_8 = vmesh_aa_time_us(shape, 32, 16, 8);
+  const double direct_8 = direct_aa_time_us(shape, 8);
+  EXPECT_LT(vmesh_8, direct_8) << "8 B: combining must win";
+
+  const double vmesh_4k = vmesh_aa_time_us(shape, 32, 16, 4096);
+  const double direct_4k = direct_aa_time_us(shape, 4096);
+  EXPECT_GT(vmesh_4k, direct_4k) << "4 KB: direct must win";
+}
+
+TEST(Predict, VmeshAlphaTermUsesMeshPerimeter) {
+  // Doubling only the message size must not change the (Pvx+Pvy)*alpha term.
+  const auto shape = parse_shape("8x8x8");
+  const double t1 = vmesh_aa_time_us(shape, 32, 16, 0);
+  EXPECT_NEAR(t1, 48.0 * kPaper.alpha_msg_us() +
+                      2.0 * 512.0 * 8.0 * (6.48e-3 + 1.6e-3),
+              1e-9);
+}
+
+TEST(Predict, PeakPerNodeThroughput) {
+  // 1/(C*beta): ~154 MB/s on a symmetric midplane, halved when C doubles.
+  const double mid = peak_per_node_mbps(parse_shape("8x8x8"));
+  EXPECT_NEAR(mid, 1e3 / 6.48, 1e-6);
+  EXPECT_NEAR(peak_per_node_mbps(parse_shape("16x16x16")), mid / 2.0, 1e-6);
+}
+
+TEST(Constants, AlphaTypoResolution) {
+  // 450 cycles at 700 MHz is 0.643 us (the paper's "640 us" is a typo).
+  EXPECT_NEAR(kPaper.alpha_ar_us(), 0.6428, 1e-3);
+  EXPECT_NEAR(kPaper.alpha_msg_us(), 1.6714, 1e-3);
+}
+
+struct PeakCase {
+  const char* shape;
+  double factor;  // expected bottleneck factor (C in Eq. 2 terms)
+};
+
+class PeakFactorTest : public ::testing::TestWithParam<PeakCase> {};
+
+TEST_P(PeakFactorTest, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(bottleneck_factor(parse_shape(GetParam().shape)), GetParam().factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Shapes, PeakFactorTest,
+    ::testing::Values(PeakCase{"8", 1.0},            // 8-torus line: 8/8
+                      PeakCase{"16", 2.0},           // 16/8
+                      PeakCase{"8x8", 1.0}, PeakCase{"16x16", 2.0},
+                      PeakCase{"8x8x8", 1.0}, PeakCase{"16x16x16", 2.0},
+                      PeakCase{"8x16", 2.0}, PeakCase{"8x32", 4.0},
+                      PeakCase{"8x2M", 1.0},         // X torus dominates
+                      PeakCase{"8x4M", 1.0},         // 4-mesh center cut: 4/4 = 1
+                      PeakCase{"8x8x16", 2.0}, PeakCase{"8x32x16", 4.0},
+                      PeakCase{"16x32x16", 4.0}, PeakCase{"32x32x16", 4.0},
+                      PeakCase{"40x32x16", 5.0}));
+
+}  // namespace
+}  // namespace bgl::model

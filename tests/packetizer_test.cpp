@@ -1,0 +1,89 @@
+#include "src/runtime/packetizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bgl::rt {
+namespace {
+
+std::uint64_t sum_payload(const std::vector<PacketSpec>& packets) {
+  return std::accumulate(packets.begin(), packets.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const PacketSpec& p) {
+                           return acc + p.payload_bytes;
+                         });
+}
+
+TEST(Packetizer, OneByteMessageIsOne64BytePacket) {
+  // Paper Section 3: the 48 B software header makes the shortest all-to-all
+  // packet 64 bytes.
+  const auto packets = packetize(1, WireFormat::direct());
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload_bytes, 1u);
+  EXPECT_EQ(packets[0].wire_chunks * kChunkBytes, 64);
+}
+
+TEST(Packetizer, FullPacketCarries240Bytes) {
+  // Paper Section 3: a full 256 B packet generally contains 240 B of payload
+  // (packets after the first carry only the hardware header).
+  const auto packets = packetize(240 + 208, WireFormat::direct());
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_EQ(packets[0].payload_bytes, 208u);  // 256 - 48 software header
+  EXPECT_EQ(packets[0].wire_chunks, 8);
+  EXPECT_EQ(packets[1].payload_bytes, 240u);  // 256 - 16 hardware header
+  EXPECT_EQ(packets[1].wire_chunks, 8);
+}
+
+TEST(Packetizer, ZeroByteMessageStillSendsHeader) {
+  const auto packets = packetize(0, WireFormat::direct());
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload_bytes, 0u);
+  EXPECT_GE(packets[0].wire_chunks, 1);
+}
+
+TEST(Packetizer, CombiningFormatUsesSmallHeader) {
+  // 8 B protocol header + 16 B hardware header: 8 B payload fits in 32 B.
+  const auto packets = packetize(8, WireFormat::combining());
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].wire_chunks * kChunkBytes, 32);
+}
+
+TEST(Packetizer, PayloadConservedAndChunksBounded) {
+  for (const auto& format : {WireFormat::direct(), WireFormat::combining()}) {
+    for (std::uint64_t m : {1u, 7u, 32u, 64u, 100u, 240u, 241u, 1000u, 4096u, 65536u}) {
+      const auto packets = packetize(m, format);
+      EXPECT_EQ(sum_payload(packets), m);
+      for (const auto& p : packets) {
+        EXPECT_GE(p.wire_chunks, 1);
+        EXPECT_LE(p.wire_chunks * kChunkBytes, kMaxWireBytes);
+        EXPECT_LE(p.payload_bytes, static_cast<std::uint32_t>(kMaxWireBytes));
+      }
+      // All but the last later-packet should be full-size.
+      for (std::size_t i = 1; i + 1 < packets.size(); ++i) {
+        EXPECT_EQ(packets[i].wire_chunks * kChunkBytes, kMaxWireBytes);
+      }
+    }
+  }
+}
+
+TEST(Packetizer, FastTotalsMatchMaterializedList) {
+  for (const auto& format : {WireFormat::direct(), WireFormat::combining()}) {
+    for (std::uint64_t m = 0; m <= 3000; m += 13) {
+      const auto packets = packetize(m, format);
+      std::uint64_t chunks = 0;
+      for (const auto& p : packets) chunks += p.wire_chunks;
+      EXPECT_EQ(wire_chunks_total(m, format), chunks) << "m=" << m;
+      EXPECT_EQ(packet_count(m, format), packets.size()) << "m=" << m;
+    }
+  }
+}
+
+TEST(Packetizer, FourKilobyteMessage) {
+  const auto packets = packetize(4096, WireFormat::direct());
+  // 208 B in the first packet, then ceil(3888/240) = 17 more.
+  EXPECT_EQ(packets.size(), 18u);
+  EXPECT_EQ(sum_payload(packets), 4096u);
+}
+
+}  // namespace
+}  // namespace bgl::rt

@@ -1,0 +1,164 @@
+// Integration tests that pin the paper's qualitative findings — the
+// orderings and crossovers its conclusions rest on — at test-sized
+// partitions. If a simulator change breaks one of these, the reproduction
+// story in EXPERIMENTS.md no longer holds.
+#include <gtest/gtest.h>
+
+#include "src/coll/alltoall.hpp"
+#include "src/coll/selector.hpp"
+
+namespace bgl::coll {
+namespace {
+
+RunResult run(const char* shape, StrategyKind kind, std::uint64_t bytes,
+              std::uint64_t seed = 1) {
+  AlltoallOptions options;
+  options.net.shape = topo::parse_shape(shape);
+  options.net.seed = seed;
+  options.msg_bytes = bytes;
+  const RunResult result = run_alltoall(kind, options);
+  EXPECT_TRUE(result.drained) << shape << " stalled";
+  return result;
+}
+
+// --- Section 3.1 / Table 1: AR near peak on symmetric partitions ---
+
+TEST(PaperClaims, ArNearPeakOnSymmetricTorus) {
+  EXPECT_GT(run("8x8x8", StrategyKind::kAdaptiveRandom, 960).percent_peak, 90.0);
+  EXPECT_GT(run("8x8", StrategyKind::kAdaptiveRandom, 960).percent_peak, 85.0);
+}
+
+TEST(PaperClaims, OnePacketAlreadyNearAsymptote) {
+  // Figure 3: a one-packet AA achieves close to the achievable throughput.
+  const double one = run("8x8x8", StrategyKind::kAdaptiveRandom, 240).percent_peak;
+  const double big = run("8x8x8", StrategyKind::kAdaptiveRandom, 1920).percent_peak;
+  EXPECT_GT(one, 0.9 * big);
+}
+
+// --- Section 3.2 / Table 2: asymmetry degrades AR ---
+
+TEST(PaperClaims, AsymmetryDegradesAr) {
+  const double sym = run("8x8x8", StrategyKind::kAdaptiveRandom, 240).percent_peak;
+  const double asym = run("8x8x16", StrategyKind::kAdaptiveRandom, 240).percent_peak;
+  EXPECT_LT(asym, sym - 10.0) << "the motivating degradation must be visible";
+}
+
+TEST(PaperClaims, AsymmetricArOverloadsTheLongDimension) {
+  // In a 2n x n x n torus the long dimension's links see ~2x the utilization.
+  const auto result = run("16x8x8", StrategyKind::kAdaptiveRandom, 240);
+  EXPECT_GT(result.links.axis[topo::kX].mean, 1.5 * result.links.axis[topo::kY].mean);
+  EXPECT_GT(result.links.axis[topo::kX].mean, 1.5 * result.links.axis[topo::kZ].mean);
+}
+
+// --- Section 3.2 / Figure 4: deterministic routing ---
+
+TEST(PaperClaims, DrBeatsArWhenXIsLongest) {
+  const double dr = run("16x8x8", StrategyKind::kDeterministic, 240).percent_peak;
+  const double ar = run("16x8x8", StrategyKind::kAdaptiveRandom, 240).percent_peak;
+  EXPECT_GT(dr, ar);
+}
+
+TEST(PaperClaims, DrPrefersXLongestOverZLongest) {
+  // Dimension-ordered packets inject onto X first; DR on 16x8x8 must beat
+  // DR on the same-sized 8x8x16.
+  const double x_long = run("16x8x8", StrategyKind::kDeterministic, 240).percent_peak;
+  const double z_long = run("8x8x16", StrategyKind::kDeterministic, 240).percent_peak;
+  EXPECT_GT(x_long, z_long + 5.0);
+}
+
+TEST(PaperClaims, DrWorseThanArOnSymmetricTorus) {
+  const double dr = run("8x8x8", StrategyKind::kDeterministic, 240).percent_peak;
+  const double ar = run("8x8x8", StrategyKind::kAdaptiveRandom, 240).percent_peak;
+  EXPECT_LT(dr, ar);
+}
+
+TEST(PaperClaims, ThrottlingIsNotTheAnswer) {
+  // The paper measured only a 2-3% gain from throttling. Our packet-level
+  // congestion collapse is deeper than hardware's, so pacing recovers more
+  // here (documented in EXPERIMENTS.md) — but the conclusion it supports is
+  // the same and is what we pin: throttling never reaches the Two Phase
+  // Schedule, which is why the paper moves to indirect strategies.
+  const double ar = run("8x8x16", StrategyKind::kAdaptiveRandom, 240).percent_peak;
+  const double throttled = run("8x8x16", StrategyKind::kThrottled, 240).percent_peak;
+  const double tps = run("8x8x16", StrategyKind::kTwoPhase, 240).percent_peak;
+  EXPECT_GT(throttled, ar - 5.0) << "pacing must not hurt";
+  EXPECT_GT(tps, throttled) << "TPS must beat paced direct injection";
+}
+
+// --- Section 4.1 / Table 3: the Two Phase Schedule ---
+
+TEST(PaperClaims, TpsRescuesAsymmetricTori) {
+  for (const char* shape : {"8x8x16", "16x8x8", "8x16x8"}) {
+    const double tps = run(shape, StrategyKind::kTwoPhase, 240).percent_peak;
+    const double ar = run(shape, StrategyKind::kAdaptiveRandom, 240).percent_peak;
+    EXPECT_GT(tps, ar + 10.0) << shape;
+    EXPECT_GT(tps, 80.0) << shape;
+  }
+}
+
+TEST(PaperClaims, TpsDipsOnTheMidplane) {
+  // Table 3: 77.2% on 8x8x8 — the core cannot keep the linear phase and the
+  // forwarding going at full rate; the direct strategy wins there.
+  const double tps = run("8x8x8", StrategyKind::kTwoPhase, 240).percent_peak;
+  const double ar = run("8x8x8", StrategyKind::kAdaptiveRandom, 240).percent_peak;
+  EXPECT_LT(tps, ar - 10.0);
+  EXPECT_GT(tps, 60.0);
+}
+
+// --- Section 4.1 / Table 4: 1-byte latency ---
+
+TEST(PaperClaims, ArWinsOneByteLatencyOnSmallPartitions) {
+  const auto tps = run("8x8x8", StrategyKind::kTwoPhase, 1);
+  const auto ar = run("8x8x8", StrategyKind::kAdaptiveRandom, 1);
+  EXPECT_GT(tps.elapsed_cycles, ar.elapsed_cycles)
+      << "the extra forwarding hop must cost latency on a midplane";
+}
+
+// --- Section 4.2 / Figures 6-7: the virtual mesh and its crossover ---
+
+TEST(PaperClaims, VmeshDoublesShortMessagePerformance) {
+  const auto vm = run("8x8x8", StrategyKind::kVirtualMesh, 8);
+  const auto ar = run("8x8x8", StrategyKind::kAdaptiveRandom, 8);
+  EXPECT_LT(static_cast<double>(vm.elapsed_cycles),
+            0.6 * static_cast<double>(ar.elapsed_cycles))
+      << "paper: ~2x at 8 bytes";
+}
+
+TEST(PaperClaims, CrossoverBetween32And64Bytes) {
+  const auto vm32 = run("8x8x8", StrategyKind::kVirtualMesh, 32);
+  const auto ar32 = run("8x8x8", StrategyKind::kAdaptiveRandom, 32);
+  EXPECT_LT(vm32.elapsed_cycles, ar32.elapsed_cycles) << "VMesh must still win at 32 B";
+  const auto vm128 = run("8x8x8", StrategyKind::kVirtualMesh, 128);
+  const auto ar128 = run("8x8x8", StrategyKind::kAdaptiveRandom, 128);
+  EXPECT_GT(vm128.elapsed_cycles, ar128.elapsed_cycles) << "AR must win at 128 B";
+}
+
+TEST(PaperClaims, VmeshRoughlyDoubleTimeForLargeMessages) {
+  const auto vm = run("8x8x8", StrategyKind::kVirtualMesh, 960);
+  const auto ar = run("8x8x8", StrategyKind::kAdaptiveRandom, 960);
+  const double ratio = static_cast<double>(vm.elapsed_cycles) /
+                       static_cast<double>(ar.elapsed_cycles);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.5);
+}
+
+// --- Section 3 text: MPI baseline vs AR ---
+
+TEST(PaperClaims, ArBeatsMpiBaseline) {
+  const double ar = run("8x8x8", StrategyKind::kAdaptiveRandom, 4096).percent_peak;
+  const double mpi = run("8x8x8", StrategyKind::kMpi, 4096).percent_peak;
+  EXPECT_GT(ar, mpi);
+  EXPECT_GT(mpi, 0.85 * ar) << "the baseline is production-quality, not a strawman";
+}
+
+// --- Section 5: the best-strategy rule delivers on every partition ---
+
+TEST(PaperClaims, BestStrategyHighOnEveryTestedPartition) {
+  for (const char* shape : {"8x8x8", "8x8x16", "16x8x8", "8x16x8"}) {
+    const double best = run(shape, StrategyKind::kBest, 240).percent_peak;
+    EXPECT_GT(best, 80.0) << shape;
+  }
+}
+
+}  // namespace
+}  // namespace bgl::coll

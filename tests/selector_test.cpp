@@ -1,0 +1,56 @@
+#include "src/coll/selector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgl::coll {
+namespace {
+
+using topo::parse_shape;
+
+TEST(Selector, ShortMessageBoundaryAt64Bytes) {
+  // Below the 32-64 B measured change-over on a big partition: combining.
+  EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 63).kind, StrategyKind::kVirtualMesh);
+  // At and above it: the long-message rules take over.
+  EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 64).kind, StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("8x8x16"), 64).kind, StrategyKind::kTwoPhase);
+}
+
+TEST(Selector, SmallPartitionsNeverCombine) {
+  EXPECT_EQ(select_strategy(parse_shape("4x4x4"), 1).kind, StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("4x4x8"), 1).kind, StrategyKind::kTwoPhase);
+}
+
+TEST(Selector, MeshPartitionsAreAsymmetric) {
+  // A mesh dimension breaks the "symmetric torus" condition even when the
+  // extents are equal: the direct strategy no longer reaches peak.
+  EXPECT_EQ(select_strategy(parse_shape("8x8x8M"), 4096).kind, StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("8Mx8x8"), 4096).kind, StrategyKind::kTwoPhase);
+}
+
+TEST(Selector, LinesAndPlanesCountAsSymmetric) {
+  EXPECT_EQ(select_strategy(parse_shape("16"), 4096).kind, StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("16x16"), 4096).kind,
+            StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("16x8"), 4096).kind, StrategyKind::kTwoPhase);
+}
+
+TEST(Selector, RationaleIsNonEmpty) {
+  for (const char* spec : {"8x8x8", "8x8x16", "4x4x4"}) {
+    for (const std::uint64_t m : {8u, 4096u}) {
+      EXPECT_FALSE(select_strategy(parse_shape(spec), m).rationale.empty());
+    }
+  }
+}
+
+TEST(Selector, PaperHeadlinePartitions) {
+  // The machines the paper highlights: LLNL 64x32x32 and Watson 40x32x16.
+  EXPECT_EQ(select_strategy(parse_shape("64x32x32"), 1 << 20).kind,
+            StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("40x32x16"), 1 << 20).kind,
+            StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("40x32x16"), 8).kind,
+            StrategyKind::kVirtualMesh);
+}
+
+}  // namespace
+}  // namespace bgl::coll

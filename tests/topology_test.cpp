@@ -1,0 +1,192 @@
+#include "src/topology/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bgl::topo {
+namespace {
+
+TEST(ParseShape, SingleDimensionLine) {
+  const Shape s = parse_shape("8");
+  EXPECT_EQ(s.dim[0], 8);
+  EXPECT_EQ(s.dim[1], 1);
+  EXPECT_EQ(s.dim[2], 1);
+  EXPECT_TRUE(s.wrap[0]);
+  EXPECT_FALSE(s.wrap[1]);  // extent-1 dims never wrap
+  EXPECT_FALSE(s.wrap[2]);
+  EXPECT_EQ(s.nodes(), 8);
+}
+
+TEST(ParseShape, ThreeDimensionalTorus) {
+  const Shape s = parse_shape("40x32x16");
+  EXPECT_EQ(s.dim[0], 40);
+  EXPECT_EQ(s.dim[1], 32);
+  EXPECT_EQ(s.dim[2], 16);
+  EXPECT_TRUE(s.full_torus());
+  EXPECT_EQ(s.nodes(), 20480);
+}
+
+TEST(ParseShape, MeshSuffix) {
+  const Shape s = parse_shape("8x8x2M");
+  EXPECT_TRUE(s.wrap[0]);
+  EXPECT_TRUE(s.wrap[1]);
+  EXPECT_FALSE(s.wrap[2]);
+  EXPECT_FALSE(s.full_torus());
+  EXPECT_EQ(s.to_string(), "8x8x2M");
+}
+
+TEST(ParseShape, RejectsMalformed) {
+  EXPECT_THROW(parse_shape(""), std::invalid_argument);
+  EXPECT_THROW(parse_shape("8x"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("axb"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("8x8x8x8"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("8-8"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("0x8"), std::invalid_argument);
+}
+
+TEST(ShapeQueries, LongestAndSymmetry) {
+  EXPECT_EQ(parse_shape("8x32x16").longest(), 32);
+  EXPECT_EQ(parse_shape("8x32x16").longest_axis(), kY);
+  EXPECT_TRUE(parse_shape("8x8x8").symmetric());
+  EXPECT_TRUE(parse_shape("16x16").symmetric());
+  EXPECT_TRUE(parse_shape("16").symmetric());
+  EXPECT_FALSE(parse_shape("16x8x8").symmetric());
+}
+
+TEST(Torus, RankCoordRoundTrip) {
+  const Torus t{parse_shape("5x3x4")};
+  std::set<Rank> seen;
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        const Coord c{{x, y, z}};
+        const Rank r = t.rank_of(c);
+        EXPECT_EQ(t.coord_of(r), c);
+        seen.insert(r);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 60u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 59);
+}
+
+TEST(Torus, XMajorRankOrder) {
+  // BG/L rank order: X varies fastest.
+  const Torus t{parse_shape("4x4x4")};
+  EXPECT_EQ(t.rank_of(Coord{{1, 0, 0}}), 1);
+  EXPECT_EQ(t.rank_of(Coord{{0, 1, 0}}), 4);
+  EXPECT_EQ(t.rank_of(Coord{{0, 0, 1}}), 16);
+}
+
+TEST(Torus, NeighborWraps) {
+  const Torus t{parse_shape("4x4x4")};
+  const Rank origin = t.rank_of(Coord{{0, 0, 0}});
+  EXPECT_EQ(t.neighbor(origin, Direction{kX, +1}), t.rank_of(Coord{{1, 0, 0}}));
+  EXPECT_EQ(t.neighbor(origin, Direction{kX, -1}), t.rank_of(Coord{{3, 0, 0}}));
+  EXPECT_EQ(t.neighbor(origin, Direction{kZ, -1}), t.rank_of(Coord{{0, 0, 3}}));
+}
+
+TEST(Torus, NeighborMeshEdgeIsAbsent) {
+  const Torus t{parse_shape("4Mx4x4")};
+  const Rank origin = t.rank_of(Coord{{0, 1, 1}});
+  EXPECT_EQ(t.neighbor(origin, Direction{kX, -1}), -1);
+  EXPECT_NE(t.neighbor(origin, Direction{kX, +1}), -1);
+  const Rank far_edge = t.rank_of(Coord{{3, 1, 1}});
+  EXPECT_EQ(t.neighbor(far_edge, Direction{kX, +1}), -1);
+}
+
+TEST(Torus, SignedHopsMinimal) {
+  const Torus t{parse_shape("8x8x8")};
+  EXPECT_EQ(t.hops_signed(0, 3, kX), 3);
+  EXPECT_EQ(t.hops_signed(0, 5, kX), -3);  // wrap is shorter
+  EXPECT_EQ(t.hops_signed(0, 4, kX), 4);   // half-way tie prefers +
+  EXPECT_EQ(t.hops_signed(6, 1, kX), 3);
+  EXPECT_EQ(t.hops_signed(3, 3, kX), 0);
+}
+
+TEST(Torus, SignedHopsMesh) {
+  const Torus t{parse_shape("8Mx8x8")};
+  EXPECT_EQ(t.hops_signed(0, 5, kX), 5);  // no wrap available
+  EXPECT_EQ(t.hops_signed(7, 2, kX), -5);
+}
+
+TEST(Torus, HalfwayTieDetection) {
+  const Torus t{parse_shape("8x7x8M")};
+  EXPECT_TRUE(t.is_halfway_tie(0, 4, kX));
+  EXPECT_FALSE(t.is_halfway_tie(0, 3, kX));
+  EXPECT_FALSE(t.is_halfway_tie(0, 3, kY));  // odd extent has no tie
+  EXPECT_FALSE(t.is_halfway_tie(0, 4, kZ));  // mesh has no tie
+}
+
+TEST(Torus, DistanceIsSumOfAxisHops) {
+  const Torus t{parse_shape("8x8x8")};
+  const Rank a = t.rank_of(Coord{{0, 0, 0}});
+  const Rank b = t.rank_of(Coord{{4, 5, 1}});
+  EXPECT_EQ(t.distance(a, b), 4 + 3 + 1);
+  EXPECT_EQ(t.distance(a, a), 0);
+  EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+}
+
+TEST(Torus, MeanHopsMatchesPaperEquation2) {
+  // Torus of even extent E: mean hops = E/4 (the paper's M/4).
+  EXPECT_DOUBLE_EQ(Torus{parse_shape("8x1x1")}.mean_hops(kX), 2.0);
+  EXPECT_DOUBLE_EQ(Torus{parse_shape("16x1x1")}.mean_hops(kX), 4.0);
+  EXPECT_DOUBLE_EQ(Torus{parse_shape("40x1x1")}.mean_hops(kX), 10.0);
+  // Odd extent: (E^2-1)/(4E).
+  EXPECT_DOUBLE_EQ(Torus{parse_shape("7x1x1")}.mean_hops(kX), 48.0 / 28.0);
+  // Mesh of extent E: mean |i-j| over ordered pairs = (E^2-1)/(3E).
+  EXPECT_DOUBLE_EQ(Torus{parse_shape("8M")}.mean_hops(kX), 63.0 / 24.0);
+  // Extent-1 dims contribute nothing.
+  EXPECT_DOUBLE_EQ(Torus{parse_shape("8")}.mean_hops(kY), 0.0);
+}
+
+class TorusPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TorusPropertyTest, MinimalHopsNeverExceedHalfExtent) {
+  const Torus t{parse_shape(GetParam())};
+  for (int a = 0; a < kAxes; ++a) {
+    const int extent = t.shape().dim[static_cast<std::size_t>(a)];
+    for (int i = 0; i < extent; ++i) {
+      for (int j = 0; j < extent; ++j) {
+        const int h = t.hops(i, j, a);
+        if (t.shape().wrap[static_cast<std::size_t>(a)]) {
+          EXPECT_LE(h, extent / 2);
+        } else {
+          EXPECT_LE(h, extent - 1);
+        }
+        EXPECT_GE(h, 0);
+        // Walking `hops_signed` steps from i lands on j.
+        int pos = i;
+        int steps = t.hops_signed(i, j, a);
+        const int dir = steps > 0 ? 1 : -1;
+        while (steps != 0) {
+          pos = (pos + dir + extent) % extent;
+          steps -= dir;
+        }
+        EXPECT_EQ(pos, j);
+      }
+    }
+  }
+}
+
+TEST_P(TorusPropertyTest, NeighborIsInverse) {
+  const Torus t{parse_shape(GetParam())};
+  for (Rank r = 0; r < t.nodes(); ++r) {
+    for (int d = 0; d < kDirections; ++d) {
+      const Direction dir = Direction::from_index(d);
+      const Rank n = t.neighbor(r, dir);
+      if (n < 0) continue;
+      const Direction back{dir.axis, -dir.sign};
+      EXPECT_EQ(t.neighbor(n, back), r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TorusPropertyTest,
+                         ::testing::Values("8x8x8", "16x8x4", "8x2M", "5x3x7", "8Mx4x2M",
+                                           "2x2x2", "16x16", "9"));
+
+}  // namespace
+}  // namespace bgl::topo

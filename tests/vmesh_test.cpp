@@ -1,0 +1,151 @@
+// Unit and behavioral tests for the 2-D virtual mesh combining strategy.
+#include "src/coll/vmesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coll/alltoall.hpp"
+#include "src/network/fabric.hpp"
+#include "src/runtime/packetizer.hpp"
+
+namespace bgl::coll {
+namespace {
+
+net::NetworkConfig make_config(const char* shape, std::uint64_t seed = 1) {
+  net::NetworkConfig config;
+  config.shape = topo::parse_shape(shape);
+  config.seed = seed;
+  return config;
+}
+
+TEST(VmeshFactorize, NearSquareWithPvxLarger) {
+  for (const std::int32_t n : {4, 12, 64, 100, 512, 1024, 4096}) {
+    const auto [pvx, pvy] = vmesh_factorize(n);
+    EXPECT_EQ(static_cast<std::int64_t>(pvx) * pvy, n);
+    EXPECT_GE(pvx, pvy);
+    // pvx is the smallest divisor >= sqrt(n), so pvx/pvy is as square as
+    // the divisor structure allows.
+    for (int candidate = pvy + 1; candidate < pvx; ++candidate) {
+      if (n % candidate == 0) {
+        EXPECT_GE(candidate * candidate, n)
+            << "a squarer factorization exists for n=" << n;
+      }
+    }
+  }
+}
+
+TEST(VmeshRun, MessageSizesMatchTheTwoPhases) {
+  // Phase 1 sends (pvx-1) messages of pvy*m bytes; phase 2 (pvy-1) of
+  // pvx*m. Verify via the fabric's total payload accounting.
+  const auto config = make_config("4x4x4");  // 64 nodes, 16x4 auto mesh? 8x8.
+  VmeshTuning tuning;
+  VirtualMeshClient client(config, 10, tuning, nullptr);
+  EXPECT_EQ(client.pvx(), 8);
+  EXPECT_EQ(client.pvy(), 8);
+  net::Fabric fabric(config, client);
+  client.bind(fabric);
+  ASSERT_TRUE(fabric.run());
+  // Per node: 7 messages x 80 B (phase 1) + 7 x 80 B (phase 2).
+  const std::uint64_t expected_payload = 64ull * (7 * 80 + 7 * 80);
+  EXPECT_EQ(fabric.stats().payload_bytes_delivered, expected_payload);
+}
+
+TEST(VmeshRun, CorrectForUnevenMesh) {
+  const auto config = make_config("4x2x2");  // 16 nodes
+  VmeshTuning tuning;
+  tuning.pvx = 8;
+  tuning.pvy = 2;
+  DeliveryMatrix matrix(16);
+  VirtualMeshClient client(config, 33, tuning, &matrix);
+  net::Fabric fabric(config, client);
+  client.bind(fabric);
+  EXPECT_TRUE(fabric.run());
+  EXPECT_TRUE(matrix.complete(33)) << matrix.first_error(33);
+}
+
+TEST(VmeshRun, SingleRowDegeneratesToDirectCombining) {
+  const auto config = make_config("4x2x2");
+  VmeshTuning tuning;
+  tuning.pvx = 16;  // one row: no phase 2 at all
+  tuning.pvy = 1;
+  DeliveryMatrix matrix(16);
+  VirtualMeshClient client(config, 50, tuning, &matrix);
+  net::Fabric fabric(config, client);
+  client.bind(fabric);
+  EXPECT_TRUE(fabric.run());
+  EXPECT_TRUE(matrix.complete(50)) << matrix.first_error(50);
+}
+
+TEST(VmeshRun, SingleColumnDegenerates) {
+  const auto config = make_config("4x2x2");
+  VmeshTuning tuning;
+  tuning.pvx = 1;
+  tuning.pvy = 16;
+  DeliveryMatrix matrix(16);
+  VirtualMeshClient client(config, 50, tuning, &matrix);
+  net::Fabric fabric(config, client);
+  client.bind(fabric);
+  EXPECT_TRUE(fabric.run());
+  EXPECT_TRUE(matrix.complete(50)) << matrix.first_error(50);
+}
+
+class VmeshMapping : public ::testing::TestWithParam<MeshMapping> {};
+
+TEST_P(VmeshMapping, AllMappingsDeliverCorrectly) {
+  const auto config = make_config("4x2x8");
+  VmeshTuning tuning;
+  tuning.mapping = GetParam();
+  DeliveryMatrix matrix(64);
+  VirtualMeshClient client(config, 25, tuning, &matrix);
+  net::Fabric fabric(config, client);
+  client.bind(fabric);
+  EXPECT_TRUE(fabric.run());
+  EXPECT_TRUE(matrix.complete(25)) << matrix.first_error(25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mappings, VmeshMapping,
+                         ::testing::Values(MeshMapping::kXYZ, MeshMapping::kZYX,
+                                           MeshMapping::kYXZ));
+
+TEST(VmeshRun, GammaCopyDelaysPhase2) {
+  // A larger copy cost must strictly increase completion time.
+  const auto config = make_config("4x4x4");
+  net::Tick elapsed[2];
+  int idx = 0;
+  for (const double gamma : {1.6, 50.0}) {
+    VmeshTuning tuning;
+    tuning.gamma_ns_per_byte = gamma;
+    VirtualMeshClient client(config, 64, tuning, nullptr);
+    net::Fabric fabric(config, client);
+    client.bind(fabric);
+    EXPECT_TRUE(fabric.run());
+    elapsed[idx++] = client.completion_cycles();
+  }
+  EXPECT_GT(elapsed[1], elapsed[0]);
+}
+
+TEST(VmeshRun, AlphaPerMessageNotPerDestination) {
+  // VMesh pays (pvx-1)+(pvy-1) message startups instead of P-1: for tiny
+  // messages it must beat AR's startup bill on a large enough partition.
+  AlltoallOptions options;
+  options.net.shape = topo::parse_shape("8x8x8");
+  options.net.seed = 1;
+  options.msg_bytes = 8;
+  const auto vm = run_alltoall(StrategyKind::kVirtualMesh, options);
+  const auto ar = run_alltoall(StrategyKind::kAdaptiveRandom, options);
+  EXPECT_LT(vm.elapsed_cycles, ar.elapsed_cycles)
+      << "8 B combining must win on 512 nodes (paper Figure 6)";
+}
+
+TEST(VmeshRun, LargeMessagesLoseToDirect) {
+  AlltoallOptions options;
+  options.net.shape = topo::parse_shape("8x8x8");
+  options.net.seed = 1;
+  options.msg_bytes = 960;
+  const auto vm = run_alltoall(StrategyKind::kVirtualMesh, options);
+  const auto ar = run_alltoall(StrategyKind::kAdaptiveRandom, options);
+  EXPECT_GT(vm.elapsed_cycles, ar.elapsed_cycles)
+      << "large messages pay the double injection (paper Figure 6)";
+}
+
+}  // namespace
+}  // namespace bgl::coll

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_credit_fc.dir/ablation_credit_fc.cpp.o"
+  "CMakeFiles/ablation_credit_fc.dir/ablation_credit_fc.cpp.o.d"
+  "ablation_credit_fc"
+  "ablation_credit_fc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_credit_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_m2m.dir/ablation_m2m.cpp.o"
+  "CMakeFiles/ablation_m2m.dir/ablation_m2m.cpp.o.d"
+  "ablation_m2m"
+  "ablation_m2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_m2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_randomization.dir/ablation_randomization.cpp.o"
+  "CMakeFiles/ablation_randomization.dir/ablation_randomization.cpp.o.d"
+  "ablation_randomization"
+  "ablation_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

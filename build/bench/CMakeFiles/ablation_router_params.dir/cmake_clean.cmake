@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_router_params.dir/ablation_router_params.cpp.o"
+  "CMakeFiles/ablation_router_params.dir/ablation_router_params.cpp.o.d"
+  "ablation_router_params"
+  "ablation_router_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_router_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tps_design.dir/ablation_tps_design.cpp.o"
+  "CMakeFiles/ablation_tps_design.dir/ablation_tps_design.cpp.o.d"
+  "ablation_tps_design"
+  "ablation_tps_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tps_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vmesh_mapping.dir/ablation_vmesh_mapping.cpp.o"
+  "CMakeFiles/ablation_vmesh_mapping.dir/ablation_vmesh_mapping.cpp.o.d"
+  "ablation_vmesh_mapping"
+  "ablation_vmesh_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vmesh_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

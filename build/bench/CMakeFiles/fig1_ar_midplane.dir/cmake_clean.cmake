@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ar_midplane.dir/fig1_ar_midplane.cpp.o"
+  "CMakeFiles/fig1_ar_midplane.dir/fig1_ar_midplane.cpp.o.d"
+  "fig1_ar_midplane"
+  "fig1_ar_midplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ar_midplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

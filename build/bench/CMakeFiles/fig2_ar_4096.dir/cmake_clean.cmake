@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ar_4096.dir/fig2_ar_4096.cpp.o"
+  "CMakeFiles/fig2_ar_4096.dir/fig2_ar_4096.cpp.o.d"
+  "fig2_ar_4096"
+  "fig2_ar_4096.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ar_4096.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

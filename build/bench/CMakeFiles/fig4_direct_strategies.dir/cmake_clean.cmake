@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_direct_strategies.dir/fig4_direct_strategies.cpp.o"
+  "CMakeFiles/fig4_direct_strategies.dir/fig4_direct_strategies.cpp.o.d"
+  "fig4_direct_strategies"
+  "fig4_direct_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_direct_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_compare_512.dir/fig6_compare_512.cpp.o"
+  "CMakeFiles/fig6_compare_512.dir/fig6_compare_512.cpp.o.d"
+  "fig6_compare_512"
+  "fig6_compare_512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_compare_512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

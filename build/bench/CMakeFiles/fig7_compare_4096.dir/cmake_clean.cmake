@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_compare_4096.dir/fig7_compare_4096.cpp.o"
+  "CMakeFiles/fig7_compare_4096.dir/fig7_compare_4096.cpp.o.d"
+  "fig7_compare_4096"
+  "fig7_compare_4096.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_compare_4096.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_compare_4096.
+# This may be replaced when dependencies are built.

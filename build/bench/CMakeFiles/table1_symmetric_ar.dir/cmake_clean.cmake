@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_symmetric_ar.dir/table1_symmetric_ar.cpp.o"
+  "CMakeFiles/table1_symmetric_ar.dir/table1_symmetric_ar.cpp.o.d"
+  "table1_symmetric_ar"
+  "table1_symmetric_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_symmetric_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

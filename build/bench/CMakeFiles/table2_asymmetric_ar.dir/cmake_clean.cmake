@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_asymmetric_ar.dir/table2_asymmetric_ar.cpp.o"
+  "CMakeFiles/table2_asymmetric_ar.dir/table2_asymmetric_ar.cpp.o.d"
+  "table2_asymmetric_ar"
+  "table2_asymmetric_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_asymmetric_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tps.dir/table3_tps.cpp.o"
+  "CMakeFiles/table3_tps.dir/table3_tps.cpp.o.d"
+  "table3_tps"
+  "table3_tps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_mpi_vs_ar.dir/text_mpi_vs_ar.cpp.o"
+  "CMakeFiles/text_mpi_vs_ar.dir/text_mpi_vs_ar.cpp.o.d"
+  "text_mpi_vs_ar"
+  "text_mpi_vs_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_mpi_vs_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for text_mpi_vs_ar.
+# This may be replaced when dependencies are built.

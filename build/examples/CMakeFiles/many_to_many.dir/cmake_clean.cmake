@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/many_to_many.dir/many_to_many.cpp.o"
+  "CMakeFiles/many_to_many.dir/many_to_many.cpp.o.d"
+  "many_to_many"
+  "many_to_many.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/many_to_many.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

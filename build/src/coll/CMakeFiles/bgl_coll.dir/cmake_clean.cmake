@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_coll.dir/alltoall.cpp.o"
+  "CMakeFiles/bgl_coll.dir/alltoall.cpp.o.d"
+  "CMakeFiles/bgl_coll.dir/direct.cpp.o"
+  "CMakeFiles/bgl_coll.dir/direct.cpp.o.d"
+  "CMakeFiles/bgl_coll.dir/many_to_many.cpp.o"
+  "CMakeFiles/bgl_coll.dir/many_to_many.cpp.o.d"
+  "CMakeFiles/bgl_coll.dir/selector.cpp.o"
+  "CMakeFiles/bgl_coll.dir/selector.cpp.o.d"
+  "CMakeFiles/bgl_coll.dir/tps.cpp.o"
+  "CMakeFiles/bgl_coll.dir/tps.cpp.o.d"
+  "CMakeFiles/bgl_coll.dir/vmesh.cpp.o"
+  "CMakeFiles/bgl_coll.dir/vmesh.cpp.o.d"
+  "libbgl_coll.a"
+  "libbgl_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_model.dir/calibrate.cpp.o"
+  "CMakeFiles/bgl_model.dir/calibrate.cpp.o.d"
+  "CMakeFiles/bgl_model.dir/peak.cpp.o"
+  "CMakeFiles/bgl_model.dir/peak.cpp.o.d"
+  "CMakeFiles/bgl_model.dir/predict.cpp.o"
+  "CMakeFiles/bgl_model.dir/predict.cpp.o.d"
+  "libbgl_model.a"
+  "libbgl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

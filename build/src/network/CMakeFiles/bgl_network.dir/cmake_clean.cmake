@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_network.dir/fabric.cpp.o"
+  "CMakeFiles/bgl_network.dir/fabric.cpp.o.d"
+  "libbgl_network.a"
+  "libbgl_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_sim.dir/engine.cpp.o"
+  "CMakeFiles/bgl_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/bgl_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/bgl_sim.dir/event_queue.cpp.o.d"
+  "libbgl_sim.a"
+  "libbgl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

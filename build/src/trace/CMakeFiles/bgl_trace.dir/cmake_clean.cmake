@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_trace.dir/csv.cpp.o"
+  "CMakeFiles/bgl_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/bgl_trace.dir/heatmap.cpp.o"
+  "CMakeFiles/bgl_trace.dir/heatmap.cpp.o.d"
+  "CMakeFiles/bgl_trace.dir/journey.cpp.o"
+  "CMakeFiles/bgl_trace.dir/journey.cpp.o.d"
+  "CMakeFiles/bgl_trace.dir/stats.cpp.o"
+  "CMakeFiles/bgl_trace.dir/stats.cpp.o.d"
+  "libbgl_trace.a"
+  "libbgl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_util.dir/cli.cpp.o"
+  "CMakeFiles/bgl_util.dir/cli.cpp.o.d"
+  "CMakeFiles/bgl_util.dir/table.cpp.o"
+  "CMakeFiles/bgl_util.dir/table.cpp.o.d"
+  "libbgl_util.a"
+  "libbgl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alltoall_test.dir/alltoall_test.cpp.o"
+  "CMakeFiles/alltoall_test.dir/alltoall_test.cpp.o.d"
+  "alltoall_test"
+  "alltoall_test.pdb"
+  "alltoall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alltoall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

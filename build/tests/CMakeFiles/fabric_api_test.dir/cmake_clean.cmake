@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_api_test.dir/fabric_api_test.cpp.o"
+  "CMakeFiles/fabric_api_test.dir/fabric_api_test.cpp.o.d"
+  "fabric_api_test"
+  "fabric_api_test.pdb"
+  "fabric_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fabric_property_test.cpp" "tests/CMakeFiles/fabric_property_test.dir/fabric_property_test.cpp.o" "gcc" "tests/CMakeFiles/fabric_property_test.dir/fabric_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/bgl_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/bgl_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bgl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bgl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bgl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bgl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

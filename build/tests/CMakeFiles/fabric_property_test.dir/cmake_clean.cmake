@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_property_test.dir/fabric_property_test.cpp.o"
+  "CMakeFiles/fabric_property_test.dir/fabric_property_test.cpp.o.d"
+  "fabric_property_test"
+  "fabric_property_test.pdb"
+  "fabric_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heatmap_journey_test.dir/heatmap_journey_test.cpp.o"
+  "CMakeFiles/heatmap_journey_test.dir/heatmap_journey_test.cpp.o.d"
+  "heatmap_journey_test"
+  "heatmap_journey_test.pdb"
+  "heatmap_journey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heatmap_journey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/many_to_many_test.dir/many_to_many_test.cpp.o"
+  "CMakeFiles/many_to_many_test.dir/many_to_many_test.cpp.o.d"
+  "many_to_many_test"
+  "many_to_many_test.pdb"
+  "many_to_many_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/many_to_many_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packetizer_test.dir/packetizer_test.cpp.o"
+  "CMakeFiles/packetizer_test.dir/packetizer_test.cpp.o.d"
+  "packetizer_test"
+  "packetizer_test.pdb"
+  "packetizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packetizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

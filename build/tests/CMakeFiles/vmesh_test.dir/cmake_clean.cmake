@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmesh_test.dir/vmesh_test.cpp.o"
+  "CMakeFiles/vmesh_test.dir/vmesh_test.cpp.o.d"
+  "vmesh_test"
+  "vmesh_test.pdb"
+  "vmesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

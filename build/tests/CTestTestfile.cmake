@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_wheel_test[1]_include.cmake")
+include("/root/repo/build/tests/packetizer_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/calibrate_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_property_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_api_test[1]_include.cmake")
+include("/root/repo/build/tests/alltoall_test[1]_include.cmake")
+include("/root/repo/build/tests/direct_test[1]_include.cmake")
+include("/root/repo/build/tests/tps_test[1]_include.cmake")
+include("/root/repo/build/tests/vmesh_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/many_to_many_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/heatmap_journey_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_util_test[1]_include.cmake")
+include("/root/repo/build/tests/selector_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/api_surface_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")

@@ -5,10 +5,14 @@
 //
 // Sweeps the fan-out of a random-subset pattern on an asymmetric torus and
 // compares direct adaptive routing against two-phase (TPS-style) routing.
+// Each (pattern, routing) cell is an independent simulation, so the grid
+// runs through the generic harness runner with per-job derived seeds.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/coll/many_to_many.hpp"
+#include "src/harness/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace bgl;
@@ -27,34 +31,35 @@ int main(int argc, char** argv) {
                        " B per message")
                           .c_str());
 
+  struct Case {
+    std::string name;
+    coll::Pattern pattern;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"halo", coll::Pattern::halo(shape)});
+  for (const int fanout : {4, 16, 64}) {
+    cases.push_back({"random k=" + std::to_string(fanout),
+                     coll::Pattern::random_subset(nodes, fanout, ctx.seed() ^ 0x777)});
+  }
+
+  // Two jobs per case: [2i] direct, [2i+1] two-phase.
+  const auto results = harness::run_ordered(
+      cases.size() * 2, ctx.sweep.jobs, [&](std::size_t index) {
+        coll::ManyToManyOptions options;
+        options.net.shape = shape;
+        options.net.seed = harness::derive_seed(ctx.seed(), index / 2);
+        options.msg_bytes = bytes;
+        options.two_phase = (index % 2) == 1;
+        return coll::run_many_to_many(cases[index / 2].pattern, options);
+      });
+
   util::Table table({"pattern", "messages", "direct us", "two-phase us", "2ph speedup",
                      "bottleneck axis util %"});
-
-  auto run = [&](const coll::Pattern& pattern, bool two_phase) {
-    coll::ManyToManyOptions options;
-    options.net.shape = shape;
-    options.net.seed = ctx.seed;
-    options.msg_bytes = bytes;
-    options.two_phase = two_phase;
-    return coll::run_many_to_many(pattern, options);
-  };
-
-  const auto halo = coll::Pattern::halo(shape);
-  {
-    const auto direct = run(halo, false);
-    const auto tps = run(halo, true);
-    const int axis = shape.longest_axis();
-    table.add_row({"halo", std::to_string(direct.messages), util::fmt(direct.elapsed_us, 1),
-                   util::fmt(tps.elapsed_us, 1),
-                   util::fmt(direct.elapsed_us / tps.elapsed_us, 2),
-                   util::fmt(100.0 * direct.links.axis[static_cast<std::size_t>(axis)].mean, 1)});
-  }
-  for (const int fanout : {4, 16, 64}) {
-    const auto pattern = coll::Pattern::random_subset(nodes, fanout, ctx.seed ^ 0x777);
-    const auto direct = run(pattern, false);
-    const auto tps = run(pattern, true);
-    const int axis = shape.longest_axis();
-    table.add_row({"random k=" + std::to_string(fanout), std::to_string(direct.messages),
+  const int axis = shape.longest_axis();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& direct = results[2 * i];
+    const auto& tps = results[2 * i + 1];
+    table.add_row({cases[i].name, std::to_string(direct.messages),
                    util::fmt(direct.elapsed_us, 1), util::fmt(tps.elapsed_us, 1),
                    util::fmt(direct.elapsed_us / tps.elapsed_us, 2),
                    util::fmt(100.0 * direct.links.axis[static_cast<std::size_t>(axis)].mean, 1)});

@@ -20,16 +20,28 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation — destination-order randomization (AR strategy)",
                       "percent of Eq. 2 peak by ordering policy");
 
-  util::Table table({"partition", "random *", "rotation", "identity"});
-  for (const char* spec : {"8x8x8", "8x8x16", "16x16", "16"}) {
+  const char* shapes[] = {"8x8x8", "8x8x16", "16x16", "16"};
+  const coll::OrderPolicy policies[] = {coll::OrderPolicy::kRandom,
+                                        coll::OrderPolicy::kRotation,
+                                        coll::OrderPolicy::kIdentity};
+
+  harness::Sweep sweep;
+  for (const char* spec : shapes) {
     const auto shape = topo::parse_shape(spec);
-    std::vector<std::string> row = {spec};
-    for (const auto policy : {coll::OrderPolicy::kRandom, coll::OrderPolicy::kRotation,
-                              coll::OrderPolicy::kIdentity}) {
+    for (const auto policy : policies) {
       auto options = bench::base_options(shape, bytes, ctx);
       options.order = policy;
-      const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
-      row.push_back(util::fmt(result.percent_peak, 1));
+      sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+    }
+  }
+  const auto results = ctx.run(sweep);
+
+  util::Table table({"partition", "random *", "rotation", "identity"});
+  std::size_t job = 0;
+  for (const char* spec : shapes) {
+    std::vector<std::string> row = {spec};
+    for (std::size_t p = 0; p < std::size(policies); ++p) {
+      row.push_back(util::fmt(results[job++].run.percent_peak, 1));
     }
     table.add_row(std::move(row));
   }

@@ -6,6 +6,7 @@
 //   - number of dynamic VCs;
 //   - injection FIFO count (FIFO head-of-line blocking at the source).
 // These are the design-space knobs behind DESIGN.md's fidelity discussion.
+// All three sub-sweeps run as one harness batch.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -23,22 +24,41 @@ int main(int argc, char** argv) {
 
   const auto sym = topo::parse_shape("8x8x8");
   const auto asym = topo::parse_shape("8x8x16");
+  const int vc_capacities[] = {32, 64, 96, 128};
+  const int dynamic_vcs[] = {1, 2, 4};
+  const int fifo_counts[] = {2, 4, 8};
 
-  auto run = [&](const topo::Shape& shape, auto mutate) {
-    auto options = bench::base_options(shape, bytes, ctx);
-    mutate(options.net);
-    return coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+  harness::Sweep sweep;
+  auto add_pair = [&](auto mutate) {
+    for (const auto& shape : {sym, asym}) {
+      auto options = bench::base_options(shape, bytes, ctx);
+      mutate(options.net);
+      sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+    }
   };
+  for (const int vc : vc_capacities) {
+    add_pair([&](net::NetworkConfig& c) {
+      c.vc_capacity_chunks = static_cast<std::uint16_t>(vc);
+    });
+  }
+  for (const int vcs : dynamic_vcs) {
+    add_pair([&](net::NetworkConfig& c) {
+      c.dynamic_vcs = static_cast<std::uint8_t>(vcs);
+    });
+  }
+  for (const int fifos : fifo_counts) {
+    add_pair([&](net::NetworkConfig& c) {
+      c.injection_fifos = static_cast<std::uint8_t>(fifos);
+    });
+  }
+  const auto results = ctx.run(sweep);
+  std::size_t job = 0;
 
   {
     util::Table table({"VC capacity (chunks)", "8x8x8 %", "8x8x16 %"});
-    for (const int vc : {32, 64, 96, 128}) {
-      const auto a = run(sym, [&](net::NetworkConfig& c) {
-        c.vc_capacity_chunks = static_cast<std::uint16_t>(vc);
-      });
-      const auto b = run(asym, [&](net::NetworkConfig& c) {
-        c.vc_capacity_chunks = static_cast<std::uint16_t>(vc);
-      });
+    for (const int vc : vc_capacities) {
+      const auto& a = results[job++].run;
+      const auto& b = results[job++].run;
       table.add_row({std::to_string(vc) + (vc == 32 ? " *" : ""),
                      util::fmt(a.percent_peak, 1), util::fmt(b.percent_peak, 1)});
     }
@@ -47,13 +67,9 @@ int main(int argc, char** argv) {
   }
   {
     util::Table table({"dynamic VCs", "8x8x8 %", "8x8x16 %"});
-    for (const int vcs : {1, 2, 4}) {
-      const auto a = run(sym, [&](net::NetworkConfig& c) {
-        c.dynamic_vcs = static_cast<std::uint8_t>(vcs);
-      });
-      const auto b = run(asym, [&](net::NetworkConfig& c) {
-        c.dynamic_vcs = static_cast<std::uint8_t>(vcs);
-      });
+    for (const int vcs : dynamic_vcs) {
+      const auto& a = results[job++].run;
+      const auto& b = results[job++].run;
       table.add_row({std::to_string(vcs) + (vcs == 2 ? " *" : ""),
                      util::fmt(a.percent_peak, 1), util::fmt(b.percent_peak, 1)});
     }
@@ -62,13 +78,9 @@ int main(int argc, char** argv) {
   }
   {
     util::Table table({"injection FIFOs", "8x8x8 %", "8x8x16 %"});
-    for (const int fifos : {2, 4, 8}) {
-      const auto a = run(sym, [&](net::NetworkConfig& c) {
-        c.injection_fifos = static_cast<std::uint8_t>(fifos);
-      });
-      const auto b = run(asym, [&](net::NetworkConfig& c) {
-        c.injection_fifos = static_cast<std::uint8_t>(fifos);
-      });
+    for (const int fifos : fifo_counts) {
+      const auto& a = results[job++].run;
+      const auto& b = results[job++].run;
       table.add_row({std::to_string(fifos) + (fifos == 8 ? " *" : ""),
                      util::fmt(a.percent_peak, 1), util::fmt(b.percent_peak, 1)});
     }

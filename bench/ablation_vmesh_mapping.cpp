@@ -23,35 +23,42 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation — virtual-mesh mapping and aspect ratio",
                       "short-message VMesh all-to-all time (us) on the 8x8x8 midplane");
 
+  const auto shape = topo::parse_shape("8x8x8");
+  const std::vector<std::pair<int, int>> aspects = {
+      {32, 16}, {64, 8}, {128, 4}, {256, 2}, {16, 32}};
+
+  harness::Sweep sweep;
+  for (int mapping = 0; mapping < 3; ++mapping) {
+    auto options = bench::base_options(shape, bytes, ctx);
+    options.vmesh_mapping = mapping;
+    sweep.add(coll::StrategyKind::kVirtualMesh, options);
+  }
+  for (const auto& [pvx, pvy] : aspects) {
+    auto options = bench::base_options(shape, bytes, ctx);
+    options.pvx = pvx;
+    options.pvy = pvy;
+    sweep.add(coll::StrategyKind::kVirtualMesh, options);
+  }
+  const auto results = ctx.run(sweep);
+  std::size_t job = 0;
+
   {
+    const auto [pvx, pvy] = coll::vmesh_factorize(static_cast<std::int32_t>(shape.nodes()));
     util::Table table({"partition", "mesh", "XYZ map us *", "ZYX map us", "YXZ map us"});
-    for (const char* spec : {"8x8x8"}) {
-      const auto shape = topo::parse_shape(spec);
-      const auto [pvx, pvy] = coll::vmesh_factorize(static_cast<std::int32_t>(shape.nodes()));
-      std::vector<std::string> row = {spec,
-                                      std::to_string(pvx) + "x" + std::to_string(pvy)};
-      for (int mapping = 0; mapping < 3; ++mapping) {
-        auto options = bench::base_options(shape, bytes, ctx);
-        options.vmesh_mapping = mapping;
-        const auto result = coll::run_alltoall(coll::StrategyKind::kVirtualMesh, options);
-        row.push_back(util::fmt(result.elapsed_us, 1));
-      }
-      table.add_row(std::move(row));
+    std::vector<std::string> row = {"8x8x8",
+                                    std::to_string(pvx) + "x" + std::to_string(pvy)};
+    for (int mapping = 0; mapping < 3; ++mapping) {
+      row.push_back(util::fmt(results[job++].run.elapsed_us, 1));
     }
+    table.add_row(std::move(row));
     table.print();
     std::printf("\n");
   }
   {
-    const auto shape = topo::parse_shape("8x8x8");
     util::Table table({"mesh (pvx x pvy)", "time us", "phase msgs per node"});
-    for (const auto& [pvx, pvy] : std::vector<std::pair<int, int>>{
-             {32, 16}, {64, 8}, {128, 4}, {256, 2}, {16, 32}}) {
-      auto options = bench::base_options(shape, bytes, ctx);
-      options.pvx = pvx;
-      options.pvy = pvy;
-      const auto result = coll::run_alltoall(coll::StrategyKind::kVirtualMesh, options);
+    for (const auto& [pvx, pvy] : aspects) {
       table.add_row({std::to_string(pvx) + "x" + std::to_string(pvy),
-                     util::fmt(result.elapsed_us, 1),
+                     util::fmt(results[job++].run.elapsed_us, 1),
                      std::to_string(pvx - 1 + pvy - 1)});
     }
     table.print();

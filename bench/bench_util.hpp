@@ -1,79 +1,22 @@
-// Shared helpers for the reproduction benches.
+// Formatting helpers shared by the reproduction benches.
 //
-// Every bench prints the paper's table/figure rows with a measured column
-// next to the paper's reported value. Partitions above kDefaultNodeBudget
-// nodes are expensive to simulate packet-by-packet on one core, so by
-// default such rows run on a shape scaled down by halving dimensions while
-// preserving the asymmetry ratios; `--full` runs the paper-exact sizes
-// (documented per bench in EXPERIMENTS.md).
+// The sweep machinery — BenchContext (paper-shape scaling, --jobs/--seed/
+// --csv/--json), the worker pool and the deterministic per-job seeding —
+// lives in src/harness. This header keeps only what the benches need to
+// print their paper-facing tables.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
 
-#include "src/coll/alltoall.hpp"
-#include "src/topology/torus.hpp"
-#include "src/util/cli.hpp"
+#include "src/harness/bench.hpp"
 #include "src/util/table.hpp"
 
 namespace bgl::bench {
 
-inline constexpr std::int64_t kDefaultNodeBudget = 1024;
-
-struct BenchContext {
-  bool full = false;
-  std::int64_t node_budget = kDefaultNodeBudget;
-  std::uint64_t seed = 1;
-
-  static BenchContext from_cli(util::Cli& cli) {
-    cli.describe("full", "run paper-exact partition sizes (slow)");
-    cli.describe("budget", "max nodes before scaling a row down");
-    cli.describe("seed", "simulation seed");
-    BenchContext ctx;
-    ctx.full = cli.get_bool("full", false);
-    ctx.node_budget = cli.get_int("budget", kDefaultNodeBudget);
-    ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-    return ctx;
-  }
-
-  /// The shape a row actually runs at. Preference: halve *every* non-trivial
-  /// dimension at once, which preserves the paper shape's asymmetry ratios
-  /// exactly (32x32x16 -> 16x16x8); when some dimension is too small for
-  /// that, halve the largest halvable dimension instead. Wrap flags are
-  /// kept; dimensions never drop below 2.
-  topo::Shape runnable(const topo::Shape& paper_shape) const {
-    if (full) return paper_shape;
-    topo::Shape shape = paper_shape;
-    // Ratio-preserving halving divides a 3-D shape by 8, so allow 25% slack
-    // rather than overshooting to 1/8th of the budget.
-    while (shape.nodes() > node_budget + node_budget / 4) {
-      bool all_halvable = true;
-      for (int a = 0; a < topo::kAxes; ++a) {
-        const int extent = shape.dim[static_cast<std::size_t>(a)];
-        if (extent > 1 && (extent < 4 || extent % 2 != 0)) all_halvable = false;
-      }
-      if (all_halvable) {
-        for (int a = 0; a < topo::kAxes; ++a) {
-          auto& extent = shape.dim[static_cast<std::size_t>(a)];
-          if (extent > 1) extent /= 2;
-        }
-        continue;
-      }
-      int axis = -1;
-      for (int a = 0; a < topo::kAxes; ++a) {
-        const int extent = shape.dim[static_cast<std::size_t>(a)];
-        if (extent >= 4 && extent % 2 == 0 &&
-            (axis < 0 || extent > shape.dim[static_cast<std::size_t>(axis)])) {
-          axis = a;
-        }
-      }
-      if (axis < 0) break;
-      shape.dim[static_cast<std::size_t>(axis)] /= 2;
-    }
-    return shape;
-  }
-};
+using harness::BenchContext;
+using harness::kDefaultNodeBudget;
 
 inline std::string shape_note(const topo::Shape& paper_shape, const topo::Shape& run_shape) {
   if (paper_shape == run_shape) return run_shape.to_string();
@@ -89,11 +32,7 @@ inline void print_header(const char* title, const char* what) {
 
 inline coll::AlltoallOptions base_options(const topo::Shape& shape, std::uint64_t msg_bytes,
                                           const BenchContext& ctx) {
-  coll::AlltoallOptions options;
-  options.net.shape = shape;
-  options.net.seed = ctx.seed;
-  options.msg_bytes = msg_bytes;
-  return options;
+  return ctx.base_options(shape, msg_bytes);
 }
 
 }  // namespace bgl::bench

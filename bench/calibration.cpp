@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   net::NetworkConfig config;
   config.shape = topo::parse_shape("8x8x8");
-  config.seed = ctx.seed;
+  config.seed = ctx.seed();
 
   const std::vector<std::uint64_t> sizes = {64,   128,  256,  512,   1024,
                                             2048, 4096, 8192, 16384, 32768};

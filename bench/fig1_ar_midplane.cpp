@@ -23,12 +23,18 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> sizes = {8, 32, 64, 128, 240, 480, 960, 1920, 4096, 8192, 16384};
   if (cli.has("sizes")) sizes = util::parse_int_list(cli.get("sizes", ""));
 
-  util::Table table({"msg bytes", "measured us", "model us", "peak us", "% of peak",
-                     "% of model"});
+  harness::Sweep sweep;
   for (const std::int64_t size : sizes) {
     const auto m = static_cast<std::uint64_t>(size);
-    auto options = bench::base_options(shape, m, ctx);
-    const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, bench::base_options(shape, m, ctx));
+  }
+  const auto results = ctx.run(sweep);
+
+  util::Table table({"msg bytes", "measured us", "model us", "peak us", "% of peak",
+                     "% of model"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto m = static_cast<std::uint64_t>(sizes[i]);
+    const auto& result = results[i].run;
     const double model_us = model::direct_aa_time_us(shape, m);
     const double peak_us = model::peak_aa_time_us(shape, m);
     table.add_row({util::fmt_bytes(m), util::fmt(result.elapsed_us, 1),

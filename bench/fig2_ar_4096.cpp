@@ -23,11 +23,17 @@ int main(int argc, char** argv) {
   if (shape.nodes() > 1024) sizes = {8, 64, 240};  // keep default runs snappy
   if (cli.has("sizes")) sizes = util::parse_int_list(cli.get("sizes", ""));
 
-  util::Table table({"msg bytes", "measured us", "model us", "peak us", "% of peak"});
+  harness::Sweep sweep;
   for (const std::int64_t size : sizes) {
     const auto m = static_cast<std::uint64_t>(size);
-    auto options = bench::base_options(shape, m, ctx);
-    const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, bench::base_options(shape, m, ctx));
+  }
+  const auto results = ctx.run(sweep);
+
+  util::Table table({"msg bytes", "measured us", "model us", "peak us", "% of peak"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto m = static_cast<std::uint64_t>(sizes[i]);
+    const auto& result = results[i].run;
     table.add_row({util::fmt_bytes(m), util::fmt(result.elapsed_us, 1),
                    util::fmt(model::direct_aa_time_us(shape, m), 1),
                    util::fmt(model::peak_aa_time_us(shape, m), 1),

@@ -19,20 +19,24 @@ int main(int argc, char** argv) {
   const char* shapes[] = {"8",      "16",      "8x8",     "16x16",  "8x8x8",
                           "8x8x16", "8x16x16", "16x16x8", "16x16x16"};
 
+  harness::Sweep sweep;
+  for (const char* spec : shapes) {
+    const auto shape = ctx.runnable(topo::parse_shape(spec));
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, bench::base_options(shape, 240, ctx));
+    const std::uint64_t large = shape.nodes() <= 512 ? 3840 : 480;
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, bench::base_options(shape, large, ctx));
+  }
+  const auto results = ctx.run(sweep);
+
   util::Table table({"partition", "run as", "peak MB/s (model)", "1-packet MB/s",
                      "large-msg MB/s", "large %"});
+  std::size_t job = 0;
   for (const char* spec : shapes) {
     const auto paper_shape = topo::parse_shape(spec);
     const auto shape = ctx.runnable(paper_shape);
     const double peak_mbps = model::peak_per_node_mbps(shape);
-
-    auto one = bench::base_options(shape, 240, ctx);
-    const auto r1 = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, one);
-
-    const std::uint64_t large = shape.nodes() <= 512 ? 3840 : 480;
-    auto big = bench::base_options(shape, large, ctx);
-    const auto r2 = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, big);
-
+    const auto& r1 = results[job++].run;
+    const auto& r2 = results[job++].run;
     table.add_row({spec, bench::shape_note(paper_shape, shape), util::fmt(peak_mbps, 0),
                    util::fmt(r1.per_node_mbps, 0), util::fmt(r2.per_node_mbps, 0),
                    util::fmt(r2.percent_peak, 1)});

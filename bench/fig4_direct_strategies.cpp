@@ -29,19 +29,27 @@ int main(int argc, char** argv) {
       {"8x8x16", 81.0, 70.0},  {"8x16x16", 86.0, 67.0}, {"8x32x16", 77.0, 86.0},
   };
 
+  harness::Sweep sweep;
+  for (const Row& row : rows) {
+    const auto shape = ctx.runnable(topo::parse_shape(row.shape));
+    const std::uint64_t bytes = static_cast<std::uint64_t>(
+        cli.get_int("bytes", shape.nodes() <= 512 ? 960 : 240));
+    const auto options = bench::base_options(shape, bytes, ctx);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+    sweep.add(coll::StrategyKind::kDeterministic, options);
+    sweep.add(coll::StrategyKind::kThrottled, options);
+  }
+  const auto results = ctx.run(sweep);
+
   util::Table table({"partition", "run as", "AR %", "DR %", "throttle %", "paper AR",
                      "paper DR"});
+  std::size_t job = 0;
   for (const Row& row : rows) {
     const auto paper_shape = topo::parse_shape(row.shape);
     const auto shape = ctx.runnable(paper_shape);
-    const std::uint64_t bytes = static_cast<std::uint64_t>(
-        cli.get_int("bytes", shape.nodes() <= 512 ? 960 : 240));
-
-    auto options = bench::base_options(shape, bytes, ctx);
-    const auto ar = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
-    const auto dr = coll::run_alltoall(coll::StrategyKind::kDeterministic, options);
-    const auto th = coll::run_alltoall(coll::StrategyKind::kThrottled, options);
-
+    const auto& ar = results[job++].run;
+    const auto& dr = results[job++].run;
+    const auto& th = results[job++].run;
     table.add_row({row.shape, bench::shape_note(paper_shape, shape),
                    util::fmt(ar.percent_peak, 1), util::fmt(dr.percent_peak, 1),
                    util::fmt(th.percent_peak, 1), util::fmt(row.paper_ar, 0),

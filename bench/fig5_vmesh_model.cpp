@@ -20,14 +20,20 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> sizes = {1, 2, 4, 8, 16, 32, 64, 128, 256};
   if (cli.has("sizes")) sizes = util::parse_int_list(cli.get("sizes", ""));
 
-  util::Table table({"msg bytes", "Eq.4 predicted us", "simulated us", "ratio"});
+  harness::Sweep sweep;
   for (const std::int64_t size : sizes) {
-    const auto m = static_cast<std::uint64_t>(size);
-    const double predicted = model::vmesh_aa_time_us(shape, 32, 16, m);
-    auto options = bench::base_options(shape, m, ctx);
+    auto options = bench::base_options(shape, static_cast<std::uint64_t>(size), ctx);
     options.pvx = 32;
     options.pvy = 16;
-    const auto result = coll::run_alltoall(coll::StrategyKind::kVirtualMesh, options);
+    sweep.add(coll::StrategyKind::kVirtualMesh, options);
+  }
+  const auto results = ctx.run(sweep);
+
+  util::Table table({"msg bytes", "Eq.4 predicted us", "simulated us", "ratio"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto m = static_cast<std::uint64_t>(sizes[i]);
+    const double predicted = model::vmesh_aa_time_us(shape, 32, 16, m);
+    const auto& result = results[i].run;
     table.add_row({util::fmt_bytes(m), util::fmt(predicted, 1),
                    util::fmt(result.elapsed_us, 1),
                    util::fmt(result.elapsed_us / predicted, 2)});

@@ -22,14 +22,21 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> sizes = {1, 8, 16, 32, 64, 128, 240, 480, 960, 4096};
   if (cli.has("sizes")) sizes = util::parse_int_list(cli.get("sizes", ""));
 
-  util::Table table({"msg bytes", "AR us", "VMesh us", "VMesh/AR", "winner"});
+  harness::Sweep sweep;
   for (const std::int64_t size : sizes) {
-    const auto m = static_cast<std::uint64_t>(size);
-    auto options = bench::base_options(shape, m, ctx);
-    const auto ar = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    auto options = bench::base_options(shape, static_cast<std::uint64_t>(size), ctx);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
     options.pvx = 32;
     options.pvy = 16;
-    const auto vm = coll::run_alltoall(coll::StrategyKind::kVirtualMesh, options);
+    sweep.add(coll::StrategyKind::kVirtualMesh, options);
+  }
+  const auto results = ctx.run(sweep);
+
+  util::Table table({"msg bytes", "AR us", "VMesh us", "VMesh/AR", "winner"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto m = static_cast<std::uint64_t>(sizes[i]);
+    const auto& ar = results[2 * i].run;
+    const auto& vm = results[2 * i + 1].run;
     table.add_row({util::fmt_bytes(m), util::fmt(ar.elapsed_us, 1),
                    util::fmt(vm.elapsed_us, 1),
                    util::fmt(vm.elapsed_us / ar.elapsed_us, 2),

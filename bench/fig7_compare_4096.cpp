@@ -30,15 +30,23 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> sizes = {1, 8, 16, 32, 64, 128, 240};
   if (cli.has("sizes")) sizes = util::parse_int_list(cli.get("sizes", ""));
 
-  util::Table table({"msg bytes", "AR us", "TPS us", "VMesh us", "winner"});
+  harness::Sweep sweep;
   for (const std::int64_t size : sizes) {
-    const auto m = static_cast<std::uint64_t>(size);
-    auto options = bench::base_options(shape, m, ctx);
-    const auto ar = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
-    const auto tps = coll::run_alltoall(coll::StrategyKind::kTwoPhase, options);
+    auto options = bench::base_options(shape, static_cast<std::uint64_t>(size), ctx);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+    sweep.add(coll::StrategyKind::kTwoPhase, options);
     options.pvx = pvx;
     options.pvy = pvy;
-    const auto vm = coll::run_alltoall(coll::StrategyKind::kVirtualMesh, options);
+    sweep.add(coll::StrategyKind::kVirtualMesh, options);
+  }
+  const auto results = ctx.run(sweep);
+
+  util::Table table({"msg bytes", "AR us", "TPS us", "VMesh us", "winner"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto m = static_cast<std::uint64_t>(sizes[i]);
+    const auto& ar = results[3 * i].run;
+    const auto& tps = results[3 * i + 1].run;
+    const auto& vm = results[3 * i + 2].run;
 
     const char* winner = "AR";
     if (tps.elapsed_cycles <= ar.elapsed_cycles && tps.elapsed_cycles <= vm.elapsed_cycles) {

@@ -26,15 +26,23 @@ int main(int argc, char** argv) {
   const Row rows[] = {{"8", 98.2},       {"16", 97.7},      {"8x8", 98.7},
                       {"16x16", 99.7},   {"8x8x8", 99.0},   {"16x16x16", 99.0}};
 
-  util::Table table({"partition", "run as", "paper %", "measured %", "elapsed us"});
+  harness::Sweep sweep;
   for (const Row& row : rows) {
-    const auto paper_shape = topo::parse_shape(row.shape);
-    const auto run_shape = ctx.runnable(paper_shape);
+    const auto run_shape = ctx.runnable(topo::parse_shape(row.shape));
     const std::uint64_t default_bytes = run_shape.nodes() <= 512 ? 3840 : 960;
     const auto bytes = static_cast<std::uint64_t>(
         cli.get_int("bytes", static_cast<std::int64_t>(default_bytes)));
-    auto options = bench::base_options(run_shape, bytes, ctx);
-    const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom,
+              bench::base_options(run_shape, bytes, ctx));
+  }
+  const auto results = ctx.run(sweep);
+
+  util::Table table({"partition", "run as", "paper %", "measured %", "elapsed us"});
+  std::size_t job = 0;
+  for (const Row& row : rows) {
+    const auto paper_shape = topo::parse_shape(row.shape);
+    const auto run_shape = ctx.runnable(paper_shape);
+    const auto& result = results[job++].run;
     table.add_row({row.shape, bench::shape_note(paper_shape, run_shape),
                    util::fmt(row.paper, 1), util::fmt(result.percent_peak, 1),
                    util::fmt(result.elapsed_us, 1)});

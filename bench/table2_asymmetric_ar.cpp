@@ -24,14 +24,22 @@ int main(int argc, char** argv) {
       {"8x32x16", 73.3},   {"16x32x16", 71.0}, {"32x32x16", 73.6},
   };
 
+  harness::Sweep sweep;
+  for (const Row& row : rows) {
+    const auto run_shape = ctx.runnable(topo::parse_shape(row.shape));
+    const std::uint64_t bytes = static_cast<std::uint64_t>(
+        cli.get_int("bytes", run_shape.nodes() <= 512 ? 960 : 240));
+    sweep.add(coll::StrategyKind::kAdaptiveRandom,
+              bench::base_options(run_shape, bytes, ctx));
+  }
+  const auto results = ctx.run(sweep);
+
   util::Table table({"partition", "run as", "paper %", "measured %", "X/Y/Z link util %"});
+  std::size_t job = 0;
   for (const Row& row : rows) {
     const auto paper_shape = topo::parse_shape(row.shape);
     const auto run_shape = ctx.runnable(paper_shape);
-    const std::uint64_t bytes = static_cast<std::uint64_t>(
-        cli.get_int("bytes", run_shape.nodes() <= 512 ? 960 : 240));
-    auto options = bench::base_options(run_shape, bytes, ctx);
-    const auto result = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    const auto& result = results[job++].run;
     const auto& links = result.links.axis;
     table.add_row({row.shape, bench::shape_note(paper_shape, run_shape),
                    util::fmt(row.paper, 1), util::fmt(result.percent_peak, 1),

@@ -28,16 +28,25 @@ int main(int argc, char** argv) {
       {"40x32x16", 99.5, 'X'},
   };
 
+  harness::Sweep sweep;
+  for (const Row& row : rows) {
+    const auto shape = ctx.runnable(topo::parse_shape(row.shape));
+    const std::uint64_t bytes = static_cast<std::uint64_t>(
+        cli.get_int("bytes", shape.nodes() <= 512 ? 960 : 240));
+    const auto options = bench::base_options(shape, bytes, ctx);
+    sweep.add(coll::StrategyKind::kTwoPhase, options);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+  }
+  const auto results = ctx.run(sweep);
+
   util::Table table({"partition", "run as", "paper %", "measured %", "dim (paper)",
                      "dim (ours)", "AR %"});
+  std::size_t job = 0;
   for (const Row& row : rows) {
     const auto paper_shape = topo::parse_shape(row.shape);
     const auto shape = ctx.runnable(paper_shape);
-    const std::uint64_t bytes = static_cast<std::uint64_t>(
-        cli.get_int("bytes", shape.nodes() <= 512 ? 960 : 240));
-    auto options = bench::base_options(shape, bytes, ctx);
-    const auto tps = coll::run_alltoall(coll::StrategyKind::kTwoPhase, options);
-    const auto ar = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    const auto& tps = results[job++].run;
+    const auto& ar = results[job++].run;
     const char dim = "XYZ"[coll::choose_linear_axis(shape)];
     table.add_row({row.shape, bench::shape_note(paper_shape, shape),
                    util::fmt(row.paper, 1), util::fmt(tps.percent_peak, 1),

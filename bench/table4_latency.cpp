@@ -26,14 +26,23 @@ int main(int argc, char** argv) {
       {"8x32x16", 8.1, 12.4},   {"32x32x16", 35.9, 65.2},
   };
 
+  harness::Sweep sweep;
+  for (const Row& row : rows) {
+    const auto shape = ctx.runnable(topo::parse_shape(row.shape));
+    const auto options = bench::base_options(shape, 1, ctx);
+    sweep.add(coll::StrategyKind::kTwoPhase, options);
+    sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+  }
+  const auto results = ctx.run(sweep);
+
   util::Table table({"partition", "run as", "TPS ms", "AR ms", "paper TPS", "paper AR",
                      "faster"});
+  std::size_t job = 0;
   for (const Row& row : rows) {
     const auto paper_shape = topo::parse_shape(row.shape);
     const auto shape = ctx.runnable(paper_shape);
-    auto options = bench::base_options(shape, 1, ctx);
-    const auto tps = coll::run_alltoall(coll::StrategyKind::kTwoPhase, options);
-    const auto ar = coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    const auto& tps = results[job++].run;
+    const auto& ar = results[job++].run;
     table.add_row({row.shape, bench::shape_note(paper_shape, shape),
                    util::fmt(tps.elapsed_us / 1000.0, 2), util::fmt(ar.elapsed_us / 1000.0, 2),
                    util::fmt(row.paper_tps_ms, 2), util::fmt(row.paper_ar_ms, 2),

@@ -15,12 +15,23 @@ int main(int argc, char** argv) {
   bench::print_header("Section 3 — production MPI baseline vs the AR scheme (8x8x8, 4 KB)",
                       "paper: MPI 97% of peak, AR 99% of peak");
 
+  const std::pair<coll::StrategyKind, double> cases[] = {
+      {coll::StrategyKind::kMpi, 97.0},
+      {coll::StrategyKind::kAdaptiveRandom, 99.0},
+  };
+
+  harness::Sweep sweep;
+  for (const auto& [kind, paper] : cases) {
+    (void)paper;
+    sweep.add(kind, bench::base_options(shape, 4096, ctx));
+  }
+  const auto results = ctx.run(sweep);
+
   util::Table table({"strategy", "measured %", "elapsed us", "paper %"});
-  for (const auto& [kind, paper] :
-       {std::pair{coll::StrategyKind::kMpi, 97.0},
-        std::pair{coll::StrategyKind::kAdaptiveRandom, 99.0}}) {
-    auto options = bench::base_options(shape, 4096, ctx);
-    const auto result = coll::run_alltoall(kind, options);
+  std::size_t job = 0;
+  for (const auto& [kind, paper] : cases) {
+    (void)kind;
+    const auto& result = results[job++].run;
     table.add_row({result.strategy, util::fmt(result.percent_peak, 1),
                    util::fmt(result.elapsed_us, 1), util::fmt(paper, 0)});
   }

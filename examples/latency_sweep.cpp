@@ -1,29 +1,29 @@
-// Message-size sweep across strategies with optional CSV output — the
+// Message-size sweep across strategies with optional CSV/JSON output — the
 // workhorse for producing Figure 6/7-style plots on any partition.
 //
-//   ./latency_sweep --shape 8x8x16 --sizes 1,8,64,240,960 --csv sweep.csv
+//   ./latency_sweep --shape 8x8x16 --sizes 1,8,64,240,960 --jobs 8 --csv sweep.csv
+//
+// Every (size, strategy) point is an independent simulation; --jobs N runs
+// them on N worker threads with per-job seeds derived from --seed, so the
+// table is bit-identical whatever the thread count.
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "src/coll/alltoall.hpp"
-#include "src/trace/csv.hpp"
-#include "src/util/cli.hpp"
+#include "src/harness/bench.hpp"
 #include "src/util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bgl;
   util::Cli cli(argc, argv);
+  auto ctx = harness::BenchContext::from_cli(cli);
   cli.describe("shape", "partition (default 8x8x8)");
   cli.describe("sizes", "comma-separated payload sizes (default 1,8,32,64,240,960)");
   cli.describe("strategies", "comma list of mpi,ar,dr,throttle,tps,vmesh (default ar,tps,vmesh)");
-  cli.describe("csv", "also write results to this CSV file");
-  cli.describe("seed", "simulation seed");
   cli.validate();
 
   const auto shape = topo::parse_shape(cli.get("shape", "8x8x8"));
   const auto sizes = util::parse_int_list(cli.get("sizes", "1,8,32,64,240,960"));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
   std::vector<coll::StrategyKind> kinds;
   {
@@ -47,37 +47,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::unique_ptr<trace::CsvWriter> csv;
-  if (cli.has("csv")) {
-    csv = std::make_unique<trace::CsvWriter>(
-        cli.get("csv", ""),
-        std::vector<std::string>{"shape", "strategy", "msg_bytes", "elapsed_us",
-                                 "percent_peak", "per_node_mbps"});
+  harness::Sweep sweep;
+  for (const auto size : sizes) {
+    for (const auto kind : kinds) {
+      sweep.add(kind, ctx.base_options(shape, static_cast<std::uint64_t>(size)));
+    }
   }
+  const auto results = ctx.run(sweep);
 
   std::printf("all-to-all time (us) on %s\n\n", shape.to_string().c_str());
   std::vector<std::string> headers = {"msg bytes"};
   for (const auto kind : kinds) headers.push_back(coll::strategy_name(kind));
   util::Table table(headers);
 
+  std::size_t job = 0;
   for (const auto size : sizes) {
     std::vector<std::string> row = {util::fmt_bytes(static_cast<std::uint64_t>(size))};
-    for (const auto kind : kinds) {
-      coll::AlltoallOptions options;
-      options.net.shape = shape;
-      options.net.seed = seed;
-      options.msg_bytes = static_cast<std::uint64_t>(size);
-      const auto result = coll::run_alltoall(kind, options);
-      row.push_back(util::fmt(result.elapsed_us, 1));
-      if (csv) {
-        csv->row({shape.to_string(), result.strategy, std::to_string(size),
-                  util::fmt(result.elapsed_us, 3), util::fmt(result.percent_peak, 2),
-                  util::fmt(result.per_node_mbps, 1)});
-      }
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      row.push_back(util::fmt(results[job++].run.elapsed_us, 1));
     }
     table.add_row(std::move(row));
   }
   table.print();
-  if (csv) std::printf("\nwrote %zu CSV rows\n", csv->rows_written());
   return 0;
 }

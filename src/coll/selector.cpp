@@ -3,9 +3,9 @@
 namespace bgl::coll {
 
 Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes) {
-  if (msg_bytes < kShortMessageBytes && shape.nodes() >= kVmeshMinNodes) {
+  if (msg_bytes <= kShortMessageBytes && shape.nodes() >= kVmeshMinNodes) {
     return Selection{StrategyKind::kVirtualMesh,
-                     "short message below the 32-64 B change-over on a large partition"};
+                     "short message at or below the 32-64 B change-over on a large partition"};
   }
   if (shape.symmetric() && shape.full_torus()) {
     return Selection{StrategyKind::kAdaptiveRandom,

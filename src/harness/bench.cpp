@@ -1,0 +1,91 @@
+#include "src/harness/bench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "src/harness/pool.hpp"
+
+namespace bgl::harness {
+
+BenchContext BenchContext::from_cli(util::Cli& cli) {
+  cli.describe("full", "run paper-exact partition sizes (slow)");
+  cli.describe("budget", "max nodes before scaling a row down");
+  cli.describe("seed", "base seed; job i runs with splitmix64(seed, i)");
+  cli.describe("jobs", "worker threads for simulation jobs (0 = all cores)");
+  cli.describe("csv", "also write machine-readable rows to this CSV file");
+  cli.describe("json", "also write machine-readable rows to this JSON file");
+  BenchContext ctx;
+  ctx.full = cli.get_bool("full", false);
+  ctx.node_budget = cli.get_int("budget", kDefaultNodeBudget);
+  ctx.sweep.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  ctx.sweep.jobs = static_cast<int>(cli.get_int("jobs", 0));
+  ctx.csv_path = cli.get("csv", "");
+  ctx.json_path = cli.get("json", "");
+  return ctx;
+}
+
+topo::Shape BenchContext::runnable(const topo::Shape& paper_shape) const {
+  if (full) return paper_shape;
+  topo::Shape shape = paper_shape;
+  // Ratio-preserving halving divides a 3-D shape by 8, so allow 25% slack
+  // rather than overshooting to 1/8th of the budget.
+  while (shape.nodes() > node_budget + node_budget / 4) {
+    bool all_halvable = true;
+    for (int a = 0; a < topo::kAxes; ++a) {
+      const int extent = shape.dim[static_cast<std::size_t>(a)];
+      if (extent > 1 && (extent < 4 || extent % 2 != 0)) all_halvable = false;
+    }
+    if (all_halvable) {
+      for (int a = 0; a < topo::kAxes; ++a) {
+        auto& extent = shape.dim[static_cast<std::size_t>(a)];
+        if (extent > 1) extent /= 2;
+      }
+      continue;
+    }
+    int axis = -1;
+    for (int a = 0; a < topo::kAxes; ++a) {
+      const int extent = shape.dim[static_cast<std::size_t>(a)];
+      if (extent >= 4 && extent % 2 == 0 &&
+          (axis < 0 || extent > shape.dim[static_cast<std::size_t>(axis)])) {
+        axis = a;
+      }
+    }
+    if (axis < 0) break;
+    shape.dim[static_cast<std::size_t>(axis)] /= 2;
+  }
+  return shape;
+}
+
+coll::AlltoallOptions BenchContext::base_options(const topo::Shape& shape,
+                                                 std::uint64_t msg_bytes) const {
+  coll::AlltoallOptions options;
+  options.net.shape = shape;
+  options.net.seed = sweep.base_seed;
+  options.msg_bytes = msg_bytes;
+  return options;
+}
+
+std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  auto results = sweep_jobs.run(sweep);
+  const std::chrono::duration<double, std::milli> wall = clock::now() - start;
+
+  CsvSink csv(csv_path);
+  JsonSink json(json_path);
+  MultiSink sinks;
+  if (!csv_path.empty()) sinks.attach(&csv);
+  if (!json_path.empty()) sinks.attach(&json);
+  if (!sinks.empty()) emit(results, sinks);
+
+  const int threads =
+      sweep.jobs > 0 ? sweep.jobs : ThreadPool::default_threads();
+  const auto used = static_cast<int>(
+      std::min<std::size_t>(results.size(), static_cast<std::size_t>(threads)));
+  std::printf("[harness] %s\n",
+              throughput_summary(results, used, wall.count()).c_str());
+  return results;
+}
+
+}  // namespace bgl::harness

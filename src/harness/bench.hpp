@@ -1,0 +1,56 @@
+// Shared context for the reproduction benches: paper-shape scaling, the
+// parallel-runner options (--jobs, --seed) and the machine-readable output
+// sinks (--csv, --json). Formatting helpers (headers, shape notes) stay in
+// bench/bench_util.hpp.
+//
+// Partitions above `node_budget` nodes are expensive to simulate
+// packet-by-packet, so by default such rows run on a shape scaled down by
+// halving dimensions while preserving the asymmetry ratios; `--full` runs
+// the paper-exact sizes (documented per bench in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coll/alltoall.hpp"
+#include "src/harness/sweep.hpp"
+#include "src/topology/torus.hpp"
+#include "src/util/cli.hpp"
+
+namespace bgl::harness {
+
+inline constexpr std::int64_t kDefaultNodeBudget = 1024;
+
+struct BenchContext {
+  bool full = false;
+  std::int64_t node_budget = kDefaultNodeBudget;
+  SweepOptions sweep{};
+  std::string csv_path;   // empty = no CSV sink
+  std::string json_path;  // empty = no JSON sink
+
+  /// Declares and reads the shared bench options (--full, --budget, --seed,
+  /// --jobs, --csv, --json). Call before cli.validate().
+  static BenchContext from_cli(util::Cli& cli);
+
+  std::uint64_t seed() const { return sweep.base_seed; }
+
+  /// The shape a row actually runs at. Preference: halve *every* non-trivial
+  /// dimension at once, which preserves the paper shape's asymmetry ratios
+  /// exactly (32x32x16 -> 16x16x8); when some dimension is too small for
+  /// that, halve the largest halvable dimension instead. Wrap flags are
+  /// kept; dimensions never drop below 2.
+  topo::Shape runnable(const topo::Shape& paper_shape) const;
+
+  /// Options for one simulated point (the per-job seed is derived later,
+  /// when the sweep runs).
+  coll::AlltoallOptions base_options(const topo::Shape& shape,
+                                     std::uint64_t msg_bytes) const;
+
+  /// Runs the sweep on the worker pool, streams the rows into any
+  /// configured sinks, prints the throughput footer, and returns the
+  /// results ordered by job index.
+  std::vector<SimResult> run(const Sweep& sweep_jobs) const;
+};
+
+}  // namespace bgl::harness

@@ -1,0 +1,55 @@
+// Fixed-size worker thread pool for independent simulation jobs.
+//
+// Every point of a bench sweep is a self-contained single-threaded Fabric
+// run, so the pool needs no shared state beyond the task queue: tasks are
+// submitted up front, workers drain the queue, and wait() blocks until all
+// submitted work has finished. Tasks must not throw — the runner layer
+// (runner.hpp) wraps each job to capture its exception per index.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgl::harness {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Waits for all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void wait();
+
+  int threads() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency(), with a fallback of 1 when the
+  /// runtime cannot determine it.
+  static int default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bgl::harness

@@ -1,0 +1,39 @@
+#include "src/harness/runner.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "src/harness/pool.hpp"
+
+namespace bgl::harness {
+
+void run_indexed(std::size_t count, int jobs,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const auto requested =
+      static_cast<std::size_t>(jobs > 0 ? jobs : ThreadPool::default_threads());
+  const int workers = static_cast<int>(std::min(count, requested));
+
+  // One slot per job: exceptions are captured where they happen and
+  // rethrown by ascending index, so the caller sees the same error no
+  // matter the thread count or completion order.
+  std::vector<std::exception_ptr> errors(count);
+  {
+    ThreadPool pool(workers);
+    for (std::size_t index = 0; index < count; ++index) {
+      pool.submit([&body, &errors, index] {
+        try {
+          body(index);
+        } catch (...) {
+          errors[index] = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace bgl::harness

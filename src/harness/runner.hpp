@@ -1,0 +1,53 @@
+// Deterministic parallel execution of independent, index-addressed jobs.
+//
+// run_indexed(count, jobs, body) runs body(0), ..., body(count-1) on a
+// fixed-size ThreadPool and returns once every job has finished. Jobs write
+// into slots addressed by their own index, so results are ordered by job
+// index regardless of how many workers ran or in what order jobs completed.
+// If jobs throw, the exception of the lowest-index failing job is rethrown
+// after all jobs have run (later exceptions are dropped).
+//
+// derive_seed(base, index) gives each job an RNG seed that is a pure
+// function of the base seed and the job's index — the property that makes a
+// parallel sweep bit-identical to a serial one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace bgl::harness {
+
+/// Per-job seed: the splitmix64 output stream of `base_seed`, decorrelated
+/// by job index. Distinct indices (and distinct bases) give independent
+/// seeds; index 0 never returns `base_seed` itself.
+constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                    std::uint64_t job_index) noexcept {
+  std::uint64_t state = base_seed + job_index * 0x9e3779b97f4a7c15ULL;
+  return util::splitmix64(state);
+}
+
+/// Runs body(index) for every index in [0, count) on `jobs` worker threads
+/// (0 = one per hardware thread; always clamped to [1, count]). Blocks
+/// until all jobs finish; rethrows the lowest-index job exception.
+void run_indexed(std::size_t count, int jobs,
+                 const std::function<void(std::size_t)>& body);
+
+/// Typed wrapper: returns {fn(0), ..., fn(count-1)} in index order. The
+/// result type must be default-constructible and movable; each slot is
+/// written by exactly one job.
+template <typename Fn>
+auto run_ordered(std::size_t count, int jobs, Fn&& fn) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "run_ordered results are pre-sized; R needs a default ctor");
+  std::vector<R> results(count);
+  run_indexed(count, jobs, [&](std::size_t index) { results[index] = fn(index); });
+  return results;
+}
+
+}  // namespace bgl::harness

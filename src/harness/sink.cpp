@@ -1,0 +1,99 @@
+#include "src/harness/sink.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bgl::harness {
+
+namespace {
+
+/// True if the whole cell parses as a finite decimal number (what strtod
+/// accepts), so JSON can carry it unquoted.
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(cell.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void CsvSink::begin(const std::vector<std::string>& columns) {
+  writer_ = std::make_unique<trace::CsvWriter>(path_, columns);
+}
+
+void CsvSink::row(const std::vector<std::string>& cells) {
+  writer_->row(cells);
+  ++rows_;
+}
+
+void CsvSink::end() { writer_.reset(); }
+
+JsonSink::~JsonSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonSink::begin(const std::vector<std::string>& columns) {
+  columns_ = columns;
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("JsonSink: cannot create " + path_);
+  }
+  std::fputs("[", file_);
+}
+
+void JsonSink::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("JsonSink: row width does not match columns");
+  }
+  std::fputs(rows_ == 0 ? "\n" : ",\n", file_);
+  std::fputs("  {", file_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) std::fputs(", ", file_);
+    std::fprintf(file_, "\"%s\": ", json_escape(columns_[i]).c_str());
+    if (looks_numeric(cells[i])) {
+      std::fputs(cells[i].c_str(), file_);
+    } else {
+      std::fprintf(file_, "\"%s\"", json_escape(cells[i]).c_str());
+    }
+  }
+  std::fputs("}", file_);
+  ++rows_;
+}
+
+void JsonSink::end() {
+  if (file_ == nullptr) return;
+  std::fputs(rows_ == 0 ? "]\n" : "\n]\n", file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void MultiSink::begin(const std::vector<std::string>& columns) {
+  for (auto* sink : sinks_) sink->begin(columns);
+}
+
+void MultiSink::row(const std::vector<std::string>& cells) {
+  for (auto* sink : sinks_) sink->row(cells);
+}
+
+void MultiSink::end() {
+  for (auto* sink : sinks_) sink->end();
+}
+
+}  // namespace bgl::harness

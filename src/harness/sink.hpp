@@ -1,0 +1,87 @@
+// Pluggable result sinks: one row per simulation job, fixed columns.
+//
+// The paper-facing tables (paper-reported columns next to measured ones)
+// stay in the benches; sinks carry the machine-readable form of the same
+// sweep with a schema that is stable across every bench (see
+// sweep.hpp::result_columns), so plotting scripts and the perf trajectory
+// can consume any bench's output without bespoke parsing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/csv.hpp"
+
+namespace bgl::harness {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once, before any row, with the column names.
+  virtual void begin(const std::vector<std::string>& columns) = 0;
+
+  /// One result row; cells align with the columns passed to begin().
+  virtual void row(const std::vector<std::string>& cells) = 0;
+
+  /// Called once after the last row (flush/close point).
+  virtual void end() {}
+};
+
+/// RFC 4180 CSV file (delegates to trace::CsvWriter).
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::string path) : path_(std::move(path)) {}
+
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+  void end() override;
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<trace::CsvWriter> writer_;
+  std::size_t rows_ = 0;
+};
+
+/// JSON array of flat objects, one per row. Numeric-looking cells are
+/// emitted as JSON numbers so downstream tooling (and the BENCH_*.json perf
+/// trajectory) gets typed values; everything else is a quoted string.
+class JsonSink final : public ResultSink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+  ~JsonSink() override;
+
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+  void end() override;
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::string> columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Fans begin/row/end out to several sinks (none owned).
+class MultiSink final : public ResultSink {
+ public:
+  void attach(ResultSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  bool empty() const { return sinks_.empty(); }
+
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+  void end() override;
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace bgl::harness

@@ -1,0 +1,96 @@
+#include "src/harness/sweep.hpp"
+
+#include <chrono>
+
+#include "src/harness/runner.hpp"
+#include "src/util/table.hpp"
+
+namespace bgl::harness {
+
+std::size_t Sweep::add(coll::StrategyKind kind, const coll::AlltoallOptions& options,
+                       std::string label) {
+  SimJob job;
+  job.label = std::move(label);
+  job.kind = kind;
+  job.options = options;
+  if (job.label.empty()) {
+    job.label = options.net.shape.to_string() + "/" +
+                util::fmt_bytes(options.msg_bytes) + "/" + strategy_name(kind);
+  }
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::vector<SimResult> Sweep::run(const SweepOptions& options) const {
+  using clock = std::chrono::steady_clock;
+  return run_ordered(jobs_.size(), options.jobs, [&](std::size_t index) {
+    const SimJob& job = jobs_[index];
+    SimResult result;
+    result.index = index;
+    result.label = job.label;
+
+    auto sim_options = job.options;
+    if (options.derive_seeds) {
+      sim_options.net.seed = derive_seed(options.base_seed, index);
+    }
+    result.seed = sim_options.net.seed;
+
+    const auto start = clock::now();
+    result.run = coll::run_alltoall(job.kind, sim_options);
+    const std::chrono::duration<double, std::milli> wall = clock::now() - start;
+    result.wall_ms = wall.count();
+    result.events_per_sec =
+        result.wall_ms > 0.0
+            ? static_cast<double>(result.run.events) / (result.wall_ms / 1000.0)
+            : 0.0;
+    return result;
+  });
+}
+
+std::vector<std::string> result_columns() {
+  return {"label",        "strategy",  "shape",         "msg_bytes",
+          "elapsed_us",   "percent_peak", "per_node_mbps", "packets_delivered",
+          "events",       "drained",   "seed",          "wall_ms",
+          "events_per_sec"};
+}
+
+std::vector<std::string> result_cells(const SimResult& result) {
+  const auto& run = result.run;
+  return {result.label,
+          run.strategy,
+          run.shape.to_string(),
+          std::to_string(run.msg_bytes),
+          util::fmt(run.elapsed_us, 3),
+          util::fmt(run.percent_peak, 2),
+          util::fmt(run.per_node_mbps, 1),
+          std::to_string(run.packets_delivered),
+          std::to_string(run.events),
+          run.drained ? "1" : "0",
+          std::to_string(result.seed),
+          util::fmt(result.wall_ms, 3),
+          util::fmt(result.events_per_sec, 0)};
+}
+
+void emit(const std::vector<SimResult>& results, ResultSink& sink) {
+  sink.begin(result_columns());
+  for (const auto& result : results) sink.row(result_cells(result));
+  sink.end();
+}
+
+std::string throughput_summary(const std::vector<SimResult>& results, int threads,
+                               double sweep_wall_ms) {
+  double sim_ms = 0.0;
+  double events = 0.0;
+  for (const auto& result : results) {
+    sim_ms += result.wall_ms;
+    events += static_cast<double>(result.run.events);
+  }
+  const double mev_per_sec =
+      sweep_wall_ms > 0.0 ? events / 1000.0 / sweep_wall_ms : 0.0;
+  return std::to_string(results.size()) + " jobs on " + std::to_string(threads) +
+         " thread(s): " + util::fmt(sweep_wall_ms, 0) + " ms wall (" +
+         util::fmt(sim_ms, 0) + " ms of simulation, " + util::fmt(mev_per_sec, 2) +
+         " Mevents/s)";
+}
+
+}  // namespace bgl::harness

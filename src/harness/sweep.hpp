@@ -1,0 +1,78 @@
+// A sweep of independent all-to-all simulation jobs run on the harness.
+//
+// Benches build a Sweep (one job per simulated point), run it, and format
+// their paper-facing tables from the ordered results. Each job runs a
+// private Fabric + strategy client on a worker thread with a seed derived
+// from (base_seed, job index) — see runner.hpp — so the result vector is
+// bit-identical for any worker count. Host wall time and simulator
+// events/second are metered per job for the perf trajectory; they are the
+// only nondeterministic fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coll/alltoall.hpp"
+#include "src/harness/sink.hpp"
+
+namespace bgl::harness {
+
+struct SimJob {
+  std::string label;  // free-form row tag, e.g. "8x8x8/240B"
+  coll::StrategyKind kind = coll::StrategyKind::kAdaptiveRandom;
+  coll::AlltoallOptions options;
+};
+
+struct SimResult {
+  std::size_t index = 0;
+  std::string label;
+  std::uint64_t seed = 0;  // the seed the job actually ran with
+  coll::RunResult run;
+  // Host-side metering (nondeterministic; excluded from determinism checks).
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  int jobs = 0;
+  /// Every job runs with net.seed = derive_seed(base_seed, index).
+  std::uint64_t base_seed = 1;
+  /// Set false to honor each job's own options.net.seed instead.
+  bool derive_seeds = true;
+};
+
+class Sweep {
+ public:
+  /// Appends a job and returns its index (== its slot in run()'s result).
+  std::size_t add(coll::StrategyKind kind, const coll::AlltoallOptions& options,
+                  std::string label = "");
+
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const std::vector<SimJob>& jobs() const { return jobs_; }
+
+  /// Runs every job on the pool; results are ordered by job index. An empty
+  /// sweep returns an empty vector. Job exceptions propagate (lowest index
+  /// first), after all jobs have run.
+  std::vector<SimResult> run(const SweepOptions& options = {}) const;
+
+ private:
+  std::vector<SimJob> jobs_;
+};
+
+/// The stable machine-readable schema shared by every bench.
+std::vector<std::string> result_columns();
+std::vector<std::string> result_cells(const SimResult& result);
+
+/// Streams `results` through a sink (begin/rows/end).
+void emit(const std::vector<SimResult>& results, ResultSink& sink);
+
+/// One-line throughput footer: job count, worker threads, total host wall
+/// time and aggregate simulator event rate.
+std::string throughput_summary(const std::vector<SimResult>& results, int threads,
+                               double sweep_wall_ms);
+
+}  // namespace bgl::harness

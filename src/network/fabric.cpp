@@ -211,7 +211,7 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   const bool becomes_head = fifos_[fid].empty();
   fifos_[fid].push_back(packet);
   ++in_network_;
-  if (stats_.packets_injected == 0) stats_.first_injection = now();
+  if (stats_.first_injection == FabricStats::kNever) stats_.first_injection = now();
   ++stats_.packets_injected;
   if (becomes_head) {
     fifo_want_[fid] = want_mask(packet);

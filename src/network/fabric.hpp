@@ -64,12 +64,25 @@ class Client {
 
 /// Aggregate counters for a run.
 struct FabricStats {
+  /// `first_injection` value while no packet has ever been injected. A real
+  /// injection at tick 0 is common (the first core pump), so 0 cannot double
+  /// as the "empty run" marker.
+  static constexpr Tick kNever = ~Tick{0};
+
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t payload_bytes_delivered = 0;
   std::uint64_t chunk_hops = 0;   // chunks x links traversed
-  Tick first_injection = 0;
+  Tick first_injection = kNever;  // kNever until the first injection
   Tick last_delivery = 0;
+
+  /// Ticks between the first injection and the last delivery; 0 for a run
+  /// that never injected (so time-averaged stats divide by zero nowhere).
+  Tick active_span() const noexcept {
+    return first_injection == kNever || last_delivery < first_injection
+               ? Tick{0}
+               : last_delivery - first_injection;
+  }
   // Arbitration outcome counters (diagnosis of idle links).
   std::uint64_t arb_grants = 0;
   std::uint64_t arb_no_candidate = 0;  // no head wanted this output

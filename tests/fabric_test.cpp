@@ -69,6 +69,30 @@ TEST(Fabric, SingleHopDelivery) {
   EXPECT_GT(fabric.stats().last_delivery, 0u);
 }
 
+TEST(Fabric, EmptyRunStatsUseSentinel) {
+  // A client with no traffic: first_injection must stay at the kNever
+  // sentinel (a real injection at tick 0 is common, so 0 can't mean "none")
+  // and active_span() must report a zero-length run.
+  auto config = make_config("4x4x4");
+  ScriptedClient client({});
+  Fabric fabric(config, client);
+  EXPECT_TRUE(fabric.run());
+  EXPECT_EQ(fabric.stats().packets_injected, 0u);
+  EXPECT_EQ(fabric.stats().first_injection, FabricStats::kNever);
+  EXPECT_EQ(fabric.stats().active_span(), 0u);
+}
+
+TEST(Fabric, ActiveSpanCoversInjectionToDelivery) {
+  auto config = make_config("4x4x4");
+  ScriptedClient client({{0, 1, 2}});
+  Fabric fabric(config, client);
+  EXPECT_TRUE(fabric.run());
+  EXPECT_NE(fabric.stats().first_injection, FabricStats::kNever);
+  EXPECT_LE(fabric.stats().first_injection, fabric.stats().last_delivery);
+  EXPECT_EQ(fabric.stats().active_span(),
+            fabric.stats().last_delivery - fabric.stats().first_injection);
+}
+
 TEST(Fabric, MultiHopDeliveryBothModes) {
   for (const auto mode : {RoutingMode::kAdaptive, RoutingMode::kDeterministic}) {
     auto config = make_config("4x4x4");

@@ -1,0 +1,254 @@
+// The parallel experiment harness: deterministic seeding, the worker pool,
+// ordered result collection, exception propagation and the result sinks.
+#include "src/harness/bench.hpp"
+#include "src/harness/pool.hpp"
+#include "src/harness/runner.hpp"
+#include "src/harness/sink.hpp"
+#include "src/harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bgl::harness {
+namespace {
+
+// --- derive_seed -----------------------------------------------------------
+
+TEST(DeriveSeed, PureFunctionOfBaseAndIndex) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  EXPECT_EQ(derive_seed(42, 17), derive_seed(42, 17));
+}
+
+TEST(DeriveSeed, DistinctIndicesAndBasesDecorrelate) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {1ull, 2ull, 0xdeadbeefull}) {
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      seeds.insert(derive_seed(base, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 3u * 64u);  // no collisions across the grid
+}
+
+TEST(DeriveSeed, IndexZeroIsNotTheBaseSeed) {
+  for (std::uint64_t base : {0ull, 1ull, 7ull, ~0ull}) {
+    EXPECT_NE(derive_seed(base, 0), base);
+  }
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroAndNegativeClampToOneWorker) {
+  EXPECT_EQ(ThreadPool(0).threads(), 1);
+  EXPECT_EQ(ThreadPool(-3).threads(), 1);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait();  // must not deadlock
+}
+
+// --- run_indexed / run_ordered ---------------------------------------------
+
+TEST(Runner, OrderedResultsForAnyWorkerCount) {
+  for (const int jobs : {1, 2, 8}) {
+    const auto results =
+        run_ordered(16, jobs, [](std::size_t index) { return index * index; });
+    ASSERT_EQ(results.size(), 16u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], i * i);
+    }
+  }
+}
+
+TEST(Runner, EmptyJobListIsANoOp) {
+  bool ran = false;
+  run_indexed(0, 8, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(run_ordered(0, 8, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(Runner, LowestIndexExceptionWinsAndLaterJobsStillRun) {
+  std::atomic<int> completed{0};
+  try {
+    run_indexed(8, 4, [&](std::size_t index) {
+      if (index == 2 || index == 5) {
+        throw std::runtime_error("job " + std::to_string(index));
+      }
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the job exception to propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "job 2");
+  }
+  EXPECT_EQ(completed.load(), 6);  // non-throwing jobs all ran to completion
+}
+
+// --- Sweep -----------------------------------------------------------------
+
+Sweep small_sweep() {
+  Sweep sweep;
+  for (const char* spec : {"4x4", "2x2x2", "8"}) {
+    for (const std::uint64_t bytes : {32ull, 240ull}) {
+      coll::AlltoallOptions options;
+      options.net.shape = topo::parse_shape(spec);
+      options.msg_bytes = bytes;
+      sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+    }
+  }
+  return sweep;
+}
+
+/// The machine-readable row minus the host-timing columns (wall_ms,
+/// events_per_sec) — everything that must be bit-identical across worker
+/// counts.
+std::vector<std::string> deterministic_cells(const SimResult& result) {
+  auto cells = result_cells(result);
+  cells.resize(cells.size() - 2);
+  return cells;
+}
+
+TEST(Sweep, ResultRowsAreBitIdenticalAcrossWorkerCounts) {
+  const auto sweep = small_sweep();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+
+  const auto a = sweep.run(serial);
+  const auto b = sweep.run(parallel);
+  ASSERT_EQ(a.size(), sweep.size());
+  ASSERT_EQ(b.size(), sweep.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, i);
+    EXPECT_EQ(deterministic_cells(a[i]), deterministic_cells(b[i])) << "job " << i;
+  }
+}
+
+TEST(Sweep, PerJobSeedsAreDerivedFromBaseAndIndex) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+  options.base_seed = 99;
+  const auto results = sweep.run(options);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].seed, derive_seed(99, i));
+  }
+}
+
+TEST(Sweep, EmptySweepReturnsEmptyResults) {
+  const Sweep sweep;
+  EXPECT_TRUE(sweep.run({}).empty());
+}
+
+TEST(Sweep, JobExceptionPropagatesAfterAllJobsRan) {
+  // Job 1 is invalid (single-node all-to-all); run_alltoall throws and the
+  // sweep must surface that exception rather than return a partial vector.
+  Sweep sweep;
+  coll::AlltoallOptions good;
+  good.net.shape = topo::parse_shape("4x4");
+  good.msg_bytes = 32;
+  coll::AlltoallOptions bad;
+  bad.net.shape = topo::parse_shape("1x1x1");
+  bad.msg_bytes = 32;
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, good);
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, bad);
+  SweepOptions options;
+  options.jobs = 2;
+  EXPECT_THROW(sweep.run(options), std::invalid_argument);
+}
+
+TEST(Sweep, AutoLabelsAndSchemaAgree) {
+  const auto sweep = small_sweep();
+  EXPECT_EQ(sweep.jobs()[0].label, topo::parse_shape("4x4").to_string() + "/32B/AR");
+  const auto results = sweep.run({});
+  const auto columns = result_columns();
+  for (const auto& result : results) {
+    EXPECT_EQ(result_cells(result).size(), columns.size());
+  }
+}
+
+// --- sinks -----------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Sinks, CsvAndJsonCarryTheSameRows) {
+  const std::string csv_path = testing::TempDir() + "harness_test_rows.csv";
+  const std::string json_path = testing::TempDir() + "harness_test_rows.json";
+  CsvSink csv(csv_path);
+  JsonSink json(json_path);
+  MultiSink multi;
+  multi.attach(&csv);
+  multi.attach(&json);
+  EXPECT_FALSE(multi.empty());
+
+  multi.begin({"label", "value", "note"});
+  multi.row({"a", "1.5", "plain"});
+  multi.row({"b", "-7", "needs,quoting"});
+  multi.end();
+  EXPECT_EQ(csv.rows_written(), 2u);
+  EXPECT_EQ(json.rows_written(), 2u);
+
+  const auto csv_text = slurp(csv_path);
+  EXPECT_NE(csv_text.find("label,value,note"), std::string::npos);
+  EXPECT_NE(csv_text.find("\"needs,quoting\""), std::string::npos);
+
+  const auto json_text = slurp(json_path);
+  EXPECT_NE(json_text.find("\"value\": 1.5"), std::string::npos);   // numeric: bare
+  EXPECT_NE(json_text.find("\"value\": -7"), std::string::npos);
+  EXPECT_NE(json_text.find("\"note\": \"plain\""), std::string::npos);
+  EXPECT_EQ(json_text.front(), '[');
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(Sinks, RowWidthMismatchThrows) {
+  const std::string path = testing::TempDir() + "harness_test_width.json";
+  JsonSink json(path);
+  json.begin({"a", "b"});
+  EXPECT_THROW(json.row({"only-one"}), std::invalid_argument);
+  json.end();
+  std::remove(path.c_str());
+}
+
+// --- BenchContext ----------------------------------------------------------
+
+TEST(BenchContext, CliRoundTrip) {
+  const char* argv[] = {"bench",  "--jobs", "3",          "--seed",
+                        "7",      "--full", "--budget",   "512",
+                        "--csv",  "x.csv",  "--json",     "y.json"};
+  util::Cli cli(static_cast<int>(std::size(argv)), argv);
+  const auto ctx = BenchContext::from_cli(cli);
+  EXPECT_EQ(ctx.sweep.jobs, 3);
+  EXPECT_EQ(ctx.seed(), 7u);
+  EXPECT_TRUE(ctx.full);
+  EXPECT_EQ(ctx.node_budget, 512);
+  EXPECT_EQ(ctx.csv_path, "x.csv");
+  EXPECT_EQ(ctx.json_path, "y.json");
+}
+
+}  // namespace
+}  // namespace bgl::harness

@@ -8,11 +8,15 @@ namespace {
 using topo::parse_shape;
 
 TEST(Selector, ShortMessageBoundaryAt64Bytes) {
-  // Below the 32-64 B measured change-over on a big partition: combining.
+  // At and below the 32-64 B measured change-over on a big partition the
+  // combining scheme wins — kShortMessageBytes is documented inclusive, so
+  // a 64 B message still selects the virtual mesh.
   EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 63).kind, StrategyKind::kVirtualMesh);
-  // At and above it: the long-message rules take over.
-  EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 64).kind, StrategyKind::kAdaptiveRandom);
-  EXPECT_EQ(select_strategy(parse_shape("8x8x16"), 64).kind, StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 64).kind, StrategyKind::kVirtualMesh);
+  EXPECT_EQ(select_strategy(parse_shape("8x8x16"), 64).kind, StrategyKind::kVirtualMesh);
+  // Strictly above it the long-message rules take over.
+  EXPECT_EQ(select_strategy(parse_shape("8x8x8"), 65).kind, StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("8x8x16"), 65).kind, StrategyKind::kTwoPhase);
 }
 
 TEST(Selector, SmallPartitionsNeverCombine) {

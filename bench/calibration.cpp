@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "src/harness/runner.hpp"
 #include "src/model/calibrate.hpp"
 #include "src/model/constants.hpp"
 
@@ -26,7 +27,16 @@ int main(int argc, char** argv) {
 
   const std::vector<std::uint64_t> sizes = {64,   128,  256,  512,   1024,
                                             2048, 4096, 8192, 16384, 32768};
-  const auto calibration = model::calibrate(config, sizes);
+  // Every ping is a self-contained run on an idle fabric, so the size sweep
+  // runs on the harness pool (--jobs). The least-squares fit consumes the
+  // index-ordered sample vector and its sums are symmetric in the samples,
+  // so the fitted alpha/beta are identical to the old serial loop's.
+  const auto [src, dst] = model::calibration_pair(config);
+  const auto calibration = model::fit_calibration(harness::run_ordered(
+      sizes.size(), ctx.sweep.jobs, [&](std::size_t i) {
+        return model::PingPongSample{
+            sizes[i], model::ping_message_cycles(config, src, dst, sizes[i])};
+      }));
 
   util::Table table({"msg bytes", "one-way us", "fit us"});
   for (const auto& sample : calibration.samples) {

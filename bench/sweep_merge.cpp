@@ -1,0 +1,52 @@
+// Merge the CSV/JSON outputs of a sharded sweep back into one file.
+//
+//   bench --shard 1/2 --csv s1.csv     # machine A
+//   bench --shard 2/2 --csv s2.csv     # machine B
+//   sweep_merge --out full.csv s1.csv s2.csv
+//
+// Because per-job seeds are derived from the *global* run index, the merged
+// file is byte-identical to the file an unsharded run would have written
+// (CI diffs exactly that). Inputs must be listed in shard order. The format
+// is taken from --format, or inferred from the --out extension.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/harness/sink.hpp"
+#include "src/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  cli.describe("out", "merged output file (required)");
+  cli.describe("format", "csv or json (default: from the --out extension)");
+
+  try {
+    cli.validate();
+    const std::string out = cli.get("out", "");
+    if (out.empty()) throw std::runtime_error("--out is required");
+    const std::vector<std::string>& shards = cli.positional();
+    if (shards.empty()) {
+      throw std::runtime_error("no shard files given (pass them in shard order)");
+    }
+    std::string format = cli.get("format", "");
+    if (format.empty()) {
+      const auto dot = out.rfind('.');
+      format = (dot != std::string::npos && out.substr(dot) == ".json") ? "json"
+                                                                        : "csv";
+    }
+    if (format == "csv") {
+      harness::merge_csv_shards(shards, out);
+    } else if (format == "json") {
+      harness::merge_json_shards(shards, out);
+    } else {
+      throw std::runtime_error("--format must be csv or json, got '" + format + "'");
+    }
+    std::printf("merged %zu shard(s) into %s\n", shards.size(), out.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: error: %s\n", cli.program().c_str(), error.what());
+    return 2;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,12 @@ class DeliveryMatrix {
       }
     }
     return "";
+  }
+
+  /// Total bytes recorded across all pairs — for conservation checks
+  /// against the injected volume (nodes * (nodes-1) * m for an all-to-all).
+  std::uint64_t total_bytes() const {
+    return std::accumulate(bytes_.begin(), bytes_.end(), std::uint64_t{0});
   }
 
   std::int32_t nodes() const { return nodes_; }

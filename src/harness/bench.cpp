@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include <unistd.h>
 
 #include "src/harness/pool.hpp"
 
@@ -11,17 +15,48 @@ namespace bgl::harness {
 BenchContext BenchContext::from_cli(util::Cli& cli) {
   cli.describe("full", "run paper-exact partition sizes (slow)");
   cli.describe("budget", "max nodes before scaling a row down");
-  cli.describe("seed", "base seed; job i runs with splitmix64(seed, i)");
-  cli.describe("jobs", "worker threads for simulation jobs (0 = all cores)");
+  cli.describe("seed", "base seed; run i of the sweep uses splitmix64(seed, i)");
+  cli.describe("jobs", "worker threads for simulation jobs (default: all cores)");
+  cli.describe("shard", "run slice i of N of the sweep (format i/N); shard "
+                        "CSV/JSON outputs merge bit-identically");
+  cli.describe("repeats", "run every point R times; sinks carry "
+                          "min/mean/max/stddev per point");
+  cli.describe("progress", "rows done / total + ETA on stderr "
+                           "(default: on when stderr is a terminal)");
   cli.describe("csv", "also write machine-readable rows to this CSV file");
   cli.describe("json", "also write machine-readable rows to this JSON file");
+  cli.describe("host-timing", "append nondeterministic wall_ms/events_per_sec "
+                              "columns to per-run sink rows");
   BenchContext ctx;
-  ctx.full = cli.get_bool("full", false);
-  ctx.node_budget = cli.get_int("budget", kDefaultNodeBudget);
-  ctx.sweep.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  ctx.sweep.jobs = static_cast<int>(cli.get_int("jobs", 0));
-  ctx.csv_path = cli.get("csv", "");
-  ctx.json_path = cli.get("json", "");
+  try {
+    ctx.full = cli.get_bool("full", false);
+    ctx.node_budget = cli.get_int("budget", kDefaultNodeBudget);
+    ctx.sweep.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    ctx.sweep.jobs = static_cast<int>(cli.get_int("jobs", 0));
+    if (cli.has("jobs") && ctx.sweep.jobs < 1) {
+      throw std::runtime_error(
+          "option --jobs: must be >= 1 (omit the flag for one worker per "
+          "hardware thread)");
+    }
+    ctx.sweep.repeats = static_cast<int>(cli.get_int("repeats", 1));
+    if (ctx.sweep.repeats < 1) {
+      throw std::runtime_error("option --repeats: must be >= 1, got " +
+                               std::to_string(ctx.sweep.repeats));
+    }
+    const std::string shard = cli.get("shard", "");
+    if (!shard.empty() || cli.has("shard")) {
+      const ShardSpec spec = parse_shard(shard);
+      ctx.sweep.shard_index = spec.index;
+      ctx.sweep.shard_count = spec.count;
+    }
+    ctx.sweep.progress = cli.get_bool("progress", ::isatty(2) != 0);
+    ctx.csv_path = cli.get("csv", "");
+    ctx.json_path = cli.get("json", "");
+    ctx.host_timing = cli.get_bool("host-timing", false);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: error: %s\n", cli.program().c_str(), error.what());
+    std::exit(2);
+  }
   return ctx;
 }
 
@@ -69,7 +104,7 @@ coll::AlltoallOptions BenchContext::base_options(const topo::Shape& shape,
 std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
   using clock = std::chrono::steady_clock;
   const auto start = clock::now();
-  auto results = sweep_jobs.run(sweep);
+  auto runs = sweep_jobs.run(sweep);
   const std::chrono::duration<double, std::milli> wall = clock::now() - start;
 
   CsvSink csv(csv_path);
@@ -77,15 +112,49 @@ std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
   MultiSink sinks;
   if (!csv_path.empty()) sinks.attach(&csv);
   if (!json_path.empty()) sinks.attach(&json);
-  if (!sinks.empty()) emit(results, sinks);
+  if (!sinks.empty()) {
+    if (sweep.repeats == 1) {
+      emit(runs, sinks, host_timing);
+    } else {
+      emit_aggregate(aggregate(runs), sinks);
+    }
+  }
 
   const int threads =
       sweep.jobs > 0 ? sweep.jobs : ThreadPool::default_threads();
   const auto used = static_cast<int>(
-      std::min<std::size_t>(results.size(), static_cast<std::size_t>(threads)));
-  std::printf("[harness] %s\n",
-              throughput_summary(results, used, wall.count()).c_str());
-  return results;
+      std::min<std::size_t>(runs.size(), static_cast<std::size_t>(threads)));
+  const std::string footer = throughput_summary(runs, used, wall.count());
+
+  // One representative row per sweep point for the paper-facing tables:
+  // the repeat-0 run where available, a zeroed `ran == false` placeholder
+  // for points outside this shard.
+  std::vector<SimResult> table(sweep_jobs.size());
+  for (auto& result : runs) {
+    if (result.repeat == 0) table[result.index] = std::move(result);
+  }
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!table[i].ran) {
+      table[i].index = i;
+      table[i].label = sweep_jobs.jobs()[i].label;
+    }
+  }
+
+  if (sweep.shard_count > 1) {
+    const auto range =
+        shard_range(sweep_jobs.size(), sweep.shard_index, sweep.shard_count);
+    std::printf("[harness] shard %d/%d: points %zu..%zu of %zu "
+                "(rows outside the shard print as zero)\n",
+                sweep.shard_index, sweep.shard_count, range.begin, range.end,
+                sweep_jobs.size());
+  }
+  if (sweep.repeats > 1) {
+    std::printf("[harness] repeats %d: tables show the first repeat; sinks "
+                "carry min/mean/max/stddev per point\n",
+                sweep.repeats);
+  }
+  std::printf("[harness] %s\n", footer.c_str());
+  return table;
 }
 
 }  // namespace bgl::harness

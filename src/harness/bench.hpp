@@ -28,9 +28,15 @@ struct BenchContext {
   SweepOptions sweep{};
   std::string csv_path;   // empty = no CSV sink
   std::string json_path;  // empty = no JSON sink
+  /// Append the nondeterministic wall_ms/events_per_sec columns to per-run
+  /// sink rows (off by default so shard outputs merge bit-identically).
+  bool host_timing = false;
 
   /// Declares and reads the shared bench options (--full, --budget, --seed,
-  /// --jobs, --csv, --json). Call before cli.validate().
+  /// --jobs, --shard, --repeats, --progress, --csv, --json, --host-timing).
+  /// Call before cli.validate(). Prints a clear error to stderr and exits
+  /// with status 2 on invalid values (--jobs 0, --repeats 0, malformed
+  /// --shard, non-numeric values).
   static BenchContext from_cli(util::Cli& cli);
 
   std::uint64_t seed() const { return sweep.base_seed; }
@@ -48,8 +54,12 @@ struct BenchContext {
                                      std::uint64_t msg_bytes) const;
 
   /// Runs the sweep on the worker pool, streams the rows into any
-  /// configured sinks, prints the throughput footer, and returns the
-  /// results ordered by job index.
+  /// configured sinks (per-run rows when --repeats is 1, aggregated
+  /// min/mean/max/stddev rows otherwise), prints the throughput footer,
+  /// and returns one representative result per sweep point in job order:
+  /// the repeat-0 run for points this shard executed, and a zeroed result
+  /// with `ran == false` for points outside the shard (so bench table
+  /// indexing stays valid under --shard).
   std::vector<SimResult> run(const Sweep& sweep_jobs) const;
 };
 

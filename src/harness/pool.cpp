@@ -22,10 +22,11 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()> task, std::uint64_t cost) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{cost, next_sequence_++, std::move(task)});
+    std::push_heap(queue_.begin(), queue_.end(), heap_before);
   }
   work_ready_.notify_one();
 }
@@ -47,8 +48,9 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      std::pop_heap(queue_.begin(), queue_.end(), heap_before);
+      task = std::move(queue_.back().fn);
+      queue_.pop_back();
       ++active_;
     }
     task();

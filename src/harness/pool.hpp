@@ -5,11 +5,18 @@
 // submitted up front, workers drain the queue, and wait() blocks until all
 // submitted work has finished. Tasks must not throw — the runner layer
 // (runner.hpp) wraps each job to capture its exception per index.
+//
+// Dispatch is longest-first: each task carries a cost hint (for sweeps,
+// nodes x msg_bytes) and the queue is a max-heap on it, so the most
+// expensive simulations start first and one big partition no longer
+// dominates the tail of the sweep. Equal-cost tasks run in submission
+// order. Results are index-addressed by the runner, so dispatch order never
+// affects output.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,8 +35,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
-  void submit(std::function<void()> task);
+  /// Enqueues a task; higher `cost` tasks are dispatched first, ties in
+  /// submission order (cost 0 == plain FIFO among themselves).
+  void submit(std::function<void()> task, std::uint64_t cost = 0);
 
   /// Blocks until every task submitted so far has completed.
   void wait();
@@ -41,12 +49,24 @@ class ThreadPool {
   static int default_threads();
 
  private:
+  struct QueuedTask {
+    std::uint64_t cost = 0;
+    std::uint64_t sequence = 0;  // FIFO tie-break among equal costs
+    std::function<void()> fn;
+  };
+  /// Heap order: highest cost first, then lowest sequence number.
+  static bool heap_before(const QueuedTask& a, const QueuedTask& b) noexcept {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.sequence > b.sequence;
+  }
+
   void worker_loop();
 
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::vector<QueuedTask> queue_;  // max-heap via std::push_heap/pop_heap
+  std::uint64_t next_sequence_ = 0;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

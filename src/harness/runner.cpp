@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
 
 #include "src/harness/pool.hpp"
 
 namespace bgl::harness {
 
 void run_indexed(std::size_t count, int jobs,
-                 const std::function<void(std::size_t)>& body) {
+                 const std::function<void(std::size_t)>& body,
+                 const std::vector<std::uint64_t>& costs) {
   if (count == 0) return;
+  if (!costs.empty() && costs.size() != count) {
+    throw std::invalid_argument("run_indexed: costs must be empty or one per job");
+  }
   const auto requested =
       static_cast<std::size_t>(jobs > 0 ? jobs : ThreadPool::default_threads());
   const int workers = static_cast<int>(std::min(count, requested));
@@ -21,13 +26,15 @@ void run_indexed(std::size_t count, int jobs,
   {
     ThreadPool pool(workers);
     for (std::size_t index = 0; index < count; ++index) {
-      pool.submit([&body, &errors, index] {
-        try {
-          body(index);
-        } catch (...) {
-          errors[index] = std::current_exception();
-        }
-      });
+      pool.submit(
+          [&body, &errors, index] {
+            try {
+              body(index);
+            } catch (...) {
+              errors[index] = std::current_exception();
+            }
+          },
+          costs.empty() ? 0 : costs[index]);
     }
     pool.wait();
   }

@@ -7,6 +7,10 @@
 // If jobs throw, the exception of the lowest-index failing job is rethrown
 // after all jobs have run (later exceptions are dropped).
 //
+// An optional per-index cost vector feeds the pool's longest-first
+// dispatch: expensive jobs start first, cutting the tail when job sizes are
+// uneven. Costs change scheduling only, never results.
+//
 // derive_seed(base, index) gives each job an RNG seed that is a pure
 // function of the base seed and the job's index — the property that makes a
 // parallel sweep bit-identical to a serial one.
@@ -33,20 +37,25 @@ constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
 
 /// Runs body(index) for every index in [0, count) on `jobs` worker threads
 /// (0 = one per hardware thread; always clamped to [1, count]). Blocks
-/// until all jobs finish; rethrows the lowest-index job exception.
+/// until all jobs finish; rethrows the lowest-index job exception. When
+/// `costs` is non-empty it must have `count` entries; higher-cost indices
+/// are dispatched first.
 void run_indexed(std::size_t count, int jobs,
-                 const std::function<void(std::size_t)>& body);
+                 const std::function<void(std::size_t)>& body,
+                 const std::vector<std::uint64_t>& costs = {});
 
 /// Typed wrapper: returns {fn(0), ..., fn(count-1)} in index order. The
 /// result type must be default-constructible and movable; each slot is
 /// written by exactly one job.
 template <typename Fn>
-auto run_ordered(std::size_t count, int jobs, Fn&& fn) {
+auto run_ordered(std::size_t count, int jobs, Fn&& fn,
+                 const std::vector<std::uint64_t>& costs = {}) {
   using R = std::invoke_result_t<Fn&, std::size_t>;
   static_assert(std::is_default_constructible_v<R>,
                 "run_ordered results are pre-sized; R needs a default ctor");
   std::vector<R> results(count);
-  run_indexed(count, jobs, [&](std::size_t index) { results[index] = fn(index); });
+  run_indexed(
+      count, jobs, [&](std::size_t index) { results[index] = fn(index); }, costs);
   return results;
 }
 

@@ -84,6 +84,90 @@ void JsonSink::end() {
   file_ = nullptr;
 }
 
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) throw std::runtime_error("merge: cannot open " + path);
+  std::string text;
+  char buffer[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) throw std::runtime_error("merge: cannot create " + path);
+  if (!text.empty() && std::fwrite(text.data(), 1, text.size(), file) != text.size()) {
+    std::fclose(file);
+    throw std::runtime_error("merge: short write to " + path);
+  }
+  std::fclose(file);
+}
+
+}  // namespace
+
+void merge_csv_shards(const std::vector<std::string>& inputs,
+                      const std::string& output) {
+  if (inputs.empty()) throw std::runtime_error("merge: no CSV shards given");
+  std::string merged;
+  std::string header;
+  for (const auto& path : inputs) {
+    const std::string text = slurp_file(path);
+    const auto newline = text.find('\n');
+    if (newline == std::string::npos) {
+      throw std::runtime_error("merge: " + path + " has no CSV header line");
+    }
+    const std::string this_header = text.substr(0, newline + 1);
+    if (header.empty()) {
+      header = this_header;
+      merged = text;
+    } else if (this_header != header) {
+      throw std::runtime_error("merge: " + path +
+                               " has a different CSV header than the first shard");
+    } else {
+      merged += text.substr(newline + 1);  // body rows only
+    }
+  }
+  write_file(output, merged);
+}
+
+void merge_json_shards(const std::vector<std::string>& inputs,
+                       const std::string& output) {
+  if (inputs.empty()) throw std::runtime_error("merge: no JSON shards given");
+  // Collect each shard's row block (the text between "[\n" and "\n]\n" as
+  // JsonSink writes it; an empty shard is "[]\n").
+  std::vector<std::string> blocks;
+  for (const auto& path : inputs) {
+    const std::string text = slurp_file(path);
+    if (text == "[]\n" || text == "[]") continue;  // empty shard
+    const std::string open = "[\n";
+    const std::string close = "\n]\n";
+    if (text.size() < open.size() + close.size() ||
+        text.compare(0, open.size(), open) != 0 ||
+        text.compare(text.size() - close.size(), close.size(), close) != 0) {
+      throw std::runtime_error("merge: " + path +
+                               " is not a harness JSON result array");
+    }
+    blocks.push_back(text.substr(open.size(), text.size() - open.size() - close.size()));
+  }
+  if (blocks.empty()) {
+    write_file(output, "[]\n");
+    return;
+  }
+  std::string merged = "[\n";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0) merged += ",\n";
+    merged += blocks[i];
+  }
+  merged += "\n]\n";
+  write_file(output, merged);
+}
+
 void MultiSink::begin(const std::vector<std::string>& columns) {
   for (auto* sink : sinks_) sink->begin(columns);
 }

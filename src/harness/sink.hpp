@@ -84,4 +84,18 @@ class MultiSink final : public ResultSink {
   std::vector<ResultSink*> sinks_;
 };
 
+// --- shard merging ----------------------------------------------------------
+//
+// A sweep run with --shard i/N writes only its slice of the rows; these
+// helpers concatenate the per-shard files back into a byte-identical copy
+// of the unsharded output (same header/bracket structure the sinks write).
+// Inputs must be passed in shard order (1/N first). Both throw
+// std::runtime_error on unreadable or structurally foreign inputs, and the
+// CSV merge rejects shards whose header differs from the first shard's.
+
+void merge_csv_shards(const std::vector<std::string>& inputs,
+                      const std::string& output);
+void merge_json_shards(const std::vector<std::string>& inputs,
+                       const std::string& output);
+
 }  // namespace bgl::harness

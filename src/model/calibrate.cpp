@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "src/network/fabric.hpp"
 #include "src/runtime/packetizer.hpp"
@@ -77,22 +78,32 @@ void fit_alpha_beta(const std::vector<PingPongSample>& samples, double& alpha,
   alpha = (sum_t - beta * sum_m) / n;
 }
 
-Calibration calibrate(const net::NetworkConfig& config,
-                      const std::vector<std::uint64_t>& sizes) {
+std::pair<topo::Rank, topo::Rank> calibration_pair(const net::NetworkConfig& config) {
   const topo::Torus torus{config.shape};
   if (torus.nodes() < 2) throw std::invalid_argument("need >= 2 nodes");
   const topo::Rank src = 0;
   const topo::Rank dst = torus.neighbor(src, topo::Direction{topo::kX, +1});
   if (dst < 0) throw std::invalid_argument("no +X neighbor for the ping pair");
+  return {src, dst};
+}
 
+Calibration fit_calibration(std::vector<PingPongSample> samples) {
   Calibration result;
-  for (const std::uint64_t bytes : sizes) {
-    result.samples.push_back(
-        PingPongSample{bytes, ping_message_cycles(config, src, dst, bytes)});
-  }
+  result.samples = std::move(samples);
   fit_alpha_beta(result.samples, result.alpha_cycles, result.beta_cycles_per_byte);
   result.beta_ns_per_byte = result.beta_cycles_per_byte / 0.7;  // 700 MHz
   return result;
+}
+
+Calibration calibrate(const net::NetworkConfig& config,
+                      const std::vector<std::uint64_t>& sizes) {
+  const auto [src, dst] = calibration_pair(config);
+  std::vector<PingPongSample> samples;
+  for (const std::uint64_t bytes : sizes) {
+    samples.push_back(
+        PingPongSample{bytes, ping_message_cycles(config, src, dst, bytes)});
+  }
+  return fit_calibration(std::move(samples));
 }
 
 }  // namespace bgl::model

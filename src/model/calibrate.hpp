@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/network/config.hpp"
@@ -30,13 +31,26 @@ struct Calibration {
 };
 
 /// One-way message time from `src` to `dst` on an otherwise idle partition,
-/// in cycles (measured from injection start to last-packet delivery).
+/// in cycles (measured from injection start to last-packet delivery). Each
+/// call is a self-contained Fabric run, so distinct sizes can be measured
+/// concurrently (bench/calibration.cpp runs the size sweep on the harness
+/// pool).
 net::Tick ping_message_cycles(const net::NetworkConfig& config, topo::Rank src,
                               topo::Rank dst, std::uint64_t payload_bytes);
+
+/// The neighbor pair calibrate() pings: rank 0 and its +X neighbor. Throws
+/// std::invalid_argument when the partition has no such pair.
+std::pair<topo::Rank, topo::Rank> calibration_pair(const net::NetworkConfig& config);
 
 /// Runs the size sweep between two neighboring nodes and fits alpha/beta.
 Calibration calibrate(const net::NetworkConfig& config,
                       const std::vector<std::uint64_t>& sizes);
+
+/// Fits alpha/beta over already-measured samples — the last step of
+/// calibrate(), split out so callers can collect the samples in parallel.
+/// The least-squares sums are symmetric in the samples, so the fit is
+/// independent of measurement order.
+Calibration fit_calibration(std::vector<PingPongSample> samples);
 
 /// Ordinary least squares fit of T = alpha + beta * m over the samples.
 void fit_alpha_beta(const std::vector<PingPongSample>& samples, double& alpha,

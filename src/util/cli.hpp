@@ -21,6 +21,9 @@ class Cli {
   bool has(const std::string& name) const;
 
   std::string get(const std::string& name, const std::string& fallback) const;
+  /// Strict: the whole value must parse as one integer/number, otherwise a
+  /// std::runtime_error naming the option is thrown ("--seed 12x" is an
+  /// error, not seed 12).
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
@@ -45,7 +48,8 @@ class Cli {
   std::vector<std::pair<std::string, std::string>> described_;
 };
 
-/// Parses a comma-separated list of integers ("8,64,512").
+/// Parses a comma-separated list of integers ("8,64,512"). Throws
+/// std::runtime_error on non-integer entries.
 std::vector<std::int64_t> parse_int_list(const std::string& text);
 
 }  // namespace bgl::util

@@ -1,0 +1,187 @@
+// The --repeats aggregation path: summarize() against hand-computed
+// statistics, the R == 1 degenerate case, exclusion of failed repeats, and
+// the guarantee that the emitted rows are NaN-free even when every repeat of
+// a point failed.
+#include "src/harness/sink.hpp"
+#include "src/harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bgl::harness {
+namespace {
+
+// --- summarize ---------------------------------------------------------------
+
+TEST(Summarize, MatchesHandComputedStatistics) {
+  // {2, 4, 6, 8}: mean 5, population variance (9 + 1 + 1 + 9) / 4 = 5.
+  const auto stats = summarize({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max, 8.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, std::sqrt(5.0));
+}
+
+TEST(Summarize, OrderOfSamplesDoesNotMatter) {
+  const auto a = summarize({8.0, 2.0, 6.0, 4.0});
+  EXPECT_DOUBLE_EQ(a.min, 2.0);
+  EXPECT_DOUBLE_EQ(a.mean, 5.0);
+  EXPECT_DOUBLE_EQ(a.max, 8.0);
+  EXPECT_DOUBLE_EQ(a.stddev, std::sqrt(5.0));
+}
+
+TEST(Summarize, SingleSampleDegeneratesToZeroSpread) {
+  const auto stats = summarize({42.5});
+  EXPECT_DOUBLE_EQ(stats.min, 42.5);
+  EXPECT_DOUBLE_EQ(stats.mean, 42.5);
+  EXPECT_DOUBLE_EQ(stats.max, 42.5);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(Summarize, EmptySampleSetIsAllZerosNotNaN) {
+  const auto stats = summarize({});
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_FALSE(std::isnan(stats.mean));
+}
+
+// --- aggregate ---------------------------------------------------------------
+
+SimResult make_result(std::size_t index, int repeat, double elapsed_us,
+                      bool drained) {
+  SimResult result;
+  result.index = index;
+  result.repeat = repeat;
+  result.ran = true;
+  result.label = "point-" + std::to_string(index);
+  result.run.strategy = "AR";
+  result.run.shape = topo::parse_shape("4x4");
+  result.run.msg_bytes = 64;
+  result.run.elapsed_us = elapsed_us;
+  result.run.percent_peak = elapsed_us / 2.0;
+  result.run.per_node_mbps = elapsed_us * 3.0;
+  result.run.drained = drained;
+  return result;
+}
+
+TEST(Aggregate, OnePointPerSweepIndexWithHandCheckedStats) {
+  const std::vector<SimResult> runs = {
+      make_result(0, 0, 2.0, true),  make_result(0, 1, 4.0, true),
+      make_result(0, 2, 6.0, true),  make_result(0, 3, 8.0, true),
+      make_result(1, 0, 10.0, true), make_result(1, 1, 10.0, true),
+  };
+  const auto points = aggregate(runs);
+  ASSERT_EQ(points.size(), 2u);
+
+  EXPECT_EQ(points[0].index, 0u);
+  EXPECT_EQ(points[0].label, "point-0");
+  EXPECT_EQ(points[0].repeats, 4);
+  EXPECT_EQ(points[0].repeats_ok, 4);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.mean, 5.0);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.stddev, std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(points[0].percent_peak.mean, 2.5);
+  EXPECT_DOUBLE_EQ(points[0].per_node_mbps.mean, 15.0);
+
+  EXPECT_EQ(points[1].repeats, 2);
+  EXPECT_DOUBLE_EQ(points[1].elapsed_us.min, 10.0);
+  EXPECT_DOUBLE_EQ(points[1].elapsed_us.max, 10.0);
+  EXPECT_DOUBLE_EQ(points[1].elapsed_us.stddev, 0.0);
+}
+
+TEST(Aggregate, SingleRepeatIsTheDegenerateCase) {
+  const auto points = aggregate({make_result(0, 0, 7.5, true)});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].repeats, 1);
+  EXPECT_EQ(points[0].repeats_ok, 1);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.min, 7.5);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.mean, 7.5);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.max, 7.5);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.stddev, 0.0);
+}
+
+TEST(Aggregate, FailedRepeatsAreExcludedFromTheStatistics) {
+  // The failed (non-drained) repeat reports elapsed 0 — including it would
+  // drag min/mean toward 0; the stats must come from the two good runs only.
+  const auto points = aggregate({
+      make_result(0, 0, 4.0, true),
+      make_result(0, 1, 0.0, false),
+      make_result(0, 2, 6.0, true),
+  });
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].repeats, 3);
+  EXPECT_EQ(points[0].repeats_ok, 2);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.min, 4.0);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.mean, 5.0);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.max, 6.0);
+}
+
+TEST(Aggregate, AllRepeatsFailedYieldsZeroStatsNotNaN) {
+  const auto points = aggregate({
+      make_result(0, 0, 0.0, false),
+      make_result(0, 1, 0.0, false),
+  });
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].repeats, 2);
+  EXPECT_EQ(points[0].repeats_ok, 0);
+  EXPECT_DOUBLE_EQ(points[0].elapsed_us.mean, 0.0);
+  for (const auto& cell : aggregate_cells(points[0])) {
+    EXPECT_EQ(cell.find("nan"), std::string::npos) << cell;
+    EXPECT_EQ(cell.find("inf"), std::string::npos) << cell;
+  }
+}
+
+TEST(Aggregate, EmptyInputYieldsNoPoints) {
+  EXPECT_TRUE(aggregate({}).empty());
+}
+
+// --- the emitted schema ------------------------------------------------------
+
+TEST(AggregateSchema, CellsMatchColumnsOneToOne) {
+  const auto columns = aggregate_columns();
+  const auto points = aggregate({make_result(0, 0, 7.5, true)});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(aggregate_cells(points[0]).size(), columns.size());
+  // Every metric carries the four statistics, suffixed consistently.
+  for (const char* metric : {"elapsed_us", "percent_peak", "per_node_mbps"}) {
+    for (const char* suffix : {"_min", "_mean", "_max", "_stddev"}) {
+      const std::string want = std::string(metric) + suffix;
+      EXPECT_NE(std::find(columns.begin(), columns.end(), want), columns.end())
+          << want;
+    }
+  }
+}
+
+TEST(AggregateSchema, EmitWritesOneRowPerPointAndNoNaN) {
+  const std::string path = testing::TempDir() + "aggregate_sink_test.csv";
+  const auto points = aggregate({
+      make_result(0, 0, 2.0, true),
+      make_result(0, 1, 4.0, true),
+      make_result(1, 0, 0.0, false),
+  });
+  {
+    CsvSink csv(path);
+    emit_aggregate(points, csv);
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("elapsed_us_stddev"), std::string::npos);
+  EXPECT_NE(text.find("repeats_ok"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bgl::harness

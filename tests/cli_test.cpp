@@ -69,6 +69,44 @@ TEST(ParseIntList, Basics) {
   EXPECT_EQ(parse_int_list("1,,2"), (std::vector<std::int64_t>{1, 2}));
 }
 
+// Values must parse in full: "12x" silently running as 12 once turned a
+// typo'd --seed into a valid but wrong experiment.
+TEST(Cli, IntValuesRejectTrailingJunk) {
+  for (const char* bad : {"12x", "x12", "1.5", "0x10", "12 "}) {
+    const Cli cli = make({std::string("--seed=").append(bad).c_str()});
+    EXPECT_THROW(cli.get_int("seed", 0), std::runtime_error) << "'" << bad << "'";
+  }
+  // The error names the offending option so the user can find it.
+  const Cli cli = make({"--seed=12x"});
+  try {
+    cli.get_int("seed", 0);
+    FAIL() << "expected get_int to reject 12x";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("--seed"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("12x"), std::string::npos);
+  }
+}
+
+TEST(Cli, IntValuesAcceptNegativesAndRejectOverflow) {
+  EXPECT_EQ(make({"--n=-42"}).get_int("n", 0), -42);
+  EXPECT_THROW(make({"--n=99999999999999999999999"}).get_int("n", 0),
+               std::runtime_error);
+}
+
+TEST(Cli, DoubleValuesRejectTrailingJunk) {
+  for (const char* bad : {"2.5x", "x2.5", "1e"}) {
+    const Cli cli = make({std::string("--factor=").append(bad).c_str()});
+    EXPECT_THROW(cli.get_double("factor", 0.0), std::runtime_error)
+        << "'" << bad << "'";
+  }
+  EXPECT_DOUBLE_EQ(make({"--factor=2.5e1"}).get_double("factor", 0.0), 25.0);
+}
+
+TEST(ParseIntList, RejectsJunkEntries) {
+  EXPECT_THROW(parse_int_list("8,64x,512"), std::runtime_error);
+  EXPECT_THROW(parse_int_list("abc"), std::runtime_error);
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table table({"name", "value"});
   table.add_row({"alpha", "450"});

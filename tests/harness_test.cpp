@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <future>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -66,6 +68,30 @@ TEST(ThreadPool, WaitWithNoTasksReturns) {
   pool.wait();  // must not deadlock
 }
 
+TEST(ThreadPool, DispatchesHighestCostFirst) {
+  // One worker, blocked on a gate while the costed tasks queue up; once the
+  // gate opens the worker must drain them in descending-cost order.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.submit([opened] { opened.wait(); });
+
+  std::mutex order_mutex;
+  std::vector<std::uint64_t> order;
+  for (const std::uint64_t cost : {5ull, 500ull, 50ull, 500ull}) {
+    pool.submit(
+        [cost, &order, &order_mutex] {
+          std::lock_guard<std::mutex> lock(order_mutex);
+          order.push_back(cost);
+        },
+        cost);
+  }
+  gate.set_value();
+  pool.wait();
+  // Equal costs keep submission order (the first 500 before the second).
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{500, 500, 50, 5}));
+}
+
 // --- run_indexed / run_ordered ---------------------------------------------
 
 TEST(Runner, OrderedResultsForAnyWorkerCount) {
@@ -117,13 +143,10 @@ Sweep small_sweep() {
   return sweep;
 }
 
-/// The machine-readable row minus the host-timing columns (wall_ms,
-/// events_per_sec) — everything that must be bit-identical across worker
-/// counts.
+/// The default machine-readable row excludes the host-timing columns, so it
+/// is exactly what must be bit-identical across worker counts and shards.
 std::vector<std::string> deterministic_cells(const SimResult& result) {
-  auto cells = result_cells(result);
-  cells.resize(cells.size() - 2);
-  return cells;
+  return result_cells(result);
 }
 
 TEST(Sweep, ResultRowsAreBitIdenticalAcrossWorkerCounts) {
@@ -183,6 +206,169 @@ TEST(Sweep, AutoLabelsAndSchemaAgree) {
   const auto columns = result_columns();
   for (const auto& result : results) {
     EXPECT_EQ(result_cells(result).size(), columns.size());
+  }
+}
+
+TEST(Sweep, JobsCarryNodesTimesBytesCostHints) {
+  Sweep sweep;
+  coll::AlltoallOptions options;
+  options.net.shape = topo::parse_shape("4x4x4");
+  options.msg_bytes = 240;
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+  options.msg_bytes = 0;  // floored so empty payloads still scale with nodes
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+  EXPECT_EQ(sweep.jobs()[0].cost, 64u * 240u);
+  EXPECT_EQ(sweep.jobs()[1].cost, 64u);
+}
+
+TEST(Sweep, HostTimingColumnsAreOptIn) {
+  const auto base = result_columns();
+  const auto timed = result_columns(true);
+  ASSERT_EQ(timed.size(), base.size() + 2);
+  EXPECT_EQ(timed[timed.size() - 2], "wall_ms");
+  EXPECT_EQ(timed.back(), "events_per_sec");
+  SimResult result;
+  EXPECT_EQ(result_cells(result).size(), base.size());
+  EXPECT_EQ(result_cells(result, true).size(), timed.size());
+}
+
+// --- sharding ---------------------------------------------------------------
+
+TEST(ShardRange, CoversEveryPointExactlyOnce) {
+  for (const std::size_t points : {0u, 1u, 5u, 12u, 100u}) {
+    for (const int count : {1, 2, 3, 7}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (int i = 1; i <= count; ++i) {
+        const auto range = shard_range(points, i, count);
+        EXPECT_EQ(range.begin, expected_begin);  // contiguous, in order
+        EXPECT_LE(range.begin, range.end);
+        covered += range.size();
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(covered, points);
+      EXPECT_EQ(expected_begin, points);
+    }
+  }
+}
+
+TEST(ShardRange, BalancedToWithinOnePoint) {
+  for (int i = 1; i <= 3; ++i) {
+    const auto range = shard_range(10, i, 3);
+    EXPECT_GE(range.size(), 3u);
+    EXPECT_LE(range.size(), 4u);
+  }
+}
+
+TEST(ShardRange, RejectsInvalidSpecs) {
+  EXPECT_THROW(shard_range(10, 0, 3), std::invalid_argument);
+  EXPECT_THROW(shard_range(10, 4, 3), std::invalid_argument);
+  EXPECT_THROW(shard_range(10, 1, 0), std::invalid_argument);
+}
+
+TEST(ParseShard, AcceptsWellFormedSpecs) {
+  const auto spec = parse_shard("2/3");
+  EXPECT_EQ(spec.index, 2);
+  EXPECT_EQ(spec.count, 3);
+  EXPECT_EQ(parse_shard("1/1").count, 1);
+}
+
+TEST(ParseShard, RejectsMalformedSpecsWithClearErrors) {
+  for (const char* bad : {"a/b", "2", "", "1/", "/3", "1//3", "-1/3", "1/-3",
+                          "0/3", "4/3", "1/0"}) {
+    EXPECT_THROW(parse_shard(bad), std::runtime_error) << "'" << bad << "'";
+  }
+  try {
+    parse_shard("0/3");
+    FAIL() << "expected parse_shard to reject 0/3";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("1..N"), std::string::npos);
+  }
+}
+
+TEST(Sweep, ShardResultsConcatenateToTheUnshardedRun) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 4;
+  const auto full = sweep.run(options);
+
+  std::vector<SimResult> concatenated;
+  for (int i = 1; i <= 3; ++i) {
+    auto shard_options = options;
+    shard_options.shard_index = i;
+    shard_options.shard_count = 3;
+    auto part = sweep.run(shard_options);
+    for (auto& result : part) concatenated.push_back(std::move(result));
+  }
+  ASSERT_EQ(concatenated.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].index, concatenated[i].index);
+    EXPECT_EQ(full[i].seed, concatenated[i].seed);
+    EXPECT_EQ(deterministic_cells(full[i]), deterministic_cells(concatenated[i]));
+  }
+}
+
+TEST(Sweep, InvalidOptionsThrow) {
+  const auto sweep = small_sweep();
+  SweepOptions bad_repeats;
+  bad_repeats.repeats = 0;
+  EXPECT_THROW(sweep.run(bad_repeats), std::invalid_argument);
+  SweepOptions bad_shard;
+  bad_shard.shard_index = 3;
+  bad_shard.shard_count = 2;
+  EXPECT_THROW(sweep.run(bad_shard), std::invalid_argument);
+}
+
+// --- repeats ----------------------------------------------------------------
+
+TEST(Sweep, RepeatsExpandPointMajorWithGlobalRunSeeds) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+  options.base_seed = 7;
+  options.repeats = 3;
+  const auto results = sweep.run(options);
+  ASSERT_EQ(results.size(), sweep.size() * 3);
+  for (std::size_t slot = 0; slot < results.size(); ++slot) {
+    const auto& result = results[slot];
+    EXPECT_EQ(result.index, slot / 3);
+    EXPECT_EQ(result.repeat, static_cast<int>(slot % 3));
+    // Seed = derive_seed(base, global run index): what makes shard and
+    // unsharded runs agree, and distinct repeats independent.
+    EXPECT_EQ(result.seed, derive_seed(7, result.index * 3 +
+                                              static_cast<std::size_t>(result.repeat)));
+  }
+}
+
+TEST(Sweep, RepeatsOfOnePreserveTheLegacySeedMapping) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.base_seed = 42;
+  options.repeats = 1;
+  const auto results = sweep.run(options);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].seed, derive_seed(42, i));
+  }
+}
+
+TEST(Sweep, RepeatedRunsAreDeterministicAcrossWorkerCounts) {
+  Sweep sweep;
+  coll::AlltoallOptions options;
+  options.net.shape = topo::parse_shape("4x4");
+  options.msg_bytes = 64;
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+  sweep.add(coll::StrategyKind::kTwoPhase, options);
+
+  SweepOptions serial;
+  serial.repeats = 4;
+  serial.jobs = 1;
+  auto parallel = serial;
+  parallel.jobs = 8;
+  const auto a = sweep.run(serial);
+  const auto b = sweep.run(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(deterministic_cells(a[i]), deterministic_cells(b[i])) << "slot " << i;
   }
 }
 
@@ -248,6 +434,53 @@ TEST(BenchContext, CliRoundTrip) {
   EXPECT_EQ(ctx.node_budget, 512);
   EXPECT_EQ(ctx.csv_path, "x.csv");
   EXPECT_EQ(ctx.json_path, "y.json");
+  EXPECT_EQ(ctx.sweep.repeats, 1);
+  EXPECT_EQ(ctx.sweep.shard_index, 1);
+  EXPECT_EQ(ctx.sweep.shard_count, 1);
+  EXPECT_FALSE(ctx.host_timing);
+}
+
+TEST(BenchContext, CliRoundTripForShardingAndRepeats) {
+  const char* argv[] = {"bench",     "--repeats", "4",     "--shard",
+                        "2/3",       "--jobs",    "2",     "--host-timing",
+                        "--progress"};
+  util::Cli cli(static_cast<int>(std::size(argv)), argv);
+  const auto ctx = BenchContext::from_cli(cli);
+  EXPECT_EQ(ctx.sweep.repeats, 4);
+  EXPECT_EQ(ctx.sweep.shard_index, 2);
+  EXPECT_EQ(ctx.sweep.shard_count, 3);
+  EXPECT_TRUE(ctx.host_timing);
+  EXPECT_TRUE(ctx.sweep.progress);
+}
+
+// from_cli reports bad flags as `prog: error: ...` on stderr and exits with
+// status 2 — the contract scripts and CI rely on.
+void expect_cli_rejected(std::vector<const char*> argv, const char* pattern) {
+  argv.insert(argv.begin(), "bench");
+  EXPECT_EXIT(
+      {
+        util::Cli cli(static_cast<int>(argv.size()), argv.data());
+        BenchContext::from_cli(cli);
+      },
+      ::testing::ExitedWithCode(2), pattern);
+}
+
+TEST(BenchContextDeathTest, ExplicitZeroJobsIsAnError) {
+  expect_cli_rejected({"--jobs", "0"}, "error: .*--jobs");
+}
+
+TEST(BenchContextDeathTest, ZeroRepeatsIsAnError) {
+  expect_cli_rejected({"--repeats", "0"}, "error: .*--repeats");
+}
+
+TEST(BenchContextDeathTest, MalformedShardSpecsAreErrors) {
+  expect_cli_rejected({"--shard", "a/b"}, "error: .*shard");
+  expect_cli_rejected({"--shard", "0/3"}, "error: .*shard");
+  expect_cli_rejected({"--shard", "4/3"}, "error: .*shard");
+}
+
+TEST(BenchContextDeathTest, NonNumericSeedIsAnError) {
+  expect_cli_rejected({"--seed", "12x"}, "error: .*--seed");
 }
 
 }  // namespace

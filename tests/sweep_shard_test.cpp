@@ -1,0 +1,183 @@
+// File-level shard-merge determinism: the CSV/JSON files written by the
+// shards of a sweep, concatenated with merge_*_shards, must be byte-identical
+// to the files the unsharded sweep writes — the contract that lets a sweep
+// run across machines and still produce one canonical artifact.
+#include "src/harness/sink.hpp"
+#include "src/harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bgl::harness {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Ten points across three shapes, both strategies exercised.
+Sweep shard_sweep() {
+  Sweep sweep;
+  for (const char* spec : {"4x4", "2x2x2", "8", "4x2", "2x4"}) {
+    for (const auto kind :
+         {coll::StrategyKind::kAdaptiveRandom, coll::StrategyKind::kTwoPhase}) {
+      coll::AlltoallOptions options;
+      options.net.shape = topo::parse_shape(spec);
+      options.msg_bytes = 64;
+      sweep.add(kind, options);
+    }
+  }
+  return sweep;
+}
+
+/// Runs `sweep` under `options` and writes the rows (per-run when repeats is
+/// 1, aggregated otherwise — the same rule BenchContext::run applies) to
+/// both a CSV and a JSON file named `stem`.
+void run_to_files(const Sweep& sweep, const SweepOptions& options,
+                  const std::string& stem, std::string& csv_path,
+                  std::string& json_path) {
+  csv_path = testing::TempDir() + stem + ".csv";
+  json_path = testing::TempDir() + stem + ".json";
+  const auto results = sweep.run(options);
+  CsvSink csv(csv_path);
+  JsonSink json(json_path);
+  MultiSink sinks;
+  sinks.attach(&csv);
+  sinks.attach(&json);
+  if (options.repeats == 1) {
+    emit(results, sinks);
+  } else {
+    emit_aggregate(aggregate(results), sinks);
+  }
+}
+
+class ShardMergeFiles : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(ShardMergeFiles, MergedShardsAreByteIdenticalToTheUnshardedRun) {
+  const auto sweep = shard_sweep();
+  SweepOptions options;
+  options.jobs = 4;
+
+  std::string full_csv, full_json;
+  run_to_files(sweep, options, "shard_full", full_csv, full_json);
+  cleanup_ = {full_csv, full_json};
+
+  std::vector<std::string> shard_csvs, shard_jsons;
+  for (int i = 1; i <= 3; ++i) {
+    auto shard_options = options;
+    shard_options.shard_index = i;
+    shard_options.shard_count = 3;
+    std::string csv_path, json_path;
+    run_to_files(sweep, shard_options, "shard_" + std::to_string(i), csv_path,
+                 json_path);
+    shard_csvs.push_back(csv_path);
+    shard_jsons.push_back(json_path);
+    cleanup_.push_back(csv_path);
+    cleanup_.push_back(json_path);
+  }
+
+  const std::string merged_csv = testing::TempDir() + "shard_merged.csv";
+  const std::string merged_json = testing::TempDir() + "shard_merged.json";
+  cleanup_.push_back(merged_csv);
+  cleanup_.push_back(merged_json);
+  merge_csv_shards(shard_csvs, merged_csv);
+  merge_json_shards(shard_jsons, merged_json);
+
+  EXPECT_EQ(slurp(merged_csv), slurp(full_csv));
+  EXPECT_EQ(slurp(merged_json), slurp(full_json));
+  EXPECT_FALSE(slurp(full_csv).empty());
+}
+
+TEST_F(ShardMergeFiles, AggregateFilesAreIdenticalAcrossWorkerCounts) {
+  const auto sweep = shard_sweep();
+  SweepOptions serial;
+  serial.repeats = 3;
+  serial.jobs = 1;
+  auto parallel = serial;
+  parallel.jobs = 8;
+
+  std::string serial_csv, serial_json, parallel_csv, parallel_json;
+  run_to_files(sweep, serial, "agg_serial", serial_csv, serial_json);
+  run_to_files(sweep, parallel, "agg_parallel", parallel_csv, parallel_json);
+  cleanup_ = {serial_csv, serial_json, parallel_csv, parallel_json};
+
+  EXPECT_EQ(slurp(serial_csv), slurp(parallel_csv));
+  EXPECT_EQ(slurp(serial_json), slurp(parallel_json));
+  EXPECT_FALSE(slurp(serial_csv).empty());
+}
+
+TEST_F(ShardMergeFiles, ShardedRepeatedAggregatesMergeToTheUnshardedOutput) {
+  // Aggregation groups by point and shards split on point boundaries, so the
+  // per-shard aggregate files must concatenate into the unsharded aggregate.
+  const auto sweep = shard_sweep();
+  SweepOptions options;
+  options.repeats = 2;
+  options.jobs = 4;
+
+  std::string full_csv, full_json;
+  run_to_files(sweep, options, "agg_full", full_csv, full_json);
+  cleanup_ = {full_csv, full_json};
+
+  std::vector<std::string> shard_csvs, shard_jsons;
+  for (int i = 1; i <= 2; ++i) {
+    auto shard_options = options;
+    shard_options.shard_index = i;
+    shard_options.shard_count = 2;
+    std::string csv_path, json_path;
+    run_to_files(sweep, shard_options, "agg_shard_" + std::to_string(i),
+                 csv_path, json_path);
+    shard_csvs.push_back(csv_path);
+    shard_jsons.push_back(json_path);
+    cleanup_.push_back(csv_path);
+    cleanup_.push_back(json_path);
+  }
+
+  const std::string merged_csv = testing::TempDir() + "agg_merged.csv";
+  const std::string merged_json = testing::TempDir() + "agg_merged.json";
+  cleanup_.push_back(merged_csv);
+  cleanup_.push_back(merged_json);
+  merge_csv_shards(shard_csvs, merged_csv);
+  merge_json_shards(shard_jsons, merged_json);
+
+  EXPECT_EQ(slurp(merged_csv), slurp(full_csv));
+  EXPECT_EQ(slurp(merged_json), slurp(full_json));
+}
+
+TEST_F(ShardMergeFiles, CsvMergeRejectsMismatchedHeaders) {
+  const std::string a = testing::TempDir() + "merge_a.csv";
+  const std::string b = testing::TempDir() + "merge_b.csv";
+  const std::string out = testing::TempDir() + "merge_out.csv";
+  cleanup_ = {a, b, out};
+  {
+    std::ofstream(a) << "x,y\n1,2\n";
+    std::ofstream(b) << "x,z\n3,4\n";
+  }
+  EXPECT_THROW(merge_csv_shards({a, b}, out), std::runtime_error);
+}
+
+TEST_F(ShardMergeFiles, MergeRejectsMissingInputs) {
+  const std::string out = testing::TempDir() + "merge_missing_out.csv";
+  cleanup_ = {out};
+  EXPECT_THROW(merge_csv_shards({testing::TempDir() + "does_not_exist.csv"}, out),
+               std::runtime_error);
+  EXPECT_THROW(merge_json_shards({testing::TempDir() + "does_not_exist.json"}, out),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgl::harness

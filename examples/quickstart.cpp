@@ -10,6 +10,8 @@
 
 #include "src/coll/alltoall.hpp"
 #include "src/coll/selector.hpp"
+#include "src/network/faults.hpp"
+#include "src/trace/stats.hpp"
 #include "src/util/cli.hpp"
 
 namespace {
@@ -39,6 +41,8 @@ int main(int argc, char** argv) {
   cli.describe("fifos", "injection FIFOs per node");
   cli.describe("fifosize", "injection FIFO capacity in chunks");
   cli.describe("cpulinks", "links the core can keep busy");
+  cli.describe("faults", "fault spec, e.g. link:0.02,drop:1e-5 (see --faults "
+                         "in any bench)");
   cli.validate();
 
   bgl::coll::AlltoallOptions options;
@@ -54,11 +58,17 @@ int main(int argc, char** argv) {
       static_cast<std::uint16_t>(cli.get_int("fifosize", options.net.injection_fifo_chunks));
   options.net.cpu_links = cli.get_double("cpulinks", options.net.cpu_links);
   options.msg_bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 4096));
+  const std::string fault_spec = cli.get("faults", "");
+  if (!fault_spec.empty()) {
+    options.net.faults = bgl::net::parse_fault_spec(fault_spec);
+    options.verify = true;
+  }
   const auto kind = parse_strategy(cli.get("strategy", "best"));
 
   if (kind == bgl::coll::StrategyKind::kBest) {
-    const auto selection =
-        bgl::coll::select_strategy(options.net.shape, options.msg_bytes);
+    const bgl::net::FaultPlan plan(options.net, options.net.shape);
+    const auto selection = bgl::coll::select_strategy(
+        options.net.shape, options.msg_bytes, plan.enabled() ? &plan : nullptr);
     std::printf("selector: %s (%s)\n",
                 bgl::coll::strategy_name(selection.kind).c_str(),
                 selection.rationale.c_str());
@@ -80,5 +90,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.packets_delivered),
               static_cast<unsigned long long>(result.events));
   std::printf("link util       %s\n", result.links.to_string().c_str());
+  if (!fault_spec.empty()) {
+    const bgl::net::FaultPlan plan(options.net, options.net.shape);
+    const std::string report =
+        bgl::trace::summarize_faults(plan, result.faults, result.reliability);
+    if (!report.empty()) std::printf("%s\n", report.c_str());
+    std::printf("delivery        %llu/%llu pairs complete, %llu unreachable%s\n",
+                static_cast<unsigned long long>(result.pairs_complete),
+                static_cast<unsigned long long>(
+                    static_cast<std::uint64_t>(result.shape.nodes()) *
+                    static_cast<std::uint64_t>(result.shape.nodes() - 1)),
+                static_cast<unsigned long long>(result.unreachable_pairs),
+                result.reachable_complete ? "" : "  [reachable pairs MISSING]");
+  }
   return result.drained ? 0 : 1;
 }

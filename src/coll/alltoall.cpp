@@ -1,7 +1,10 @@
 #include "src/coll/alltoall.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "src/coll/direct.hpp"
@@ -33,11 +36,35 @@ double peak_cycles_for(const topo::Shape& shape, std::uint64_t msg_bytes,
 }
 
 RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
-  if (kind == StrategyKind::kBest) {
-    kind = select_strategy(options.net.shape, options.msg_bytes).kind;
-  }
   if (options.net.shape.nodes() < 2) {
     throw std::invalid_argument("all-to-all needs at least 2 nodes");
+  }
+
+  net::NetworkConfig net = options.net;
+  // BGL_CHECK=1 turns on the fabric invariant checks (property tests and the
+  // sanitizer CI set it; it is too slow for sweeps to default on).
+  if (const char* env = std::getenv("BGL_CHECK");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    net.debug_checks = true;
+  }
+
+  // One plan, shared by planning (here), the Fabric (which expands its own
+  // identical copy — the expansion is a pure function of config and shape)
+  // and reachability verification.
+  const net::FaultPlan plan(net, net.shape);
+  const net::FaultPlan* faults = plan.enabled() ? &plan : nullptr;
+
+  if (kind == StrategyKind::kBest) {
+    kind = select_strategy(net.shape, options.msg_bytes, faults).kind;
+  }
+
+  // Delivery recording: the caller's matrix, or an internal one when only
+  // the RunResult summary is wanted.
+  std::optional<DeliveryMatrix> local_matrix;
+  DeliveryMatrix* matrix = options.deliveries;
+  if (matrix == nullptr && options.verify) {
+    local_matrix.emplace(static_cast<std::int32_t>(net.shape.nodes()));
+    matrix = &*local_matrix;
   }
 
   std::unique_ptr<StrategyClient> client;
@@ -46,32 +73,32 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
       DirectTuning t = DirectTuning::mpi();
       t.burst = options.burst > 0 ? options.burst : t.burst;
       t.order = options.order;
-      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
-                                              options.deliveries);
+      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
+                                              matrix, faults);
       break;
     }
     case StrategyKind::kAdaptiveRandom: {
       DirectTuning t = DirectTuning::ar();
       t.burst = options.burst;
       t.order = options.order;
-      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
-                                              options.deliveries);
+      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
+                                              matrix, faults);
       break;
     }
     case StrategyKind::kDeterministic: {
       DirectTuning t = DirectTuning::dr();
       t.burst = options.burst;
       t.order = options.order;
-      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
-                                              options.deliveries);
+      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
+                                              matrix, faults);
       break;
     }
     case StrategyKind::kThrottled: {
       DirectTuning t = DirectTuning::throttled(options.throttle);
       t.burst = options.burst;
       t.order = options.order;
-      client = std::make_unique<DirectClient>(options.net, options.msg_bytes, t,
-                                              options.deliveries);
+      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
+                                              matrix, faults);
       break;
     }
     case StrategyKind::kTwoPhase: {
@@ -81,8 +108,8 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
       t.reserved_fifos = options.reserved_fifos;
       t.credit_window = options.credit_window;
       t.credit_batch = options.credit_batch;
-      client = std::make_unique<TwoPhaseClient>(options.net, options.msg_bytes, t,
-                                                options.deliveries);
+      client = std::make_unique<TwoPhaseClient>(net, options.msg_bytes, t,
+                                                matrix, faults);
       break;
     }
     case StrategyKind::kVirtualMesh: {
@@ -90,8 +117,8 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
       t.pvx = options.pvx;
       t.pvy = options.pvy;
       t.mapping = static_cast<MeshMapping>(options.vmesh_mapping);
-      client = std::make_unique<VirtualMeshClient>(options.net, options.msg_bytes, t,
-                                                   options.deliveries);
+      client = std::make_unique<VirtualMeshClient>(net, options.msg_bytes, t,
+                                                   matrix, faults);
       break;
     }
     case StrategyKind::kBest:
@@ -99,21 +126,36 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
       break;
   }
 
-  net::Fabric fabric(options.net, *client);
-  client->bind(fabric);
+  // Under faults the strategy is wrapped in the end-to-end reliability
+  // layer; the fabric then pulls from (and delivers to) the wrapper.
+  std::optional<rt::ReliableClient> reliable;
+  if (faults != nullptr) reliable.emplace(net, *client);
+  net::Client& top = reliable.has_value() ? static_cast<net::Client&>(*reliable)
+                                          : static_cast<net::Client&>(*client);
 
-  const double peak = peak_cycles_for(options.net.shape, options.msg_bytes,
-                                      options.net.chunk_cycles);
+  net::Fabric fabric(net, top);
+  client->bind(fabric);
+  if (reliable.has_value()) reliable->attach(fabric);
+
+  const double peak = peak_cycles_for(net.shape, options.msg_bytes, net.chunk_cycles);
   // Generous watchdog: a healthy run finishes within a few peak times plus
   // the CPU-bound startup term; hitting this means a stall (drained=false).
   const Tick deadline = options.deadline != 0
                             ? options.deadline
                             : static_cast<Tick>(peak * 200.0) + (Tick{4} << 32);
 
+  if (options.wall_timeout_ms > 0.0) {
+    const auto kill_at = std::chrono::steady_clock::now() +
+                         std::chrono::duration<double, std::milli>(options.wall_timeout_ms);
+    fabric.set_abort_check(
+        [kill_at] { return std::chrono::steady_clock::now() >= kill_at; });
+  }
+
   RunResult result;
   result.drained = fabric.run(deadline);
+  result.timed_out = fabric.aborted();
   result.strategy = strategy_name(kind);
-  result.shape = options.net.shape;
+  result.shape = net.shape;
   result.msg_bytes = options.msg_bytes;
   result.elapsed_cycles = client->completion_cycles();
   result.elapsed_us = static_cast<double>(result.elapsed_cycles) / 700.0;
@@ -121,16 +163,30 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
                             ? 100.0 * peak / static_cast<double>(result.elapsed_cycles)
                             : 0.0;
   const double payload_per_node =
-      static_cast<double>(options.net.shape.nodes() - 1) *
-      static_cast<double>(options.msg_bytes);
+      static_cast<double>(net.shape.nodes() - 1) * static_cast<double>(options.msg_bytes);
   result.per_node_mbps = result.elapsed_us > 0
                              ? payload_per_node / result.elapsed_us  // B/us == MB/s
                              : 0.0;
   result.packets_delivered = fabric.stats().packets_delivered;
   result.payload_bytes = fabric.stats().payload_bytes_delivered;
   result.events = fabric.events_processed();
-  if (options.net.collect_link_stats) {
+  if (net.collect_link_stats) {
     result.links = trace::summarize_links(fabric, result.elapsed_cycles);
+  }
+  if (faults != nullptr) {
+    result.faults = fabric.fault_stats();
+    result.reachable = PairMask(static_cast<std::int32_t>(net.shape.nodes()));
+    client->mark_reachable(result.reachable);
+    result.unreachable_pairs = result.reachable.unreachable_pairs();
+    if (reliable.has_value()) {
+      result.reliability = reliable->stats();
+      result.abandoned_pairs = reliable->abandoned_pairs().size();
+    }
+  }
+  if (matrix != nullptr) {
+    result.pairs_complete = matrix->complete_pairs(options.msg_bytes);
+    result.reachable_complete =
+        matrix->complete_reachable(options.msg_bytes, result.reachable);
   }
   return result;
 }

@@ -14,6 +14,7 @@
 #include "src/coll/dest_order.hpp"
 #include "src/coll/verify.hpp"
 #include "src/network/config.hpp"
+#include "src/runtime/reliability.hpp"
 #include "src/topology/torus.hpp"
 #include "src/trace/stats.hpp"
 
@@ -73,8 +74,19 @@ struct AlltoallOptions {
   /// Optional per-pair delivery verification (small partitions only).
   DeliveryMatrix* deliveries = nullptr;
 
+  /// Record deliveries into an internal matrix (O(nodes^2) memory) and fill
+  /// RunResult::pairs_complete / reachable_complete, without the caller
+  /// managing a DeliveryMatrix. Implied by `deliveries != nullptr`.
+  bool verify = false;
+
   /// Abort-if-not-quiescent deadline in cycles; 0 = automatic.
   Tick deadline = 0;
+
+  /// Host wall-clock watchdog per run, in milliseconds; 0 = none. A run
+  /// that exceeds it is aborted mid-simulation and reported with
+  /// `timed_out == true` and `drained == false` (its metrics are garbage;
+  /// the harness excludes such runs from aggregates).
+  double wall_timeout_ms = 0.0;
 };
 
 struct RunResult {
@@ -93,8 +105,29 @@ struct RunResult {
   std::uint64_t payload_bytes = 0;
   std::uint64_t events = 0;
   bool drained = false;
+  /// True when the run was killed by AlltoallOptions::wall_timeout_ms.
+  bool timed_out = false;
 
   trace::LinkReport links;
+
+  // --- delivery verification (only with AlltoallOptions::verify) ---
+  /// Ordered pairs that received their full msg_bytes.
+  std::uint64_t pairs_complete = 0;
+  /// Every reachable pair delivered exactly, nothing delivered elsewhere.
+  bool reachable_complete = false;
+
+  // --- fault injection (all zero / empty on a healthy run) ---
+  /// Fabric-level fault counters (drops, vetoes, transient downtime).
+  net::FaultStats faults{};
+  /// End-to-end reliability counters (retransmits, acks, duplicates).
+  rt::ReliabilityStats reliability{};
+  /// Ordered pairs the strategy could not serve under the fault plan.
+  std::uint64_t unreachable_pairs = 0;
+  /// Reachable pairs abandoned after the retry budget (0 = full delivery).
+  std::uint64_t abandoned_pairs = 0;
+  /// Per-pair reachability (nodes() == 0 when fault-free); combine with
+  /// AlltoallOptions::deliveries + DeliveryMatrix::complete_reachable.
+  PairMask reachable;
 };
 
 RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options);

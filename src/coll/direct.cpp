@@ -9,12 +9,14 @@
 namespace bgl::coll {
 
 DirectClient::DirectClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                           const DirectTuning& tuning, DeliveryMatrix* matrix)
+                           const DirectTuning& tuning, DeliveryMatrix* matrix,
+                           const net::FaultPlan* faults)
     : config_(config),
       msg_bytes_(msg_bytes),
       tuning_(tuning),
       packets_(rt::packetize(msg_bytes, rt::WireFormat::direct())) {
   matrix_ = matrix;
+  faults_ = faults;
   assert(tuning_.burst >= 1);
   rounds_ = static_cast<std::uint32_t>(
       (packets_.size() + static_cast<std::size_t>(tuning_.burst) - 1) /
@@ -58,6 +60,10 @@ bool DirectClient::next_packet(topo::Rank node, net::InjectDesc& out) {
     const topo::Rank dst = s.order.at(s.position);
     if (dst < 0) {  // affine-mode self slot
       ++s.position;
+      continue;
+    }
+    if (faults_ != nullptr && !faults_->pair_routable(node, dst, tuning_.mode)) {
+      ++s.position;  // no live path will ever exist; skip the destination
       continue;
     }
     const std::uint32_t pkt_index =

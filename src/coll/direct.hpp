@@ -60,12 +60,16 @@ struct DirectTuning {
 class DirectClient : public StrategyClient {
  public:
   DirectClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-               const DirectTuning& tuning, DeliveryMatrix* matrix);
+               const DirectTuning& tuning, DeliveryMatrix* matrix,
+               const net::FaultPlan* faults = nullptr);
 
   bool next_packet(topo::Rank node, net::InjectDesc& out) override;
   void on_delivery(topo::Rank node, const net::Packet& packet) override;
 
   std::uint64_t expected_deliveries() const;
+
+ protected:
+  net::RoutingMode reach_mode() const override { return tuning_.mode; }
 
  private:
   struct NodeState {

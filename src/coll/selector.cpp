@@ -2,17 +2,26 @@
 
 namespace bgl::coll {
 
-Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes) {
+Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes,
+                          const net::FaultPlan* faults) {
+  Selection pick;
   if (msg_bytes <= kShortMessageBytes && shape.nodes() >= kVmeshMinNodes) {
-    return Selection{StrategyKind::kVirtualMesh,
+    pick = Selection{StrategyKind::kVirtualMesh,
                      "short message at or below the 32-64 B change-over on a large partition"};
-  }
-  if (shape.symmetric() && shape.full_torus()) {
-    return Selection{StrategyKind::kAdaptiveRandom,
+  } else if (shape.symmetric() && shape.full_torus()) {
+    pick = Selection{StrategyKind::kAdaptiveRandom,
                      "symmetric torus: randomized adaptive direct reaches ~99% of peak"};
+  } else {
+    pick = Selection{StrategyKind::kTwoPhase,
+                     "asymmetric partition: TPS avoids adaptive-routing congestion"};
   }
-  return Selection{StrategyKind::kTwoPhase,
-                   "asymmetric partition: TPS avoids adaptive-routing congestion"};
+  if (faults != nullptr && faults->enabled() && pick.kind != StrategyKind::kAdaptiveRandom &&
+      (faults->dead_link_count() > 0 || faults->dead_node_count() > 0)) {
+    pick.kind = StrategyKind::kAdaptiveRandom;
+    pick.rationale = "permanent faults strand the indirect schedules' relays: "
+                     "fall back to direct AR, which reroutes adaptively";
+  }
+  return pick;
 }
 
 }  // namespace bgl::coll

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/coll/alltoall.hpp"
+#include "src/network/faults.hpp"
 #include "src/topology/torus.hpp"
 
 namespace bgl::coll {
@@ -27,6 +28,12 @@ inline constexpr std::uint64_t kShortMessageBytes = 64;
 /// virtual mesh needs enough nodes for its two phases to pay off).
 inline constexpr std::int64_t kVmeshMinNodes = 256;
 
-Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes);
+/// Applies the paper's rule, then degrades: when `faults` (optional) carries
+/// permanent link or node failures, the indirect strategies' fixed relays
+/// become fragile — phase-2 data is stranded wherever a relay or a leg died —
+/// so the selector falls back to direct AR, whose adaptive routing reroutes
+/// around the failed hardware packet by packet.
+Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes,
+                          const net::FaultPlan* faults = nullptr);
 
 }  // namespace bgl::coll

@@ -17,7 +17,25 @@ class StrategyClient : public net::Client {
   /// Final application packets delivered so far (for progress checks).
   std::uint64_t final_deliveries() const { return final_deliveries_; }
 
+  /// Clears `mask` bits for pairs this strategy cannot serve under the fault
+  /// plan it was constructed with (no-op when fault-free). The base rule —
+  /// a pair is reachable iff a live minimal path exists — fits the direct
+  /// family; indirect strategies override it with their relay constraints.
+  virtual void mark_reachable(PairMask& mask) const {
+    if (faults_ == nullptr || !faults_->enabled()) return;
+    for (topo::Rank s = 0; s < mask.nodes(); ++s) {
+      for (topo::Rank d = 0; d < mask.nodes(); ++d) {
+        if (s != d && !faults_->pair_routable(s, d, reach_mode())) {
+          mask.set_unreachable(s, d);
+        }
+      }
+    }
+  }
+
  protected:
+  /// Routing mode the base mark_reachable checks paths under.
+  virtual net::RoutingMode reach_mode() const { return net::RoutingMode::kAdaptive; }
+
   void note_final_delivery() {
     ++final_deliveries_;
     completion_ = fabric_->now();
@@ -25,6 +43,7 @@ class StrategyClient : public net::Client {
 
   net::Fabric* fabric_ = nullptr;
   DeliveryMatrix* matrix_ = nullptr;
+  const net::FaultPlan* faults_ = nullptr;  // owned by run_alltoall; may be null
   net::Tick completion_ = 0;
   std::uint64_t final_deliveries_ = 0;
 };

@@ -34,13 +34,15 @@ std::uint64_t TwoPhaseClient::make_tag(Kind kind, topo::Rank orig_src, topo::Ran
 }
 
 TwoPhaseClient::TwoPhaseClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                               const TpsTuning& tuning, DeliveryMatrix* matrix)
+                               const TpsTuning& tuning, DeliveryMatrix* matrix,
+                               const net::FaultPlan* faults)
     : config_(config),
       torus_(config.shape),
       msg_bytes_(msg_bytes),
       tuning_(tuning),
       packets_(rt::packetize(msg_bytes, rt::WireFormat::direct())) {
   matrix_ = matrix;
+  faults_ = faults;
   linear_axis_ = tuning_.linear_axis >= 0 ? tuning_.linear_axis : choose_linear_axis(config.shape);
   linear_extent_ = config_.shape.dim[static_cast<std::size_t>(linear_axis_)];
   if (tuning_.reserved_fifos) assert(config_.injection_fifos >= 2);
@@ -68,6 +70,40 @@ topo::Rank TwoPhaseClient::intermediate_for(topo::Rank src, topo::Rank dst) cons
   topo::Coord c = torus_.coord_of(src);
   c[linear_axis_] = torus_.coord_of(dst)[linear_axis_];
   return torus_.rank_of(c);
+}
+
+bool TwoPhaseClient::leg_ok(topo::Rank from, topo::Rank to) const {
+  if (from == to) return true;
+  return faults_->pair_routable(from, to, net::RoutingMode::kAdaptive);
+}
+
+topo::Rank TwoPhaseClient::pick_intermediate(topo::Rank src, topo::Rank dst) const {
+  const topo::Rank canon = intermediate_for(src, dst);
+  if (faults_ == nullptr || !faults_->enabled()) return canon;
+  if (faults_->node_alive(canon) && leg_ok(src, canon) && leg_ok(canon, dst)) {
+    return canon;
+  }
+  // Degrade: any live node on src's linear-axis line can relay (phase 2 then
+  // also corrects the linear coordinate — adaptive routing handles that).
+  topo::Coord c = torus_.coord_of(src);
+  for (int k = 0; k < linear_extent_; ++k) {
+    c[linear_axis_] = k;
+    const topo::Rank inter = torus_.rank_of(c);
+    if (inter == canon) continue;
+    if (faults_->node_alive(inter) && leg_ok(src, inter) && leg_ok(inter, dst)) {
+      return inter;
+    }
+  }
+  return -1;
+}
+
+void TwoPhaseClient::mark_reachable(PairMask& mask) const {
+  if (faults_ == nullptr || !faults_->enabled()) return;
+  for (topo::Rank s = 0; s < mask.nodes(); ++s) {
+    for (topo::Rank d = 0; d < mask.nodes(); ++d) {
+      if (s != d && pick_intermediate(s, d) < 0) mask.set_unreachable(s, d);
+    }
+  }
 }
 
 std::uint8_t TwoPhaseClient::pick_phase_fifo(NodeState& s, bool phase1) {
@@ -140,7 +176,11 @@ bool TwoPhaseClient::emit_stream_packet(topo::Rank node, NodeState& s, net::Inje
       continue;
     }
 
-    const topo::Rank inter = intermediate_for(node, dst);
+    const topo::Rank inter = pick_intermediate(node, dst);
+    if (inter < 0) {  // unreachable under the fault plan: skip the pair
+      ++s.position;
+      continue;
+    }
     const bool store_forward = (inter != node) && (inter != dst);
 
     if (store_forward && tuning_.credit_window > 0) {

@@ -47,10 +47,15 @@ int choose_linear_axis(const topo::Shape& shape);
 class TwoPhaseClient : public StrategyClient {
  public:
   TwoPhaseClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                 const TpsTuning& tuning, DeliveryMatrix* matrix);
+                 const TpsTuning& tuning, DeliveryMatrix* matrix,
+                 const net::FaultPlan* faults = nullptr);
 
   bool next_packet(topo::Rank node, net::InjectDesc& out) override;
   void on_delivery(topo::Rank node, const net::Packet& packet) override;
+
+  /// A pair is reachable when some intermediate on the source's linear-axis
+  /// line (including the degenerate direct send) has both legs live.
+  void mark_reachable(PairMask& mask) const override;
 
   int linear_axis() const { return linear_axis_; }
 
@@ -92,6 +97,14 @@ class TwoPhaseClient : public StrategyClient {
   };
 
   topo::Rank intermediate_for(topo::Rank src, topo::Rank dst) const;
+  /// Both-endpoints-alive + live-minimal-path check (trivially true for a
+  /// degenerate leg from a node to itself, or without a fault plan).
+  bool leg_ok(topo::Rank from, topo::Rank to) const;
+  /// The canonical intermediate when its legs are live; otherwise the first
+  /// node on src's linear-axis line with both legs live (k = src's own
+  /// coordinate degenerates to a direct send); -1 when the pair is
+  /// unreachable. Deterministic, so mark_reachable matches the schedule.
+  topo::Rank pick_intermediate(topo::Rank src, topo::Rank dst) const;
   std::uint8_t pick_phase_fifo(NodeState& s, bool phase1);
   bool emit_stream_packet(topo::Rank node, NodeState& s, net::InjectDesc& out);
 

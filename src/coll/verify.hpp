@@ -16,6 +16,49 @@
 
 namespace bgl::coll {
 
+/// Which ordered (src, dst) pairs a strategy can still serve under the run's
+/// fault plan. Default-constructed (or nodes() == 0) means "everything
+/// reachable" — the fault-free case costs nothing. Strategies fill it via
+/// StrategyClient::mark_reachable.
+class PairMask {
+ public:
+  PairMask() = default;
+  explicit PairMask(std::int32_t nodes)
+      : nodes_(nodes),
+        reachable_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), 1) {}
+
+  void set_unreachable(topo::Rank src, topo::Rank dst) {
+    reachable_[index(src, dst)] = 0;
+  }
+
+  bool reachable(topo::Rank src, topo::Rank dst) const {
+    if (nodes_ == 0) return true;  // empty mask: no faults, all pairs live
+    return reachable_[index(src, dst)] != 0;
+  }
+
+  /// Off-diagonal pairs marked unreachable.
+  std::uint64_t unreachable_pairs() const {
+    std::uint64_t count = 0;
+    for (topo::Rank s = 0; s < nodes_; ++s) {
+      for (topo::Rank d = 0; d < nodes_; ++d) {
+        if (s != d && reachable_[index(s, d)] == 0) ++count;
+      }
+    }
+    return count;
+  }
+
+  std::int32_t nodes() const { return nodes_; }
+
+ private:
+  std::size_t index(topo::Rank src, topo::Rank dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(nodes_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  std::int32_t nodes_ = 0;
+  std::vector<std::uint8_t> reachable_;
+};
+
 class DeliveryMatrix {
  public:
   explicit DeliveryMatrix(std::int32_t nodes)
@@ -56,6 +99,44 @@ class DeliveryMatrix {
       }
     }
     return "";
+  }
+
+  /// Fault-tolerant variant of complete(): every *reachable* off-diagonal
+  /// pair must have received exactly `expected_per_pair` bytes; unreachable
+  /// pairs (and the diagonal) must have received nothing — the strategies
+  /// skip them at the source, so any bytes there mean misrouted data.
+  bool complete_reachable(std::uint64_t expected_per_pair, const PairMask& mask) const {
+    return first_error_reachable(expected_per_pair, mask).empty();
+  }
+
+  /// Human-readable description of the first pair violating the reachable
+  /// delivery contract, or "".
+  std::string first_error_reachable(std::uint64_t expected_per_pair,
+                                    const PairMask& mask) const {
+    for (topo::Rank s = 0; s < nodes_; ++s) {
+      for (topo::Rank d = 0; d < nodes_; ++d) {
+        const bool want_data = s != d && mask.reachable(s, d);
+        const std::uint64_t want = want_data ? expected_per_pair : 0;
+        if (bytes(s, d) != want) {
+          return "pair (" + std::to_string(s) + " -> " + std::to_string(d) + ", " +
+                 (want_data ? "reachable" : "unreachable") + "): got " +
+                 std::to_string(bytes(s, d)) + " bytes, want " + std::to_string(want);
+        }
+      }
+    }
+    return "";
+  }
+
+  /// Ordered off-diagonal pairs that received exactly `expected_per_pair`
+  /// bytes (the degradation sweeps' "delivered pairs" numerator).
+  std::uint64_t complete_pairs(std::uint64_t expected_per_pair) const {
+    std::uint64_t count = 0;
+    for (topo::Rank s = 0; s < nodes_; ++s) {
+      for (topo::Rank d = 0; d < nodes_; ++d) {
+        if (s != d && bytes(s, d) == expected_per_pair) ++count;
+      }
+    }
+    return count;
   }
 
   /// Total bytes recorded across all pairs — for conservation checks

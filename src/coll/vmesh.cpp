@@ -17,9 +17,10 @@ std::pair<int, int> vmesh_factorize(std::int32_t nodes) {
 
 VirtualMeshClient::VirtualMeshClient(const net::NetworkConfig& config,
                                      std::uint64_t msg_bytes, const VmeshTuning& tuning,
-                                     DeliveryMatrix* matrix)
+                                     DeliveryMatrix* matrix, const net::FaultPlan* faults)
     : config_(config), msg_bytes_(msg_bytes), tuning_(tuning) {
   matrix_ = matrix;
+  faults_ = faults;
   const std::int32_t nodes = static_cast<std::int32_t>(config.shape.nodes());
   if (tuning_.pvx > 0 && tuning_.pvy > 0) {
     assert(static_cast<std::int64_t>(tuning_.pvx) * tuning_.pvy == nodes);
@@ -43,19 +44,27 @@ VirtualMeshClient::VirtualMeshClient(const net::NetworkConfig& config,
     auto rng = master.fork();
     const int col = col_of(n);
     const int row = row_of(n);
+    // Under a fault plan, peers we cannot reach are dropped from the send
+    // schedule, and phase 2 only waits for row peers that can reach *us* —
+    // a dead row peer must not gate the phase transition forever.
+    std::uint64_t p1_senders = 0;
     s.row_peers.reserve(static_cast<std::size_t>(pvx_) - 1);
     for (int j = 0; j < pvx_; ++j) {
-      if (j != col) s.row_peers.push_back(rank_at(j, row));
+      if (j == col) continue;
+      const topo::Rank peer = rank_at(j, row);
+      if (leg_ok(n, peer)) s.row_peers.push_back(peer);
+      if (leg_ok(peer, n)) ++p1_senders;
     }
     s.col_peers.reserve(static_cast<std::size_t>(pvy_) - 1);
     for (int k = 0; k < pvy_; ++k) {
-      if (k != row) s.col_peers.push_back(rank_at(col, k));
+      if (k == row) continue;
+      const topo::Rank peer = rank_at(col, k);
+      if (leg_ok(n, peer)) s.col_peers.push_back(peer);
     }
     rng.shuffle(s.row_peers);
     rng.shuffle(s.col_peers);
 
-    s.p1_packets_left =
-        static_cast<std::uint64_t>(s.row_peers.size()) * row_packets_.size();
+    s.p1_packets_left = p1_senders * row_packets_.size();
     s.p1_msg_left.assign(static_cast<std::size_t>(pvx_),
                          static_cast<std::uint32_t>(row_packets_.size()));
     s.p2_msg_left.assign(static_cast<std::size_t>(pvy_),
@@ -93,6 +102,26 @@ void VirtualMeshClient::build_mapping(const topo::Shape& shape) {
         rank_of_vrank_[static_cast<std::size_t>(vrank)] = r;
         ++vrank;
       }
+    }
+  }
+}
+
+bool VirtualMeshClient::leg_ok(topo::Rank from, topo::Rank to) const {
+  if (faults_ == nullptr || !faults_->enabled() || from == to) return true;
+  return faults_->pair_routable(from, to, net::RoutingMode::kAdaptive);
+}
+
+void VirtualMeshClient::mark_reachable(PairMask& mask) const {
+  if (faults_ == nullptr || !faults_->enabled()) return;
+  for (topo::Rank s = 0; s < mask.nodes(); ++s) {
+    for (topo::Rank d = 0; d < mask.nodes(); ++d) {
+      if (s == d) continue;
+      // Data for (s, d) travels s -> relay (row message) -> d (column
+      // message); either leg degenerates when the relay is an endpoint.
+      const topo::Rank relay = rank_at(col_of(d), row_of(s));
+      const bool ok = faults_->node_alive(relay) && faults_->node_alive(s) &&
+                      faults_->node_alive(d) && leg_ok(s, relay) && leg_ok(relay, d);
+      if (!ok) mask.set_unreachable(s, d);
     }
   }
 }
@@ -182,10 +211,13 @@ void VirtualMeshClient::on_delivery(topo::Rank node, const net::Packet& packet) 
     assert(left > 0);
     if (--left == 0) {
       // This combined message carried one block from every node of the
-      // sender's row (including the sender itself).
+      // sender's row (including the sender itself) — under faults, only
+      // from row members whose phase-1 message could reach the sender.
       const int sender_row = row_of(sender);
       for (int j = 0; j < pvx_; ++j) {
-        matrix_->record(rank_at(j, sender_row), node, msg_bytes_);
+        const topo::Rank orig = rank_at(j, sender_row);
+        if (orig != sender && !leg_ok(orig, sender)) continue;
+        matrix_->record(orig, node, msg_bytes_);
       }
     }
   }

@@ -49,11 +49,16 @@ std::pair<int, int> vmesh_factorize(std::int32_t nodes);
 class VirtualMeshClient : public StrategyClient {
  public:
   VirtualMeshClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                    const VmeshTuning& tuning, DeliveryMatrix* matrix);
+                    const VmeshTuning& tuning, DeliveryMatrix* matrix,
+                    const net::FaultPlan* faults = nullptr);
 
   bool next_packet(topo::Rank node, net::InjectDesc& out) override;
   void on_delivery(topo::Rank node, const net::Packet& packet) override;
   void on_timer(topo::Rank node, std::uint64_t cookie) override;
+
+  /// A pair is reachable when its relay (the node in the source's row and
+  /// the destination's column) is alive and both mesh legs have live paths.
+  void mark_reachable(PairMask& mask) const override;
 
   int pvx() const { return pvx_; }
   int pvy() const { return pvy_; }
@@ -89,6 +94,9 @@ class VirtualMeshClient : public StrategyClient {
     return vrank_of_rank_[static_cast<std::size_t>(r)];
   }
   void build_mapping(const topo::Shape& shape);
+  /// Alive endpoints + a live adaptive path (trivially true for from == to
+  /// or without a fault plan).
+  bool leg_ok(topo::Rank from, topo::Rank to) const;
 
   net::NetworkConfig config_;
   std::uint64_t msg_bytes_;

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "src/harness/pool.hpp"
+#include "src/network/faults.hpp"
 
 namespace bgl::harness {
 
@@ -27,6 +28,12 @@ BenchContext BenchContext::from_cli(util::Cli& cli) {
   cli.describe("json", "also write machine-readable rows to this JSON file");
   cli.describe("host-timing", "append nondeterministic wall_ms/events_per_sec "
                               "columns to per-run sink rows");
+  cli.describe("timeout", "per-job wall-clock watchdog in seconds; a job "
+                          "exceeding it is marked failed and excluded from "
+                          "aggregates (default: none)");
+  cli.describe("faults", "fault-injection spec, e.g. link:0.02,drop:1e-5,seed:7 "
+                         "(keys: link tlink repair fail_at degrade degrade_mult "
+                         "node drop seed rto retries stuck)");
   BenchContext ctx;
   try {
     ctx.full = cli.get_bool("full", false);
@@ -53,6 +60,16 @@ BenchContext BenchContext::from_cli(util::Cli& cli) {
     ctx.csv_path = cli.get("csv", "");
     ctx.json_path = cli.get("json", "");
     ctx.host_timing = cli.get_bool("host-timing", false);
+    const double timeout_s = cli.get_double("timeout", 0.0);
+    if (cli.has("timeout") && timeout_s <= 0.0) {
+      throw std::runtime_error("option --timeout: must be > 0 seconds, got " +
+                               cli.get("timeout", ""));
+    }
+    ctx.sweep.timeout_ms = timeout_s * 1000.0;
+    const std::string fault_spec = cli.get("faults", "");
+    if (!fault_spec.empty() || cli.has("faults")) {
+      ctx.faults = net::parse_fault_spec(fault_spec);
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s: error: %s\n", cli.program().c_str(), error.what());
     std::exit(2);
@@ -97,6 +114,7 @@ coll::AlltoallOptions BenchContext::base_options(const topo::Shape& shape,
   coll::AlltoallOptions options;
   options.net.shape = shape;
   options.net.seed = sweep.base_seed;
+  options.net.faults = faults;
   options.msg_bytes = msg_bytes;
   return options;
 }
@@ -125,6 +143,10 @@ std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
   const auto used = static_cast<int>(
       std::min<std::size_t>(runs.size(), static_cast<std::size_t>(threads)));
   const std::string footer = throughput_summary(runs, used, wall.count());
+  std::size_t timed_out = 0;
+  for (const auto& result : runs) {
+    if (result.run.timed_out) ++timed_out;
+  }
 
   // One representative row per sweep point for the paper-facing tables:
   // the repeat-0 run where available, a zeroed `ran == false` placeholder
@@ -152,6 +174,11 @@ std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
     std::printf("[harness] repeats %d: tables show the first repeat; sinks "
                 "carry min/mean/max/stddev per point\n",
                 sweep.repeats);
+  }
+  if (timed_out > 0) {
+    std::printf("[harness] %zu run(s) hit --timeout (%.1fs): marked failed "
+                "(drained=0) and excluded from aggregates\n",
+                timed_out, sweep.timeout_ms / 1000.0);
   }
   std::printf("[harness] %s\n", footer.c_str());
   return table;

@@ -31,12 +31,15 @@ struct BenchContext {
   /// Append the nondeterministic wall_ms/events_per_sec columns to per-run
   /// sink rows (off by default so shard outputs merge bit-identically).
   bool host_timing = false;
+  /// Fault injection applied to every point (--faults spec; disabled by
+  /// default). Simulation results remain deterministic for a fixed seed.
+  net::FaultConfig faults{};
 
   /// Declares and reads the shared bench options (--full, --budget, --seed,
-  /// --jobs, --shard, --repeats, --progress, --csv, --json, --host-timing).
-  /// Call before cli.validate(). Prints a clear error to stderr and exits
-  /// with status 2 on invalid values (--jobs 0, --repeats 0, malformed
-  /// --shard, non-numeric values).
+  /// --jobs, --shard, --repeats, --progress, --csv, --json, --host-timing,
+  /// --timeout, --faults). Call before cli.validate(). Prints a clear error
+  /// to stderr and exits with status 2 on invalid values (--jobs 0,
+  /// --repeats 0, malformed --shard or --faults, non-numeric values).
   static BenchContext from_cli(util::Cli& cli);
 
   std::uint64_t seed() const { return sweep.base_seed; }

@@ -154,6 +154,9 @@ std::vector<SimResult> Sweep::run(const SweepOptions& options) const {
         result.label = job.label;
 
         auto sim_options = job.options;
+        if (sim_options.wall_timeout_ms <= 0.0 && options.timeout_ms > 0.0) {
+          sim_options.wall_timeout_ms = options.timeout_ms;
+        }
         if (options.derive_seeds) {
           // The *global* run index, so shard results are bit-identical to
           // the same rows of an unsharded run.

@@ -88,6 +88,11 @@ struct SweepOptions {
   int shard_count = 1;
   /// Rows done / total + ETA on stderr while the sweep runs.
   bool progress = false;
+  /// Per-job host wall-clock watchdog in milliseconds; 0 = none. A job
+  /// exceeding it is aborted and reported with run.timed_out == true and
+  /// run.drained == false (aggregate() then excludes it from the stats).
+  /// Jobs that carry their own options.wall_timeout_ms keep it.
+  double timeout_ms = 0.0;
 };
 
 class Sweep {

@@ -34,6 +34,58 @@ enum class RoutingMode : std::uint8_t {
   kDeterministic = 1,  // dimension order (X, Y, Z) on the bubble VC only
 };
 
+/// Deterministic fault-injection parameters. The zero-initialized config is
+/// "no faults": every fault code path in the fabric and the end-to-end
+/// reliability layer is gated on `enabled()`, so fault-free runs are
+/// bit-identical to a build without the subsystem.
+///
+/// Faults are expanded into a concrete, seeded FaultPlan (see faults.hpp):
+/// which links die, when transients strike and recover, which nodes fail.
+/// The same (config, shape) pair always yields the same plan.
+struct FaultConfig {
+  /// Fraction of existing undirected links that fail permanently (both
+  /// directions) at `fail_at`.
+  double link_fail = 0.0;
+  /// Fraction of undirected links that fail transiently: each goes down at
+  /// a plan-chosen tick in [fail_at, fail_at + repair_cycles) and comes back
+  /// `repair_cycles` later.
+  double link_transient = 0.0;
+  /// Downtime of a transient link failure, in cycles.
+  Tick repair_cycles = 2'000'000;
+  /// Tick at which permanent faults (links, nodes, degradations) strike.
+  /// 0 (the default) applies them before the first packet; strategies plan
+  /// around them. Later strikes are recovered by retransmission only.
+  Tick fail_at = 0;
+  /// Fraction of undirected links running degraded (rail-degraded midplane):
+  /// serialization takes `degrade_mult` x chunk_cycles on those links.
+  double degrade = 0.0;
+  std::uint32_t degrade_mult = 4;
+  /// Number of nodes that fail outright (all their links die with them).
+  int node_fail = 0;
+  /// Per-arrival probabilistic packet drop (models corrupted/lost packets).
+  double drop_prob = 0.0;
+  /// Seed of the fault plan; 0 derives from the network seed so repeated
+  /// sweeps sample independent fault placements.
+  std::uint64_t seed = 0;
+
+  // --- end-to-end reliability knobs (active only when faults are enabled) ---
+  /// Base retransmission timeout in cycles; doubles per retry (capped).
+  Tick retrans_timeout = 500'000;
+  /// Retries before a packet is abandoned and its pair counted undeliverable.
+  int max_retries = 10;
+  /// A head packet that has not moved for this many cycles is dropped so the
+  /// network cannot wedge (end-to-end retransmission recovers it); 0 = auto
+  /// (4 x retrans_timeout).
+  Tick stuck_drop_cycles = 0;
+
+  /// True when any fault mechanism is configured.
+  bool enabled() const noexcept {
+    return link_fail > 0.0 || link_transient > 0.0 || degrade > 0.0 ||
+           node_fail > 0 || drop_prob > 0.0;
+  }
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
+};
+
 struct NetworkConfig {
   topo::Shape shape{};
 
@@ -68,6 +120,14 @@ struct NetworkConfig {
   std::uint64_t seed = 0x5eedULL;
 
   bool collect_link_stats = true;
+
+  /// Fault injection; the default is a healthy network.
+  FaultConfig faults{};
+
+  /// Run the fabric's internal invariant check() at fault events and at the
+  /// end of every run (property tests and the sanitizer CI enable this so
+  /// fault-path credit leaks fail loudly instead of skewing results).
+  bool debug_checks = false;
 };
 
 }  // namespace bgl::net

@@ -78,6 +78,36 @@ Fabric::Fabric(const NetworkConfig& config, Client& client)
   }
 
   cpu_.resize(static_cast<std::size_t>(nodes));
+
+  init_faults();
+}
+
+void Fabric::init_faults() {
+  fault_plan_ = FaultPlan(config_, config_.shape);
+  faults_active_ = fault_plan_.enabled();
+  if (!faults_active_) return;
+  const FaultConfig& fc = config_.faults;
+  fault_rng_ = util::Xoshiro256StarStar(fault_plan_.derived_seed() ^ 0xd809f0ddULL);
+  stuck_cycles_ =
+      fc.stuck_drop_cycles != 0 ? fc.stuck_drop_cycles : 4 * fc.retrans_timeout;
+  link_down_.assign(link_peer_.size(), 0);
+  link_degraded_.assign(link_peer_.size(), 0);
+  head_since_.assign(buffers_.size(), 0);
+  fifo_head_since_.assign(fifos_.size(), 0);
+  for (std::size_t l = 0; l < link_peer_.size(); ++l) {
+    const LinkHealth health = fault_plan_.link_health(static_cast<int>(l));
+    if (health == LinkHealth::kDegraded) link_degraded_[l] = 1;
+    if (health == LinkHealth::kDead && fc.fail_at == 0) link_down_[l] = 1;
+  }
+  if (fc.fail_at > 0 &&
+      fault_plan_.dead_link_count() + fault_plan_.dead_node_count() > 0) {
+    engine_.schedule(fc.fail_at, kEvFault, kPermStrike, 0);
+  }
+  for (std::uint32_t i = 0; i < fault_plan_.transients().size(); ++i) {
+    const TransientOutage& outage = fault_plan_.transients()[i];
+    engine_.schedule(outage.down_at, kEvFault, i, 0);
+    engine_.schedule(outage.up_at, kEvFault, i, 1);
+  }
 }
 
 bool Fabric::run(Tick deadline) {
@@ -85,11 +115,25 @@ bool Fabric::run(Tick deadline) {
     primed_ = true;
     const int nodes = torus_.nodes();
     for (Rank n = 0; n < nodes; ++n) {
-      cpu_[static_cast<std::size_t>(n)].pump_scheduled = true;
+      CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
+      if (faults_active_ && !fault_plan_.node_alive(n)) {
+        cpu.idle = true;  // a dead node's core never pumps
+        continue;
+      }
+      cpu.pump_scheduled = true;
       engine_.schedule(0, kEvCpu, static_cast<std::uint32_t>(n));
     }
   }
-  return engine_.run(deadline);
+  const bool quiescent = engine_.run(deadline);
+  if (config_.debug_checks) run_debug_checks(quiescent);
+  return quiescent;
+}
+
+void Fabric::run_debug_checks(bool quiescent) const {
+  const std::string violation = check_invariants(quiescent);
+  if (!violation.empty()) {
+    throw std::logic_error("fabric invariant violated: " + violation);
+  }
 }
 
 void Fabric::handle(const sim::Event& event) {
@@ -106,12 +150,19 @@ void Fabric::handle(const sim::Event& event) {
     case kEvTimer:
       client_->on_timer(static_cast<Rank>(event.a), event.b);
       break;
+    case kEvFault:
+      on_fault_event(event.a, event.b);
+      break;
+    case kEvSweep:
+      stuck_sweep();
+      break;
     default:
       assert(false && "unknown event type");
   }
 }
 
 void Fabric::wake_cpu(Rank node) {
+  if (faults_active_ && !fault_plan_.node_alive(node)) return;
   CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
   if (cpu.stalled) return;  // will resume when its FIFO drains
   cpu.idle = false;
@@ -183,6 +234,13 @@ void Fabric::pump_cpu(Rank node) {
 }
 
 bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
+  if (faults_active_ && !fault_plan_.pair_routable(node, desc.dst, desc.mode)) {
+    // No live minimal path can ever deliver this packet. Consume the
+    // descriptor (the core still pays its injection cost) and count it,
+    // rather than letting an undeliverable packet wedge a FIFO forever.
+    ++fault_stats_.unroutable_at_injection;
+    return true;
+  }
   const std::size_t fid = static_cast<std::size_t>(fifo_id(node, desc.fifo));
   if (fifo_free_[fid] < desc.wire_chunks) return false;
 
@@ -193,17 +251,27 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   packet.payload_bytes = desc.payload_bytes;
   packet.chunks = desc.wire_chunks;
   packet.mode = desc.mode;
+  packet.seq = desc.seq;
+  packet.ack_cum = desc.ack_cum;
+  packet.ack_bits = desc.ack_bits;
 
-  const topo::Coord from = torus_.coord_of(node);
-  const topo::Coord to = torus_.coord_of(desc.dst);
-  for (int a = 0; a < topo::kAxes; ++a) {
-    int signed_hops = torus_.hops_signed(from[a], to[a], a);
-    // A half-way destination on an even torus ring is reachable both ways;
-    // random choice balances the two directions across the all-to-all.
-    if (signed_hops != 0 && torus_.is_halfway_tie(from[a], to[a], a) && rng_.coin()) {
-      signed_hops = -signed_hops;
+  if (faults_active_) {
+    // Same tie-coin draw as below, but steered away from tie resolutions
+    // whose minimal DAG is severed by permanent faults.
+    packet.hops = fault_plan_.choose_hops(node, desc.dst, desc.mode,
+                                          [this] { return rng_.coin(); });
+  } else {
+    const topo::Coord from = torus_.coord_of(node);
+    const topo::Coord to = torus_.coord_of(desc.dst);
+    for (int a = 0; a < topo::kAxes; ++a) {
+      int signed_hops = torus_.hops_signed(from[a], to[a], a);
+      // A half-way destination on an even torus ring is reachable both ways;
+      // random choice balances the two directions across the all-to-all.
+      if (signed_hops != 0 && torus_.is_halfway_tie(from[a], to[a], a) && rng_.coin()) {
+        signed_hops = -signed_hops;
+      }
+      packet.hops[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(signed_hops);
     }
-    packet.hops[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(signed_hops);
   }
   assert(!packet.at_destination());
 
@@ -215,14 +283,17 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   ++stats_.packets_injected;
   if (becomes_head) {
     fifo_want_[fid] = want_mask(packet);
+    if (faults_active_) fifo_head_since_[fid] = now();
     schedule_profitable_arbs(node, packet);
   }
+  if (faults_active_) arm_sweep();
   return true;
 }
 
 void Fabric::schedule_arb_if_idle(Rank node, int dir) {
   const std::size_t link = static_cast<std::size_t>(link_id(node, dir));
   if (link_peer_[link] < 0) return;        // mesh edge: no link
+  if (faults_active_ && link_down_[link]) return;  // re-armed at repair
   if (arb_scheduled_[link]) return;
   if (link_busy_until_[link] > now()) return;  // busy-end arb already pending
   // Skip the event when no current head wants this output; whichever future
@@ -341,6 +412,7 @@ void Fabric::arbitrate(int link) {
   const std::size_t lk = static_cast<std::size_t>(link);
   arb_scheduled_[lk] = 0;
   if (link_busy_until_[lk] > now()) return;
+  if (faults_active_ && link_down_[lk]) return;  // a down link grants nothing
   const Rank peer = link_peer_[lk];
   if (peer < 0) return;
 
@@ -372,6 +444,14 @@ void Fabric::arbitrate(int link) {
       saw_candidate = true;
       const int target = select_downstream(head, node, dir, entering);
       if (target == kBlocked) continue;
+      // Never walk a packet into a region it could not leave: if the
+      // remaining minimal DAG past `peer` is severed by permanent faults,
+      // refuse this output (adaptive packets take another live direction).
+      if (faults_active_ && target != kDeliverHere &&
+          !continuation_live(head, peer, dir)) {
+        ++fault_stats_.reroute_vetoes;
+        continue;
+      }
 
       const Packet granted = head;
       queue.pop_front();
@@ -379,6 +459,9 @@ void Fabric::arbitrate(int link) {
           (vc == vc_bubble_ ? 1 : granted.chunks);
       buffer_want_[static_cast<std::size_t>(base + vc)] =
           queue.empty() ? 0 : want_mask(queue.front());
+      if (faults_active_ && !queue.empty()) {
+        head_since_[static_cast<std::size_t>(base + vc)] = now();
+      }
       // Credit return: the upstream link feeding this buffer may now proceed.
       const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(input ^ 1));
       if (upstream >= 0) schedule_arb_if_idle(upstream, input);
@@ -399,11 +482,17 @@ void Fabric::arbitrate(int link) {
     saw_candidate = true;
     const int target = select_downstream(head, node, dir, /*entering=*/true);
     if (target == kBlocked) continue;
+    if (faults_active_ && target != kDeliverHere &&
+        !continuation_live(head, peer, dir)) {
+      ++fault_stats_.reroute_vetoes;
+      continue;
+    }
 
     const Packet granted = head;
     queue.pop_front();
     fifo_free_[fid] += granted.chunks;
     fifo_want_[fid] = queue.empty() ? 0 : want_mask(queue.front());
+    if (faults_active_ && !queue.empty()) fifo_head_since_[fid] = now();
     // The core may be stalled waiting for space in this FIFO.
     CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
     if (cpu.stalled && cpu.pending.fifo == fifo && !cpu.pump_scheduled) {
@@ -434,7 +523,8 @@ void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
   granted.hops[static_cast<std::size_t>(axis)] =
       static_cast<std::int8_t>(granted.hops[static_cast<std::size_t>(axis)] - sign);
   if (hop_observer_) hop_observer_(granted, node, dir, target);
-  const Tick busy = static_cast<Tick>(granted.chunks) * config_.chunk_cycles;
+  Tick busy = static_cast<Tick>(granted.chunks) * config_.chunk_cycles;
+  if (faults_active_ && link_degraded_[lk]) busy *= config_.faults.degrade_mult;
   link_busy_until_[lk] = now() + busy;
   if (config_.collect_link_stats) link_busy_[lk] += busy;
   stats_.chunk_hops += granted.chunks;
@@ -443,6 +533,7 @@ void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
   FlightSlot& flight = flights_[slot];
   flight.packet = granted;
   flight.to_node = peer;
+  flight.link = static_cast<std::uint32_t>(lk);
   flight.port = static_cast<std::uint8_t>(dir);
   flight.deliver = (target == kDeliverHere);
   if (!flight.deliver) {
@@ -462,8 +553,34 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
   const Rank node = flight.to_node;
   const bool deliver = flight.deliver;
   const std::uint8_t port = flight.port;
+  const bool link_died = flight.dropped;
+  flight.dropped = false;
   flight.in_use = false;
   free_flights_.push_back(slot_index);
+
+  if (faults_active_) {
+    bool drop = link_died;
+    if (drop) {
+      ++fault_stats_.dropped_in_flight;
+    } else if (config_.faults.drop_prob > 0.0 &&
+               fault_rng_.unit() < config_.faults.drop_prob) {
+      drop = true;
+      ++fault_stats_.dropped_prob;
+    }
+    if (drop) {
+      --in_network_;
+      if (!deliver) {
+        // Return the downstream credit reserved at grant time; the freed
+        // space may unblock the link feeding this buffer.
+        buffer_free_[static_cast<std::size_t>(buf_id(node, port, packet.vc))] +=
+            (packet.vc == vc_bubble_ ? 1 : packet.chunks);
+        const Rank upstream =
+            torus_.neighbor(node, topo::Direction::from_index(port ^ 1));
+        if (upstream >= 0) schedule_arb_if_idle(upstream, port);
+      }
+      return;
+    }
+  }
 
   if (deliver) {
     assert(packet.at_destination());
@@ -482,7 +599,138 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
   queue.push_back(packet);
   if (becomes_head) {
     buffer_want_[buf] = want_mask(packet);
+    if (faults_active_) head_since_[buf] = now();
     schedule_profitable_arbs(node, packet);
+  }
+}
+
+void Fabric::on_fault_event(std::uint32_t a, std::uint64_t b) {
+  if (a == kPermStrike) {
+    for (std::size_t l = 0; l < link_peer_.size(); ++l) {
+      if (fault_plan_.link_dead(static_cast<int>(l))) {
+        set_link_state(static_cast<int>(l), /*down=*/true);
+      }
+    }
+    if (config_.debug_checks) run_debug_checks(false);
+    return;
+  }
+  const TransientOutage& outage =
+      fault_plan_.transients()[static_cast<std::size_t>(a)];
+  // `outage.link` is the + direction port, so the paired reverse link is the
+  // matching - direction port on the peer.
+  const Rank peer = link_peer_[static_cast<std::size_t>(outage.link)];
+  const int dir = outage.link % topo::kDirections;
+  const int reverse = link_id(peer, dir ^ 1);
+  const bool repaired = b != 0;
+  if (repaired) {
+    fault_stats_.link_down_cycles += outage.up_at - outage.down_at;
+    set_link_state(outage.link, false);
+    set_link_state(reverse, false);
+  } else {
+    ++fault_stats_.transient_strikes;
+    set_link_state(outage.link, true);
+    set_link_state(reverse, true);
+  }
+  if (config_.debug_checks) run_debug_checks(false);
+}
+
+void Fabric::set_link_state(int link, bool down) {
+  const std::size_t lk = static_cast<std::size_t>(link);
+  if (link_down_[lk] == static_cast<std::uint8_t>(down ? 1 : 0)) return;
+  link_down_[lk] = down ? 1 : 0;
+  if (down) {
+    drop_in_flight_on_link(static_cast<std::uint32_t>(link));
+  } else {
+    // Restart flow: whichever heads queued up behind the outage want out.
+    schedule_arb_if_idle(static_cast<Rank>(link / topo::kDirections),
+                         link % topo::kDirections);
+  }
+}
+
+void Fabric::drop_in_flight_on_link(std::uint32_t link) {
+  for (FlightSlot& flight : flights_) {
+    if (flight.in_use && !flight.dropped && flight.link == link) {
+      flight.dropped = true;
+    }
+  }
+}
+
+bool Fabric::continuation_live(const Packet& head, Rank peer, int dir) const {
+  auto hops = head.hops;
+  const int axis = axis_of(dir);
+  hops[static_cast<std::size_t>(axis)] = static_cast<std::int8_t>(
+      hops[static_cast<std::size_t>(axis)] - sign_of(dir));
+  return fault_plan_.route_live(peer, hops, head.mode);
+}
+
+void Fabric::arm_sweep() {
+  if (sweep_scheduled_ || stuck_cycles_ == 0) return;
+  sweep_scheduled_ = true;
+  engine_.schedule_in(stuck_cycles_, kEvSweep);
+}
+
+void Fabric::stuck_sweep() {
+  sweep_scheduled_ = false;
+  if (in_network_ == 0) return;  // re-armed by the next injection
+  const Tick cutoff = now() >= stuck_cycles_ ? now() - stuck_cycles_ : 0;
+  for (std::size_t b = 0; b < buffers_.size(); ++b) {
+    while (!buffers_[b].empty() && head_since_[b] <= cutoff) drop_buffer_head(b);
+  }
+  for (Rank n = 0; n < torus_.nodes(); ++n) {
+    for (int f = 0; f < fifo_count_; ++f) {
+      const std::size_t fid = static_cast<std::size_t>(fifo_id(n, f));
+      while (!fifos_[fid].empty() && fifo_head_since_[fid] <= cutoff) {
+        drop_fifo_head(n, f);
+      }
+    }
+  }
+  // While packets remain, keep sweeping: this guarantees a fault scenario
+  // can wedge at most stuck_cycles_ before the backstop unwinds it, and the
+  // event queue drains (quiescence) once the network truly empties.
+  if (in_network_ > 0) {
+    sweep_scheduled_ = true;
+    engine_.schedule_in(stuck_cycles_, kEvSweep);
+  }
+}
+
+void Fabric::drop_buffer_head(std::size_t buf) {
+  auto& queue = buffers_[buf];
+  const Packet victim = queue.front();
+  queue.pop_front();
+  const int vc = static_cast<int>(buf) % vcs_;
+  buffer_free_[buf] += (vc == vc_bubble_ ? 1 : victim.chunks);
+  buffer_want_[buf] = queue.empty() ? 0 : want_mask(queue.front());
+  --in_network_;
+  ++fault_stats_.dropped_stuck;
+  const Rank node = static_cast<Rank>(buf / (topo::kDirections * vcs_));
+  const int port = static_cast<int>(buf / static_cast<std::size_t>(vcs_)) %
+                   topo::kDirections;
+  const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(port ^ 1));
+  if (upstream >= 0) schedule_arb_if_idle(upstream, port);
+  if (!queue.empty()) {
+    head_since_[buf] = now();
+    schedule_profitable_arbs(node, queue.front());
+  }
+}
+
+void Fabric::drop_fifo_head(Rank node, int fifo) {
+  const std::size_t fid = static_cast<std::size_t>(fifo_id(node, fifo));
+  auto& queue = fifos_[fid];
+  const Packet victim = queue.front();
+  queue.pop_front();
+  fifo_free_[fid] += victim.chunks;
+  fifo_want_[fid] = queue.empty() ? 0 : want_mask(queue.front());
+  --in_network_;
+  ++fault_stats_.dropped_stuck;
+  CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
+  if (cpu.stalled && cpu.pending.fifo == fifo && !cpu.pump_scheduled) {
+    cpu.pump_scheduled = true;
+    engine_.schedule(std::max(now(), cpu.next_free), kEvCpu,
+                     static_cast<std::uint32_t>(node));
+  }
+  if (!queue.empty()) {
+    fifo_head_since_[fid] = now();
+    schedule_profitable_arbs(node, queue.front());
   }
 }
 
@@ -697,6 +945,7 @@ std::uint32_t Fabric::alloc_flight_slot() {
     flights_.emplace_back();
   }
   flights_[slot].in_use = true;
+  flights_[slot].dropped = false;
   return slot;
 }
 

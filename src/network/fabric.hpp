@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/network/config.hpp"
+#include "src/network/faults.hpp"
 #include "src/network/packet.hpp"
 #include "src/sim/engine.hpp"
 #include "src/topology/torus.hpp"
@@ -89,6 +90,21 @@ struct FabricStats {
   std::uint64_t arb_blocked = 0;       // candidates existed, all credit-blocked
 };
 
+/// Counters of the fault subsystem; all zero on a fault-free run.
+struct FaultStats {
+  std::uint64_t dropped_in_flight = 0;   // on a link that died under them
+  std::uint64_t dropped_prob = 0;        // probabilistic corruption drops
+  std::uint64_t dropped_stuck = 0;       // stuck-head sweep (wedge backstop)
+  std::uint64_t unroutable_at_injection = 0;  // no live minimal path existed
+  std::uint64_t reroute_vetoes = 0;      // grants refused into dead ends
+  std::uint64_t transient_strikes = 0;   // transient link outages begun
+  Tick link_down_cycles = 0;             // summed transient downtime (per link)
+
+  std::uint64_t total_dropped() const noexcept {
+    return dropped_in_flight + dropped_prob + dropped_stuck;
+  }
+};
+
 class Fabric : public sim::EventHandler {
  public:
   Fabric(const NetworkConfig& config, Client& client);
@@ -106,6 +122,11 @@ class Fabric : public sim::EventHandler {
   const NetworkConfig& config() const noexcept { return config_; }
   const FabricStats& stats() const noexcept { return stats_; }
 
+  /// The expanded fault plan (empty/disabled on a healthy network) and the
+  /// fault-event counters.
+  const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+
   /// Re-arms `node`'s core if idle (clients call this when new work arrives,
   /// e.g. a TPS forward enqueued by on_delivery).
   void wake_cpu(Rank node);
@@ -120,6 +141,14 @@ class Fabric : public sim::EventHandler {
 
   /// Packets currently inside the network (FIFOs + buffers + in flight).
   std::int64_t packets_in_network() const noexcept { return in_network_; }
+
+  /// Host-side watchdog for wedged runs: polled every few thousand events;
+  /// returning true aborts run() (which then reports not-drained). See
+  /// sim::Engine::set_abort_check.
+  void set_abort_check(std::function<bool()> check) {
+    engine_.set_abort_check(std::move(check));
+  }
+  bool aborted() const noexcept { return engine_.aborted(); }
 
   /// Busy cycles of the directed link (node, direction); divide by elapsed
   /// time for utilization. Empty when collect_link_stats is off.
@@ -158,12 +187,19 @@ class Fabric : public sim::EventHandler {
   static constexpr std::uint32_t kEvArrival = 1;  // a = flight slot
   static constexpr std::uint32_t kEvCpu = 2;      // a = node
   static constexpr std::uint32_t kEvTimer = 3;    // a = node, b = cookie
+  static constexpr std::uint32_t kEvFault = 4;    // a = outage idx / kPermStrike, b = up?
+  static constexpr std::uint32_t kEvSweep = 5;    // stuck-head sweep tick
+
+  /// kEvFault `a` value for the delayed permanent strike (fail_at > 0).
+  static constexpr std::uint32_t kPermStrike = ~std::uint32_t{0};
 
   struct FlightSlot {
     Packet packet;
     Rank to_node = -1;
+    std::uint32_t link = 0;  // directed link being crossed (fault drops)
     std::uint8_t port = 0;
     bool deliver = false;
+    bool dropped = false;  // link died under this packet; discard on arrival
     bool in_use = false;
   };
 
@@ -191,6 +227,20 @@ class Fabric : public sim::EventHandler {
   bool try_inject(Rank node, const InjectDesc& desc);
   void schedule_arb_if_idle(Rank node, int dir);
   void schedule_profitable_arbs(Rank node, const Packet& packet);
+
+  // --- fault machinery (no-ops unless faults_active_) ---
+  void init_faults();
+  void on_fault_event(std::uint32_t a, std::uint64_t b);
+  void set_link_state(int link, bool down);
+  void drop_in_flight_on_link(std::uint32_t link);
+  /// True when `head`, after crossing `dir` into `peer`, still has a live
+  /// minimal continuation (permanent fault state).
+  bool continuation_live(const Packet& head, Rank peer, int dir) const;
+  void arm_sweep();
+  void stuck_sweep();
+  void drop_buffer_head(std::size_t buf);
+  void drop_fifo_head(Rank node, int fifo);
+  void run_debug_checks(bool quiescent) const;
 
   /// Downstream VC selection; returns VC index, kDeliverHere, or kBlocked.
   static constexpr int kDeliverHere = -1;
@@ -248,6 +298,20 @@ class Fabric : public sim::EventHandler {
   std::int64_t in_network_ = 0;
   bool primed_ = false;
   HopObserver hop_observer_;
+
+  // --- fault state (sized only when the fault plan is enabled) ---
+  FaultPlan fault_plan_;
+  bool faults_active_ = false;
+  Tick stuck_cycles_ = 0;  // stuck-head drop budget (0 = sweep disabled)
+  bool sweep_scheduled_ = false;
+  std::vector<std::uint8_t> link_down_;      // current (incl. transient) state
+  std::vector<std::uint8_t> link_degraded_;  // serialization multiplier applies
+  // Tick at which the current head of each buffer/FIFO became head; the
+  // stuck sweep drops heads older than stuck_cycles_.
+  std::vector<Tick> head_since_;
+  std::vector<Tick> fifo_head_since_;
+  util::Xoshiro256StarStar fault_rng_;  // probabilistic drops only
+  FaultStats fault_stats_;
 };
 
 }  // namespace bgl::net

@@ -22,6 +22,13 @@ struct Packet {
   RoutingMode mode = RoutingMode::kAdaptive;
   std::uint8_t vc = 0;  // VC the packet currently occupies
 
+  // End-to-end reliability header (rides in the 8 B proto header the chunk
+  // accounting already charges; see src/runtime/reliability.hpp). All-zero —
+  // and ignored by every fault-free code path — when faults are disabled.
+  std::uint32_t seq = 0;       // 1-based per-(src,dst) sequence; 0 = unsequenced
+  std::uint32_t ack_cum = 0;   // all sequences <= ack_cum delivered back to src
+  std::uint32_t ack_bits = 0;  // SACK bitmap for sequences in (ack_cum, ack_cum+32]
+
   bool at_destination() const noexcept {
     return hops[0] == 0 && hops[1] == 0 && hops[2] == 0;
   }
@@ -46,6 +53,11 @@ struct InjectDesc {
   /// Non-pipelined software cost charged to the core for this packet on top
   /// of the bandwidth-proportional injection cost (the paper's per-message α).
   std::uint32_t extra_cpu_cycles = 0;
+
+  /// Reliability header copied verbatim into the packet (see Packet).
+  std::uint32_t seq = 0;
+  std::uint32_t ack_cum = 0;
+  std::uint32_t ack_bits = 0;
 };
 
 }  // namespace bgl::net

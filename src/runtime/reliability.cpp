@@ -1,0 +1,189 @@
+#include "src/runtime/reliability.hpp"
+
+#include <algorithm>
+
+namespace bgl::rt {
+
+ReliableClient::ReliableClient(const net::NetworkConfig& config, net::Client& inner)
+    : inner_(&inner),
+      rto_(config.faults.retrans_timeout),
+      ack_delay_(std::max<Tick>(1, config.faults.retrans_timeout / 8)),
+      scan_period_(std::max<Tick>(1, config.faults.retrans_timeout / 4)),
+      max_retries_(config.faults.max_retries) {
+  const std::size_t nodes = static_cast<std::size_t>(config.shape.nodes());
+  send_.resize(nodes);
+  recv_.resize(nodes);
+  ready_.resize(nodes);
+  unacked_count_.assign(nodes, 0);
+  scan_armed_.assign(nodes, 0);
+}
+
+bool ReliableClient::routable(Rank from, Rank to, net::RoutingMode mode) const {
+  return fabric_->fault_plan().pair_routable(from, to, mode);
+}
+
+bool ReliableClient::next_packet(Rank node, net::InjectDesc& out) {
+  auto& queue = ready_[static_cast<std::size_t>(node)];
+  if (!queue.empty()) {
+    out = queue.front();
+    queue.pop_front();
+    refresh_ack(node, out);
+    return true;
+  }
+
+  net::InjectDesc desc;
+  if (!inner_->next_packet(node, desc)) return false;
+  if (routable(node, desc.dst, desc.mode)) {
+    SenderFlow& flow = send_[static_cast<std::size_t>(node)][desc.dst];
+    desc.seq = ++flow.next_seq;
+    Pending pending;
+    pending.desc = desc;
+    pending.sent_at = fabric_->now();
+    flow.unacked.emplace(desc.seq, pending);
+    ++unacked_count_[static_cast<std::size_t>(node)];
+    ++stats_.data_sequenced;
+    arm_scan(node);
+  }
+  // else: no live path exists; the fabric consumes the descriptor and counts
+  // it unroutable, and tracking it would only retransmit into the void.
+  refresh_ack(node, desc);
+  out = desc;
+  return true;
+}
+
+void ReliableClient::refresh_ack(Rank node, net::InjectDesc& desc) {
+  auto& flows = recv_[static_cast<std::size_t>(node)];
+  const auto it = flows.find(desc.dst);
+  if (it == flows.end()) return;
+  ReceiverFlow& flow = it->second;
+  desc.ack_cum = flow.cum;
+  std::uint32_t bits = 0;
+  for (int b = 0; b < 32; ++b) {
+    if (flow.ooo.count(flow.cum + 1 + static_cast<std::uint32_t>(b))) {
+      bits |= (std::uint32_t{1} << b);
+    }
+  }
+  desc.ack_bits = bits;
+  if (flow.ack_pending) {
+    flow.ack_pending = false;
+    ++stats_.acks_piggybacked;
+  }
+}
+
+void ReliableClient::on_delivery(Rank node, const net::Packet& packet) {
+  // Every packet — data, duplicate, or standalone ack — carries fresh ack
+  // state for the reverse flow.
+  process_ack(node, packet.src, packet.ack_cum, packet.ack_bits);
+  if (packet.seq == 0) return;  // standalone ack: header only, no payload
+
+  ReceiverFlow& flow = recv_[static_cast<std::size_t>(node)][packet.src];
+  const std::uint32_t seq = packet.seq;
+  const bool duplicate = seq <= flow.cum || flow.ooo.count(seq) != 0;
+  if (duplicate) {
+    ++stats_.duplicates_dropped;
+  } else {
+    flow.ooo.insert(seq);
+    while (flow.ooo.erase(flow.cum + 1) != 0) ++flow.cum;
+    inner_->on_delivery(node, packet);
+  }
+  // Ack (or re-ack — the previous ack may itself have been lost): piggyback
+  // on the next reverse data packet, or flush standalone after the delay.
+  flow.ack_pending = true;
+  if (!flow.flush_scheduled) {
+    flow.flush_scheduled = true;
+    fabric_->schedule_timer(node, ack_delay_,
+                            kCookieFlag | kAckFlushBit |
+                                static_cast<std::uint32_t>(packet.src));
+  }
+}
+
+void ReliableClient::process_ack(Rank node, Rank peer, std::uint32_t cum,
+                                 std::uint32_t bits) {
+  auto& flows = send_[static_cast<std::size_t>(node)];
+  const auto it = flows.find(peer);
+  if (it == flows.end()) return;
+  SenderFlow& flow = it->second;
+  auto& unacked = flow.unacked;
+  while (!unacked.empty() && unacked.begin()->first <= cum) {
+    unacked.erase(unacked.begin());
+    --unacked_count_[static_cast<std::size_t>(node)];
+  }
+  for (int b = 0; b < 32 && bits != 0; ++b) {
+    if ((bits >> b) & 1) {
+      if (unacked.erase(cum + 1 + static_cast<std::uint32_t>(b)) != 0) {
+        --unacked_count_[static_cast<std::size_t>(node)];
+      }
+    }
+  }
+}
+
+void ReliableClient::on_timer(Rank node, std::uint64_t cookie) {
+  if ((cookie & kCookieFlag) == 0) {
+    inner_->on_timer(node, cookie);
+    return;
+  }
+  if (cookie & kAckFlushBit) {
+    ack_flush(node, static_cast<Rank>(cookie & 0xffffffffu));
+    return;
+  }
+  scan(node);
+}
+
+void ReliableClient::ack_flush(Rank node, Rank sender) {
+  ReceiverFlow& flow = recv_[static_cast<std::size_t>(node)][sender];
+  flow.flush_scheduled = false;
+  if (!flow.ack_pending) return;  // a data packet carried it meanwhile
+  flow.ack_pending = false;
+  if (!routable(node, sender, net::RoutingMode::kAdaptive)) return;
+  net::InjectDesc ack;
+  ack.dst = sender;
+  ack.payload_bytes = 0;
+  ack.wire_chunks = 1;  // the 8 B proto header rides in one 32 B chunk
+  ack.mode = net::RoutingMode::kAdaptive;
+  ack.fifo = 0;
+  ready_[static_cast<std::size_t>(node)].push_back(ack);
+  ++stats_.acks_standalone;
+  fabric_->wake_cpu(node);
+}
+
+void ReliableClient::arm_scan(Rank node) {
+  if (scan_armed_[static_cast<std::size_t>(node)]) return;
+  scan_armed_[static_cast<std::size_t>(node)] = 1;
+  fabric_->schedule_timer(node, scan_period_, kCookieFlag);
+}
+
+void ReliableClient::scan(Rank node) {
+  scan_armed_[static_cast<std::size_t>(node)] = 0;
+  const Tick now = fabric_->now();
+  bool emitted = false;
+  for (auto& [peer, flow] : send_[static_cast<std::size_t>(node)]) {
+    for (auto it = flow.unacked.begin(); it != flow.unacked.end();) {
+      Pending& pending = it->second;
+      const int backoff = std::min(pending.tries - 1, 6);
+      const Tick patience = rto_ << backoff;
+      if (now - pending.sent_at < patience) {
+        ++it;
+        continue;
+      }
+      if (pending.tries > max_retries_ ||
+          !routable(node, peer, pending.desc.mode)) {
+        ++stats_.gave_up;
+        abandoned_.emplace_back(node, peer);
+        --unacked_count_[static_cast<std::size_t>(node)];
+        it = flow.unacked.erase(it);
+        continue;
+      }
+      ++pending.tries;
+      pending.sent_at = now;
+      ready_[static_cast<std::size_t>(node)].push_back(pending.desc);
+      ++stats_.retransmits;
+      emitted = true;
+      ++it;
+    }
+  }
+  if (emitted) fabric_->wake_cpu(node);
+  // Re-arm only while something is unacked, so a finished run quiesces.
+  if (unacked_count_[static_cast<std::size_t>(node)] > 0) arm_scan(node);
+}
+
+}  // namespace bgl::rt

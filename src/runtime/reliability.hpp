@@ -1,0 +1,120 @@
+// End-to-end reliability for degraded networks.
+//
+// ReliableClient wraps a strategy's fabric client and adds, per ordered
+// (injector, destination) pair:
+//   - sequence numbers stamped into the packet's 8 B proto header,
+//   - receiver-side duplicate suppression (cumulative counter + an
+//     out-of-order set),
+//   - acknowledgements: every data packet piggybacks the current cumulative
+//     ack + a 32-bit SACK bitmap for its reverse flow; when no reverse
+//     traffic appears within an ack delay, a standalone 1-chunk ack packet
+//     is sent,
+//   - retransmission from a per-node scan timer with exponential backoff
+//     (rto << tries, capped) and a bounded retry budget; abandoned packets
+//     are counted and their pairs reported.
+//
+// The wrapper is only interposed when fault injection is enabled
+// (see coll::run_alltoall), so fault-free runs pay zero extra packets and
+// remain bit-identical. Indirect strategies (TPS, VMesh) are covered per
+// leg: each injection, including a forward from an intermediate, is its own
+// reliable flow, so a lost packet is retried by the node that injected it.
+//
+// Timer cookies claim the bit-63 namespace; anything else is forwarded to
+// the inner client (VMesh's phase gate uses cookie 1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/network/fabric.hpp"
+
+namespace bgl::rt {
+
+using net::Rank;
+using net::Tick;
+
+struct ReliabilityStats {
+  std::uint64_t data_sequenced = 0;      // data packets given a sequence number
+  std::uint64_t retransmits = 0;         // re-emissions of unacked packets
+  std::uint64_t gave_up = 0;             // packets abandoned after the budget
+  std::uint64_t acks_standalone = 0;     // dedicated ack packets injected
+  std::uint64_t acks_piggybacked = 0;    // pending acks carried by data
+  std::uint64_t duplicates_dropped = 0;  // retransmit copies suppressed
+};
+
+class ReliableClient final : public net::Client {
+ public:
+  /// `inner` must outlive this wrapper. Reliability knobs come from
+  /// `config.faults` (retrans_timeout, max_retries).
+  ReliableClient(const net::NetworkConfig& config, net::Client& inner);
+
+  /// Call once, after the Fabric is constructed with *this* as its client.
+  void attach(net::Fabric& fabric) { fabric_ = &fabric; }
+
+  bool next_packet(Rank node, net::InjectDesc& out) override;
+  void on_delivery(Rank node, const net::Packet& packet) override;
+  void on_timer(Rank node, std::uint64_t cookie) override;
+
+  const ReliabilityStats& stats() const noexcept { return stats_; }
+
+  /// Ordered (injector, destination) pairs with at least one abandoned
+  /// packet; data for these pairs is incomplete despite being routable.
+  const std::vector<std::pair<Rank, Rank>>& abandoned_pairs() const noexcept {
+    return abandoned_;
+  }
+
+ private:
+  // Timer cookie namespace: bit 63 marks ours, bit 62 selects ack flush
+  // (low 32 bits = sender being acked) vs the per-node retransmit scan.
+  static constexpr std::uint64_t kCookieFlag = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kAckFlushBit = std::uint64_t{1} << 62;
+
+  struct Pending {
+    net::InjectDesc desc{};  // re-emittable copy, sequence number included
+    Tick sent_at = 0;
+    int tries = 1;  // sends so far
+  };
+  struct SenderFlow {
+    std::uint32_t next_seq = 0;
+    std::map<std::uint32_t, Pending> unacked;
+  };
+  struct ReceiverFlow {
+    std::uint32_t cum = 0;            // all of 1..cum delivered to the app
+    std::set<std::uint32_t> ooo;      // received above the cumulative point
+    bool ack_pending = false;
+    bool flush_scheduled = false;
+  };
+
+  bool routable(Rank from, Rank to, net::RoutingMode mode) const;
+  void arm_scan(Rank node);
+  void scan(Rank node);
+  void ack_flush(Rank node, Rank sender);
+  void process_ack(Rank node, Rank peer, std::uint32_t cum, std::uint32_t bits);
+  /// Stamps the current receiver state for flow (desc.dst -> node) into the
+  /// outgoing descriptor's ack fields.
+  void refresh_ack(Rank node, net::InjectDesc& desc);
+
+  net::Client* inner_;
+  net::Fabric* fabric_ = nullptr;
+  Tick rto_;
+  Tick ack_delay_;
+  Tick scan_period_;
+  int max_retries_;
+
+  // All per-node containers are std::map keyed by peer rank so iteration
+  // order (and therefore every retransmission decision) is deterministic.
+  std::vector<std::map<Rank, SenderFlow>> send_;
+  std::vector<std::map<Rank, ReceiverFlow>> recv_;
+  std::vector<std::deque<net::InjectDesc>> ready_;  // acks + retransmits
+  std::vector<std::uint32_t> unacked_count_;
+  std::vector<std::uint8_t> scan_armed_;
+
+  ReliabilityStats stats_;
+  std::vector<std::pair<Rank, Rank>> abandoned_;
+};
+
+}  // namespace bgl::rt

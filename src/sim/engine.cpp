@@ -7,6 +7,10 @@ bool Engine::run(Tick deadline) {
     now_ = event->time;
     ++processed_;
     handler_->handle(*event);
+    if (abort_check_ && (processed_ & kAbortPollMask) == 0 && abort_check_()) {
+      aborted_ = true;
+      return false;
+    }
   }
   return queue_.empty();
 }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "src/sim/event_queue.hpp"
 
@@ -35,13 +36,26 @@ class Engine {
   /// Processed event count (for micro-benchmarks and budget checks).
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// Host-side watchdog, polled every few thousand events inside run();
+  /// returning true aborts the loop (run() then reports not-drained and
+  /// aborted() turns true). Used for per-job wall-clock timeouts — results
+  /// of an aborted run are not meaningful and must be discarded.
+  void set_abort_check(std::function<bool()> check) { abort_check_ = std::move(check); }
+  bool aborted() const noexcept { return aborted_; }
+
   TimingWheel& queue() noexcept { return queue_; }
 
  private:
+  /// Events between abort-check polls (power of two; a steady_clock read
+  /// every ~8k events is noise even for micro benches).
+  static constexpr std::uint64_t kAbortPollMask = 0x1fff;
+
   EventHandler* handler_;
   TimingWheel queue_;
   Tick now_ = 0;
   std::uint64_t processed_ = 0;
+  std::function<bool()> abort_check_;
+  bool aborted_ = false;
 };
 
 }  // namespace bgl::sim

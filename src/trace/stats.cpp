@@ -69,6 +69,44 @@ std::vector<int> utilization_histogram(const net::Fabric& fabric, net::Tick elap
   return histogram;
 }
 
+std::string summarize_faults(const net::FaultPlan& plan, const net::FaultStats& faults,
+                             const rt::ReliabilityStats& reliability) {
+  if (!plan.enabled() && faults.total_dropped() == 0 &&
+      faults.unroutable_at_injection == 0 && reliability.retransmits == 0) {
+    return "";
+  }
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "faults: %zu dead / %zu degraded links, %zu dead nodes, "
+                "%zu transient outages (%llu strikes, %llu cycles down)\n",
+                plan.dead_link_count(), plan.degraded_link_count(), plan.dead_node_count(),
+                plan.transients().size(),
+                static_cast<unsigned long long>(faults.transient_strikes),
+                static_cast<unsigned long long>(faults.link_down_cycles));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "drops: %llu in flight, %llu corrupted, %llu stuck; "
+                "%llu unroutable at injection, %llu reroute vetoes\n",
+                static_cast<unsigned long long>(faults.dropped_in_flight),
+                static_cast<unsigned long long>(faults.dropped_prob),
+                static_cast<unsigned long long>(faults.dropped_stuck),
+                static_cast<unsigned long long>(faults.unroutable_at_injection),
+                static_cast<unsigned long long>(faults.reroute_vetoes));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "reliability: %llu sequenced, %llu retransmits, %llu duplicates "
+                "dropped, %llu+%llu acks (standalone+piggybacked), %llu given up",
+                static_cast<unsigned long long>(reliability.data_sequenced),
+                static_cast<unsigned long long>(reliability.retransmits),
+                static_cast<unsigned long long>(reliability.duplicates_dropped),
+                static_cast<unsigned long long>(reliability.acks_standalone),
+                static_cast<unsigned long long>(reliability.acks_piggybacked),
+                static_cast<unsigned long long>(reliability.gave_up));
+  out += buf;
+  return out;
+}
+
 std::string LinkReport::to_string() const {
   char buf[256];
   std::string out;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/network/fabric.hpp"
+#include "src/runtime/reliability.hpp"
 #include "src/topology/torus.hpp"
 
 namespace bgl::trace {
@@ -35,5 +36,12 @@ LinkReport summarize_links(const net::Fabric& fabric, net::Tick elapsed);
 /// Utilization histogram over all existing directed links (for ablations).
 std::vector<int> utilization_histogram(const net::Fabric& fabric, net::Tick elapsed,
                                        int buckets);
+
+/// One-paragraph human-readable summary of a degraded run: plan size (dead /
+/// degraded links, dead nodes, transient outages), fabric drop and reroute
+/// counters, and the reliability layer's retransmission work. Returns "" for
+/// a disabled plan with all-zero counters.
+std::string summarize_faults(const net::FaultPlan& plan, const net::FaultStats& faults,
+                             const rt::ReliabilityStats& reliability);
 
 }  // namespace bgl::trace

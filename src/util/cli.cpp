@@ -7,13 +7,11 @@
 
 namespace bgl::util {
 
-namespace {
-
 // std::stoll silently accepts trailing junk ("--seed 12x" used to run with
 // seed 12), so numeric options are parsed strictly: the whole token must be
 // one finite number or the option is rejected with a clear message.
 
-std::int64_t parse_full_int(const std::string& text, const std::string& what) {
+std::int64_t parse_strict_int(const std::string& text, const std::string& what) {
   errno = 0;
   char* end = nullptr;
   const long long value = std::strtoll(text.c_str(), &end, 10);
@@ -23,7 +21,7 @@ std::int64_t parse_full_int(const std::string& text, const std::string& what) {
   return value;
 }
 
-double parse_full_double(const std::string& text, const std::string& what) {
+double parse_strict_double(const std::string& text, const std::string& what) {
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
@@ -32,8 +30,6 @@ double parse_full_double(const std::string& text, const std::string& what) {
   }
   return value;
 }
-
-}  // namespace
 
 Cli::Cli(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -69,13 +65,13 @@ std::string Cli::get(const std::string& name, const std::string& fallback) const
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end() || it->second.empty()) return fallback;
-  return parse_full_int(it->second, "option --" + name);
+  return parse_strict_int(it->second, "option --" + name);
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end() || it->second.empty()) return fallback;
-  return parse_full_double(it->second, "option --" + name);
+  return parse_strict_double(it->second, "option --" + name);
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {
@@ -121,7 +117,7 @@ std::vector<std::int64_t> parse_int_list(const std::string& text) {
   while (pos < text.size()) {
     const auto comma = text.find(',', pos);
     const auto piece = text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    if (!piece.empty()) out.push_back(parse_full_int(piece, "list entry"));
+    if (!piece.empty()) out.push_back(parse_strict_int(piece, "list entry"));
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }

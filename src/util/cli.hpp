@@ -52,4 +52,11 @@ class Cli {
 /// std::runtime_error on non-integer entries.
 std::vector<std::int64_t> parse_int_list(const std::string& text);
 
+/// Strict full-string numeric parsing (the machinery behind get_int /
+/// get_double, shared by structured option parsers like --shard and
+/// --faults): the whole token must be a single finite number, otherwise a
+/// std::runtime_error naming `what` is thrown.
+std::int64_t parse_strict_int(const std::string& text, const std::string& what);
+double parse_strict_double(const std::string& text, const std::string& what);
+
 }  // namespace bgl::util

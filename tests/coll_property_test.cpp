@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/network/faults.hpp"
 #include "src/topology/torus.hpp"
 
 namespace bgl::coll {
@@ -109,6 +110,82 @@ std::string case_name(const ::testing::TestParamInfo<int>& param_info) {
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, AlltoallProperty, ::testing::Range(0, 50),
                          case_name);
+
+// --- fault injection -------------------------------------------------------
+//
+// The same sampled (shape, strategy, payload) space, now with a random fault
+// plan layered on top: permanent link failures, dead nodes, transient
+// outages and probabilistic drops. The contract shifts from "every pair
+// delivered" to the degraded-mode one: the run must still drain (no hang, no
+// lost credits — router invariants are checked every cycle via
+// net.debug_checks), every *reachable* pair must receive exactly its bytes,
+// and unreachable pairs exactly none.
+
+struct FaultCase {
+  PropertyCase base;
+  std::string fault_spec;
+};
+
+FaultCase make_fault_case(int index) {
+  FaultCase c;
+  c.base = make_case(index + 1000);  // decorrelate from the healthy suite
+  std::uint64_t state = 0xfa17ca5e00000000ull + static_cast<std::uint64_t>(index);
+  next_random(state);
+
+  const double link = 0.02 * static_cast<double>(next_random(state) % 5);  // 0..8%
+  const auto nodes_down = next_random(state) % 3;                          // 0..2
+  const bool transients = next_random(state) % 2 == 0;
+  const bool drops = next_random(state) % 2 == 0;
+
+  c.fault_spec = "link:" + std::to_string(link);
+  c.fault_spec += ",node:" + std::to_string(nodes_down);
+  if (transients) c.fault_spec += ",tlink:0.1,repair:50000";
+  if (drops) c.fault_spec += ",drop:0.002";
+  c.fault_spec += ",seed:" + std::to_string(1 + next_random(state) % 1000);
+  return c;
+}
+
+class FaultProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultProperty, DeliversExactlyToEveryReachablePair) {
+  const FaultCase c = make_fault_case(GetParam());
+  SCOPED_TRACE("shape " + c.base.shape_spec + ", strategy " +
+               strategy_name(c.base.kind) + ", msg " +
+               std::to_string(c.base.msg_bytes) + "B, faults " + c.fault_spec);
+
+  AlltoallOptions options;
+  options.net.shape = topo::parse_shape(c.base.shape_spec);
+  options.net.seed = 0xfa17ull + static_cast<std::uint64_t>(GetParam());
+  options.net.faults = net::parse_fault_spec(c.fault_spec);
+  options.net.debug_checks = true;  // credit/occupancy invariants every event
+  options.msg_bytes = c.base.msg_bytes;
+  options.verify = true;
+
+  const RunResult result = run_alltoall(c.base.kind, options);
+
+  EXPECT_TRUE(result.drained) << "degraded collective stalled";
+  EXPECT_EQ(result.abandoned_pairs, 0u)
+      << "retry budget exhausted on a routable pair";
+  EXPECT_TRUE(result.reachable_complete)
+      << "a reachable pair was not served exactly";
+  const auto nodes = static_cast<std::uint64_t>(options.net.shape.nodes());
+  EXPECT_EQ(result.pairs_complete + result.unreachable_pairs, nodes * (nodes - 1));
+}
+
+std::string fault_case_name(const ::testing::TestParamInfo<int>& param_info) {
+  const FaultCase c = make_fault_case(param_info.param);
+  std::string name = "i";
+  name.append(std::to_string(param_info.param));
+  name.append("_").append(c.base.shape_spec);
+  name.append("_").append(strategy_name(c.base.kind));
+  for (char& ch : name) {
+    if (ch == 'x' || ch == '/' || ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFaultPlans, FaultProperty, ::testing::Range(0, 30),
+                         fault_case_name);
 
 }  // namespace
 }  // namespace bgl::coll

@@ -483,5 +483,81 @@ TEST(BenchContextDeathTest, NonNumericSeedIsAnError) {
   expect_cli_rejected({"--seed", "12x"}, "error: .*--seed");
 }
 
+TEST(BenchContextDeathTest, NonPositiveTimeoutIsAnError) {
+  expect_cli_rejected({"--timeout", "0"}, "error: .*--timeout");
+  expect_cli_rejected({"--timeout", "-3"}, "error: .*--timeout");
+}
+
+TEST(BenchContextDeathTest, MalformedFaultSpecIsAnError) {
+  expect_cli_rejected({"--faults", "link:2.0"}, "error: .*--faults");
+  expect_cli_rejected({"--faults", "warp:0.5"}, "error: .*--faults");
+}
+
+TEST(BenchContext, FaultSpecReachesBaseOptions) {
+  const char* argv[] = {"bench", "--faults", "link:0.02,drop:1e-4"};
+  util::Cli cli(3, argv);
+  const auto ctx = BenchContext::from_cli(cli);
+  const auto options = ctx.base_options(topo::parse_shape("4x4"), 64);
+  EXPECT_DOUBLE_EQ(options.net.faults.link_fail, 0.02);
+  EXPECT_DOUBLE_EQ(options.net.faults.drop_prob, 1e-4);
+  EXPECT_TRUE(options.net.faults.enabled());
+}
+
+// --- per-job wall-clock watchdog -------------------------------------------
+
+TEST(SweepTimeout, WedgedJobIsKilledAndExcludedFromAggregates) {
+  // One job far too big to finish inside the watchdog, surrounded by jobs
+  // that finish in milliseconds. The sweep must complete, mark only the big
+  // job as timed out (drained == false), and aggregate() must keep it out
+  // of the statistics while the healthy points aggregate normally.
+  Sweep sweep;
+  coll::AlltoallOptions tiny;
+  tiny.net.shape = topo::parse_shape("2x2x2");
+  tiny.msg_bytes = 32;
+  coll::AlltoallOptions huge;
+  huge.net.shape = topo::parse_shape("10x10x10");
+  huge.msg_bytes = 4096;
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, tiny);
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, huge);
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, tiny);
+
+  SweepOptions options;
+  options.jobs = 2;
+  options.timeout_ms = 150.0;
+  const auto results = sweep.run(options);
+  ASSERT_EQ(results.size(), 3u);
+
+  EXPECT_TRUE(results[0].run.drained);
+  EXPECT_FALSE(results[0].run.timed_out);
+  EXPECT_FALSE(results[1].run.drained);
+  EXPECT_TRUE(results[1].run.timed_out);
+  EXPECT_TRUE(results[2].run.drained);
+  EXPECT_FALSE(results[2].run.timed_out);
+
+  const auto stats = aggregate(results);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].repeats_ok, 1);
+  EXPECT_EQ(stats[1].repeats, 1);
+  EXPECT_EQ(stats[1].repeats_ok, 0);  // failed run: not in the stats
+  EXPECT_EQ(stats[2].repeats_ok, 1);
+}
+
+TEST(SweepTimeout, PerJobTimeoutOverridesTheSweepDefault) {
+  // A job that already carries its own wall_timeout_ms keeps it.
+  Sweep sweep;
+  coll::AlltoallOptions options;
+  options.net.shape = topo::parse_shape("2x2x2");
+  options.msg_bytes = 32;
+  options.wall_timeout_ms = 60'000.0;  // generous: the job must NOT time out
+  sweep.add(coll::StrategyKind::kAdaptiveRandom, options);
+  SweepOptions sweep_options;
+  sweep_options.jobs = 1;
+  sweep_options.timeout_ms = 0.001;  // would kill the job if it applied
+  const auto results = sweep.run(sweep_options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].run.drained);
+  EXPECT_FALSE(results[0].run.timed_out);
+}
+
 }  // namespace
 }  // namespace bgl::harness

@@ -9,6 +9,7 @@
 
 #include "src/coll/direct.hpp"
 #include "src/coll/alltoall.hpp"
+#include "src/coll/registry.hpp"
 #include "src/network/fabric.hpp"
 #include "src/trace/heatmap.hpp"
 #include "src/util/cli.hpp"
@@ -47,26 +48,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  const coll::StrategyKind kinds[] = {
-      coll::StrategyKind::kMpi,      coll::StrategyKind::kAdaptiveRandom,
-      coll::StrategyKind::kDeterministic, coll::StrategyKind::kThrottled,
-      coll::StrategyKind::kTwoPhase, coll::StrategyKind::kVirtualMesh,
-  };
-
   std::vector<std::string> headers = {"strategy"};
   for (const auto size : sizes) {
     headers.push_back(util::fmt_bytes(static_cast<std::uint64_t>(size)));
   }
   util::Table table(headers);
 
-  for (const auto kind : kinds) {
-    std::vector<std::string> row = {coll::strategy_name(kind)};
+  // The registry enumerates every concrete strategy, so a new schedule
+  // builder shows up in the matrix without touching this tool.
+  for (const auto& info : coll::strategy_registry()) {
+    std::vector<std::string> row = {info.name};
     for (const auto size : sizes) {
       coll::AlltoallOptions options;
       options.net.shape = shape;
       options.net.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
       options.msg_bytes = static_cast<std::uint64_t>(size);
-      const auto result = coll::run_alltoall(kind, options);
+      const auto result = coll::run_alltoall(info.kind, options);
       row.push_back(util::fmt(result.percent_peak, 1));
       if (show_links) {
         std::printf("%-12s %6sB: %s\n", result.strategy.c_str(),

@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "src/coll/direct.hpp"
+#include "src/coll/registry.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/coll/selector.hpp"
 #include "src/coll/tps.hpp"
 #include "src/coll/vmesh.hpp"
@@ -68,62 +70,33 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
   }
 
   std::unique_ptr<StrategyClient> client;
-  switch (kind) {
-    case StrategyKind::kMpi: {
-      DirectTuning t = DirectTuning::mpi();
-      t.burst = options.burst > 0 ? options.burst : t.burst;
-      t.order = options.order;
-      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
-                                              matrix, faults);
-      break;
+  if (!options.use_legacy_clients) {
+    // Default path: build the strategy's declarative schedule and interpret
+    // it with the one executor (bit-identical to the legacy clients).
+    client = std::make_unique<ScheduleExecutor>(
+        net, build_schedule(kind, net, options.msg_bytes, options, faults),
+        matrix, faults);
+  } else {
+    switch (kind) {
+      case StrategyKind::kMpi:
+      case StrategyKind::kAdaptiveRandom:
+      case StrategyKind::kDeterministic:
+      case StrategyKind::kThrottled:
+        client = std::make_unique<DirectClient>(
+            net, options.msg_bytes, direct_tuning_for(kind, options), matrix, faults);
+        break;
+      case StrategyKind::kTwoPhase:
+        client = std::make_unique<TwoPhaseClient>(
+            net, options.msg_bytes, tps_tuning_for(options), matrix, faults);
+        break;
+      case StrategyKind::kVirtualMesh:
+        client = std::make_unique<VirtualMeshClient>(
+            net, options.msg_bytes, vmesh_tuning_for(options), matrix, faults);
+        break;
+      case StrategyKind::kBest:
+        assert(false);
+        break;
     }
-    case StrategyKind::kAdaptiveRandom: {
-      DirectTuning t = DirectTuning::ar();
-      t.burst = options.burst;
-      t.order = options.order;
-      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
-                                              matrix, faults);
-      break;
-    }
-    case StrategyKind::kDeterministic: {
-      DirectTuning t = DirectTuning::dr();
-      t.burst = options.burst;
-      t.order = options.order;
-      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
-                                              matrix, faults);
-      break;
-    }
-    case StrategyKind::kThrottled: {
-      DirectTuning t = DirectTuning::throttled(options.throttle);
-      t.burst = options.burst;
-      t.order = options.order;
-      client = std::make_unique<DirectClient>(net, options.msg_bytes, t,
-                                              matrix, faults);
-      break;
-    }
-    case StrategyKind::kTwoPhase: {
-      TpsTuning t;
-      t.linear_axis = options.linear_axis;
-      t.forward_cpu_cycles = options.forward_cpu_cycles;
-      t.reserved_fifos = options.reserved_fifos;
-      t.credit_window = options.credit_window;
-      t.credit_batch = options.credit_batch;
-      client = std::make_unique<TwoPhaseClient>(net, options.msg_bytes, t,
-                                                matrix, faults);
-      break;
-    }
-    case StrategyKind::kVirtualMesh: {
-      VmeshTuning t;
-      t.pvx = options.pvx;
-      t.pvy = options.pvy;
-      t.mapping = static_cast<MeshMapping>(options.vmesh_mapping);
-      client = std::make_unique<VirtualMeshClient>(net, options.msg_bytes, t,
-                                                   matrix, faults);
-      break;
-    }
-    case StrategyKind::kBest:
-      assert(false);
-      break;
   }
 
   // Under faults the strategy is wrapped in the end-to-end reliability

@@ -71,6 +71,11 @@ struct AlltoallOptions {
   /// kept as an int to avoid pulling vmesh.hpp into this header.
   int vmesh_mapping = 0;
 
+  /// Run through the legacy per-strategy clients instead of the schedule
+  /// IR + ScheduleExecutor path. The two are bit-identical (enforced by the
+  /// equivalence suite); the flag exists for that suite and for bisecting.
+  bool use_legacy_clients = false;
+
   /// Optional per-pair delivery verification (small partitions only).
   DeliveryMatrix* deliveries = nullptr;
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/coll/dest_order.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/coll/strategy_client.hpp"
 #include "src/runtime/packetizer.hpp"
 
@@ -56,6 +57,14 @@ struct DirectTuning {
     return t;
   }
 };
+
+/// The direct family as a schedule builder: a single pipelined phase over a
+/// per-node random destination order (no relays). Pure function of
+/// (config, msg_bytes, tuning); executing the result via ScheduleExecutor is
+/// bit-identical to DirectClient.
+CommSchedule build_direct_schedule(const net::NetworkConfig& config,
+                                   std::uint64_t msg_bytes,
+                                   const DirectTuning& tuning);
 
 class DirectClient : public StrategyClient {
  public:

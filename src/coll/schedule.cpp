@@ -1,0 +1,444 @@
+#include "src/coll/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/trace/csv.hpp"
+
+namespace bgl::coll {
+
+// --- CommSchedule -----------------------------------------------------------
+
+bool CommSchedule::leg_ok(topo::Rank from, topo::Rank to,
+                          const net::FaultPlan* faults) const {
+  if (faults == nullptr || from == to) return true;
+  return faults->pair_routable(from, to, net::RoutingMode::kAdaptive);
+}
+
+topo::Rank CommSchedule::relay_for(topo::Rank src, topo::Rank dst,
+                                   const net::FaultPlan* faults) const {
+  const auto axis = static_cast<std::size_t>(stream.relay_axis);
+  topo::Coord c = torus.coord_of(src);
+  c[stream.relay_axis] = torus.coord_of(dst)[stream.relay_axis];
+  const topo::Rank canon = torus.rank_of(c);
+  if (faults == nullptr || !faults->enabled()) return canon;
+  if (faults->node_alive(canon) && leg_ok(src, canon, faults) &&
+      leg_ok(canon, dst, faults)) {
+    return canon;
+  }
+  // Degrade exactly like the legacy TPS client: the first live node on src's
+  // relay-axis line with both legs routable (k == src's own coordinate
+  // degenerates to a direct send).
+  topo::Coord probe = torus.coord_of(src);
+  for (int k = 0; k < shape.dim[axis]; ++k) {
+    probe[stream.relay_axis] = k;
+    const topo::Rank inter = torus.rank_of(probe);
+    if (inter == canon) continue;
+    if (faults->node_alive(inter) && leg_ok(src, inter, faults) &&
+        leg_ok(inter, dst, faults)) {
+      return inter;
+    }
+  }
+  return -1;
+}
+
+bool CommSchedule::pair_covered(topo::Rank src, topo::Rank dst,
+                                const net::FaultPlan* faults) const {
+  if (src == dst) return false;
+  if (faults == nullptr || !faults->enabled()) return true;
+  if (form == StreamForm::kExplicit) {
+    return covered.nodes() == 0 || covered.reachable(src, dst);
+  }
+  if (stream.relay == RelayRule::kLinearAxis) {
+    return relay_for(src, dst, faults) >= 0;
+  }
+  return faults->pair_routable(src, dst,
+                               phases[stream.final_phase].mode);
+}
+
+void CommSchedule::finalize_list(const SendOp& op, topo::Rank op_src,
+                                 std::vector<topo::Rank>& out) const {
+  out.clear();
+  if ((op.flags & SendOp::kFinalizeSelf) != 0) {
+    out.push_back(op_src);
+    return;
+  }
+  for (std::int32_t i = 0; i < op.finalize_count; ++i) {
+    out.push_back(finalize_pool[static_cast<std::size_t>(op.finalize_begin + i)]);
+  }
+}
+
+std::int64_t CommSchedule::transfer_count(const net::FaultPlan* faults) const {
+  std::int64_t count = 0;
+  for_each_transfer(faults, [&](const Transfer&) { ++count; });
+  return count;
+}
+
+std::string CommSchedule::to_csv(const net::FaultPlan* faults) const {
+  std::string out = "transfer,phase,src,dst,relays,bytes,fifo_class\n";
+  for_each_transfer(faults, [&](const Transfer& t) {
+    std::string relays;
+    for (int i = 0; i < t.relay_count; ++i) {
+      if (i > 0) relays += ';';
+      relays += std::to_string(t.relays[static_cast<std::size_t>(i)]);
+    }
+    out += trace::csv_line({std::to_string(t.id), std::to_string(t.phase),
+                            std::to_string(t.src), std::to_string(t.dst), relays,
+                            std::to_string(t.bytes), std::to_string(t.fifo_class)});
+    out += '\n';
+  });
+  return out;
+}
+
+std::string CommSchedule::to_json(const net::FaultPlan* faults) const {
+  std::string out = "{\n";
+  out += "  \"shape\": \"" + shape.to_string() + "\",\n";
+  out += "  \"msg_bytes\": " + std::to_string(msg_bytes) + ",\n";
+  out += "  \"form\": \"";
+  out += (form == StreamForm::kOrdered ? "ordered" : "explicit");
+  out += "\",\n";
+  out += "  \"phases\": " + std::to_string(phases.size()) + ",\n";
+  out += "  \"fifo_classes\": " + std::to_string(fifo_classes.size()) + ",\n";
+  out += "  \"transfers\": [";
+  bool first = true;
+  for_each_transfer(faults, [&](const Transfer& t) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": " + std::to_string(t.id) + ", \"phase\": " +
+           std::to_string(t.phase) + ", \"src\": " + std::to_string(t.src) +
+           ", \"dst\": " + std::to_string(t.dst) + ", \"relays\": [";
+    for (int i = 0; i < t.relay_count; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(t.relays[static_cast<std::size_t>(i)]);
+    }
+    out += "], \"bytes\": " + std::to_string(t.bytes) + ", \"fifo_class\": " +
+           std::to_string(t.fifo_class) + "}";
+  });
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+// --- ScheduleExecutor -------------------------------------------------------
+
+std::uint64_t ScheduleExecutor::make_tag(Kind kind, topo::Rank orig_src,
+                                         topo::Rank final_dst, std::uint32_t aux) {
+  return (static_cast<std::uint64_t>(kind) << 62) |
+         (static_cast<std::uint64_t>(aux & 0x3fffU) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(orig_src) & 0xffffffU)
+          << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(final_dst) & 0xffffffU));
+}
+
+std::uint64_t ScheduleExecutor::make_combined_tag(std::uint32_t op_index) {
+  return (static_cast<std::uint64_t>(kCombined) << 62) |
+         static_cast<std::uint64_t>(op_index);
+}
+
+ScheduleExecutor::ScheduleExecutor(const net::NetworkConfig& config,
+                                   CommSchedule schedule, DeliveryMatrix* matrix,
+                                   const net::FaultPlan* faults)
+    : config_(config), schedule_(std::move(schedule)) {
+  matrix_ = matrix;
+  faults_ = faults;
+  assert(!schedule_.phases.empty());
+  assert(!schedule_.fifo_classes.empty());
+
+  const auto nodes = static_cast<std::size_t>(schedule_.shape.nodes());
+  const bool credits = schedule_.credits.window > 0 &&
+                       schedule_.form == StreamForm::kOrdered &&
+                       schedule_.stream.relay == RelayRule::kLinearAxis;
+  const int relay_extent =
+      schedule_.shape.dim[static_cast<std::size_t>(schedule_.stream.relay_axis)];
+  nodes_.resize(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    NodeState& s = nodes_[n];
+    s.fifo_rr.assign(schedule_.fifo_classes.size(), 0);
+    if (schedule_.form == StreamForm::kExplicit) {
+      s.op = schedule_.op_begin[n];
+    }
+    if (credits) {
+      s.outstanding.assign(static_cast<std::size_t>(relay_extent), 0);
+      s.to_credit.assign(static_cast<std::size_t>(relay_extent), 0);
+    }
+    if (schedule_.barrier_phase >= 0) {
+      s.barrier_left = schedule_.barrier_expected[n];
+      s.barrier_open = (s.barrier_left == 0);
+    } else {
+      s.barrier_open = true;
+    }
+  }
+}
+
+std::uint8_t ScheduleExecutor::pick_fifo(NodeState& s, std::uint8_t fifo_class,
+                                         std::uint32_t peer_index,
+                                         std::uint32_t pkt_index) {
+  const FifoClass& fc = schedule_.fifo_classes[fifo_class];
+  const int count = fc.resolved_count(config_.injection_fifos);
+  if (fc.policy == FifoPolicy::kPositional) {
+    return static_cast<std::uint8_t>(fc.begin + (peer_index + pkt_index) %
+                                                    static_cast<std::uint32_t>(count));
+  }
+  std::uint8_t& rr = s.fifo_rr[fifo_class];
+  const auto fifo = static_cast<std::uint8_t>(fc.begin + (rr % count));
+  ++rr;
+  return fifo;
+}
+
+bool ScheduleExecutor::next_packet(topo::Rank node, net::InjectDesc& out) {
+  NodeState& s = nodes_[static_cast<std::size_t>(node)];
+
+  // 1) Credits unblock remote senders; they are tiny — send them first.
+  if (!s.credit_queue.empty()) {
+    const topo::Rank src = s.credit_queue.front();
+    s.credit_queue.pop_front();
+    const PhaseSpec& phase = schedule_.phases[schedule_.stream.relayed_phase];
+    out.dst = src;
+    out.tag = make_tag(kCredit, node, src,
+                       static_cast<std::uint32_t>(schedule_.credits.batch));
+    out.payload_bytes = 0;
+    out.wire_chunks = 1;
+    out.mode = net::RoutingMode::kAdaptive;
+    out.fifo = pick_fifo(s, phase.fifo_class, 0, 0);
+    out.extra_cpu_cycles = schedule_.credits.credit_cpu_cycles;
+    ++credit_packets_;
+    return true;
+  }
+
+  // 2) Relayed traffic waiting to be re-injected toward its destination.
+  if (!s.forwards.empty()) {
+    const Forward f = s.forwards.front();
+    s.forwards.pop_front();
+    const PhaseSpec& phase = schedule_.phases[schedule_.stream.final_phase];
+    out.dst = f.final_dst;
+    out.tag = make_tag(kFinal, f.orig_src, f.final_dst);
+    out.payload_bytes = f.payload_bytes;
+    out.wire_chunks = f.chunks;
+    out.mode = phase.mode;
+    out.fifo = pick_fifo(s, phase.fifo_class, 0, 0);
+    out.extra_cpu_cycles = phase.forward_cpu_cycles;
+    return true;
+  }
+
+  // 3) The node's own statically-scheduled stream.
+  return schedule_.form == StreamForm::kOrdered ? emit_ordered(node, s, out)
+                                                : emit_explicit(node, s, out);
+}
+
+bool ScheduleExecutor::emit_ordered(topo::Rank node, NodeState& s,
+                                    net::InjectDesc& out) {
+  if (s.done) return false;
+  const OrderedStream& st = schedule_.stream;
+  DestOrder& order = schedule_.orders[static_cast<std::size_t>(node)];
+
+  int scanned = 0;
+  while (true) {
+    if (s.position >= order.positions()) {
+      s.position = 0;
+      s.burst_sent = 0;
+      if (++s.round >= st.rounds) {
+        s.done = true;
+        return false;
+      }
+    }
+    const topo::Rank dst = order.at(s.position);
+    if (dst < 0) {  // affine-mode self slot
+      ++s.position;
+      continue;
+    }
+
+    topo::Rank wire_dst = dst;
+    bool store_forward = false;
+    std::uint8_t phase_index = st.final_phase;
+    if (st.relay == RelayRule::kLinearAxis) {
+      const topo::Rank inter = schedule_.relay_for(node, dst, faults_);
+      if (inter < 0) {  // unreachable under the fault plan: skip the pair
+        ++s.position;
+        continue;
+      }
+      store_forward = (inter != node) && (inter != dst);
+
+      if (store_forward && schedule_.credits.window > 0) {
+        const auto lin = static_cast<std::size_t>(
+            schedule_.torus.coord_of(inter)[st.relay_axis]);
+        if (s.outstanding[lin] >= schedule_.credits.window) {
+          // Blocked on credits: defer this destination if we can find another.
+          if (order.swappable() && scanned < 64 &&
+              s.position + 1 < order.positions()) {
+            const std::uint32_t probe =
+                s.position + 1 +
+                static_cast<std::uint32_t>(scanned) %
+                    (order.positions() - s.position - 1);
+            order.swap(s.position, probe);
+            ++scanned;
+            continue;
+          }
+          return false;  // fully blocked; a credit delivery wakes us
+        }
+        s.outstanding[lin] += 1;
+      }
+      const bool relayed_leg = (inter != node);
+      wire_dst = relayed_leg ? inter : dst;
+      phase_index = relayed_leg ? st.relayed_phase : st.final_phase;
+    } else if (faults_ != nullptr &&
+               !faults_->pair_routable(node, dst,
+                                       schedule_.phases[st.final_phase].mode)) {
+      ++s.position;  // no live path will ever exist; skip the destination
+      continue;
+    }
+
+    const PhaseSpec& phase = schedule_.phases[phase_index];
+    const std::uint32_t pkt_index =
+        s.round * static_cast<std::uint32_t>(st.burst) + s.burst_sent;
+    if (pkt_index >= phase.packets.size()) {  // message shorter than burst*rounds
+      ++s.position;
+      s.burst_sent = 0;
+      continue;
+    }
+
+    const rt::PacketSpec& spec = phase.packets[pkt_index];
+    out.dst = wire_dst;
+    out.tag = make_tag(store_forward ? kStoreForward : kFinal, node, dst);
+    out.payload_bytes = spec.payload_bytes;
+    out.wire_chunks = spec.wire_chunks;
+    out.mode = phase.mode;
+    out.fifo = pick_fifo(s, phase.fifo_class, 0, 0);
+
+    double extra =
+        phase.per_packet_cycles + phase.pace_extra_per_chunk * spec.wire_chunks;
+    if (pkt_index == 0) extra += phase.first_packet_extra_cycles;
+    out.extra_cpu_cycles = static_cast<std::uint32_t>(std::lround(extra));
+
+    if (++s.burst_sent >= static_cast<std::uint32_t>(st.burst) ||
+        pkt_index + 1 >= phase.packets.size()) {
+      s.burst_sent = 0;
+      ++s.position;
+    }
+    return true;
+  }
+}
+
+bool ScheduleExecutor::emit_explicit(topo::Rank node, NodeState& s,
+                                     net::InjectDesc& out) {
+  if (s.done) return false;
+  const std::uint32_t end = schedule_.op_begin[static_cast<std::size_t>(node) + 1];
+  if (s.op >= end) {
+    s.done = true;
+    return false;
+  }
+  const SendOp& op = schedule_.ops[s.op];
+  if (static_cast<int>(op.phase) == schedule_.barrier_phase && !s.barrier_open) {
+    return false;  // the barrier timer will wake us
+  }
+  const PhaseSpec& phase = schedule_.phases[op.phase];
+  const rt::PacketSpec& spec = phase.packets[s.pkt];
+  out.dst = op.dst;
+  out.tag = make_combined_tag(s.op);
+  out.payload_bytes = spec.payload_bytes;
+  out.wire_chunks = spec.wire_chunks;
+  out.mode = phase.mode;
+  out.fifo = pick_fifo(s, phase.fifo_class, op.peer_index, s.pkt);
+
+  double extra =
+      phase.per_packet_cycles + phase.pace_extra_per_chunk * spec.wire_chunks;
+  if (s.pkt == 0) extra += phase.first_packet_extra_cycles;
+  out.extra_cpu_cycles = static_cast<std::uint32_t>(std::lround(extra));
+
+  if (++s.pkt >= phase.packets.size()) {
+    s.pkt = 0;
+    ++s.op;
+  }
+  return true;
+}
+
+void ScheduleExecutor::on_delivery(topo::Rank node, const net::Packet& packet) {
+  const auto kind = static_cast<Kind>(packet.tag >> 62);
+  NodeState& s = nodes_[static_cast<std::size_t>(node)];
+
+  switch (kind) {
+    case kFinal: {
+      const auto orig_src = static_cast<topo::Rank>((packet.tag >> 24) & 0xffffffU);
+      note_final_delivery();
+      if (matrix_ != nullptr) matrix_->record(orig_src, node, packet.payload_bytes);
+      return;
+    }
+    case kStoreForward: {
+      const auto orig_src = static_cast<topo::Rank>((packet.tag >> 24) & 0xffffffU);
+      const auto final_dst = static_cast<topo::Rank>(packet.tag & 0xffffffU);
+      assert(final_dst != node);
+      s.forwards.push_back(
+          Forward{final_dst, orig_src, packet.payload_bytes, packet.chunks});
+      max_forward_backlog_ = std::max(max_forward_backlog_, s.forwards.size());
+      if (schedule_.credits.window > 0) {
+        const auto lin = static_cast<std::size_t>(
+            schedule_.torus.coord_of(orig_src)[schedule_.stream.relay_axis]);
+        if (++s.to_credit[lin] >= schedule_.credits.batch) {
+          s.to_credit[lin] -= schedule_.credits.batch;
+          s.credit_queue.push_back(orig_src);
+        }
+      }
+      fabric_->wake_cpu(node);
+      return;
+    }
+    case kCredit: {
+      const auto lin = static_cast<std::size_t>(
+          schedule_.torus.coord_of(packet.src)[schedule_.stream.relay_axis]);
+      const auto released = static_cast<std::int32_t>((packet.tag >> 48) & 0x3fffU);
+      s.outstanding[lin] -= released;
+      fabric_->wake_cpu(node);
+      return;
+    }
+    case kCombined: {
+      const auto op_index = static_cast<std::uint32_t>(packet.tag & 0xffffffffU);
+      const SendOp& op = schedule_.ops[op_index];
+      note_final_delivery();
+      if (matrix_ != nullptr) {
+        auto [it, inserted] = combined_remaining_.try_emplace(
+            op_index,
+            static_cast<std::uint32_t>(schedule_.phases[op.phase].packets.size()));
+        (void)inserted;
+        assert(it->second > 0);
+        if (--it->second == 0) {
+          combined_remaining_.erase(it);
+          schedule_.finalize_list(op, packet.src, finalize_scratch_);
+          for (const topo::Rank orig : finalize_scratch_) {
+            matrix_->record(orig, node, schedule_.msg_bytes);
+          }
+        }
+      }
+      if (schedule_.barrier_phase >= 0 &&
+          static_cast<int>(op.phase) == schedule_.barrier_phase - 1) {
+        assert(s.barrier_left > 0);
+        if (--s.barrier_left == 0) {
+          fabric_->schedule_timer(node, schedule_.barrier_compute_cycles[
+                                            static_cast<std::size_t>(node)],
+                                  /*cookie=*/1);
+        }
+      }
+      return;
+    }
+  }
+  assert(false && "bad schedule-executor tag");
+}
+
+void ScheduleExecutor::on_timer(topo::Rank node, std::uint64_t cookie) {
+  assert(cookie == 1);
+  (void)cookie;
+  NodeState& s = nodes_[static_cast<std::size_t>(node)];
+  s.barrier_open = true;
+  fabric_->wake_cpu(node);
+}
+
+void ScheduleExecutor::mark_reachable(PairMask& mask) const {
+  if (faults_ == nullptr || !faults_->enabled()) return;
+  for (topo::Rank s = 0; s < mask.nodes(); ++s) {
+    for (topo::Rank d = 0; d < mask.nodes(); ++d) {
+      if (s != d && !schedule_.pair_covered(s, d, faults_)) {
+        mask.set_unreachable(s, d);
+      }
+    }
+  }
+}
+
+}  // namespace bgl::coll

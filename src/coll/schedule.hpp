@@ -1,0 +1,371 @@
+// Communication-schedule IR: one declarative description of an all-to-all
+// algorithm, interpreted against the fabric by a single ScheduleExecutor.
+//
+// A CommSchedule captures what used to live in five bespoke StrategyClient
+// subclasses: the phase structure (pipelined vs. barrier-gated), the wire
+// shape of each message, the injection-FIFO class discipline, CPU cost
+// parameters, relay rules and credit flow control. Strategies become pure
+// *schedule builders* — functions of (config, msg_bytes, tuning, fault plan)
+// — and the executor handles packetization cursors, store-and-forward
+// relaying, barrier gating and fault-plan filtering in one place. The IR is
+// also statically analyzable: schedule_lint.hpp checks pair coverage,
+// dependency acyclicity, FIFO budgets and relay liveness without running a
+// simulation, and the same transfer enumeration drives the CSV/JSON dumps.
+//
+// Two stream forms keep the IR compact at scale:
+//  - kOrdered: per-node generative streams (a DestOrder permutation walked
+//    in rounds of `burst` packets, with an optional relay rule). This covers
+//    the direct family and TPS without materializing O(P^2) transfer
+//    records, so the 20,480-node paper partitions still build in O(P).
+//  - kExplicit: per-node op lists (vmesh's combined messages, hand-built
+//    schedules). Each op is one wire message with an optional finalize list
+//    naming the original sources whose blocks it carries.
+//
+// Logical transfers (src, dst, relay chain, bytes, FIFO class) are
+// *enumerated on demand* from either form via for_each_transfer — the
+// lint/dump view of the schedule — rather than stored.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/coll/dest_order.hpp"
+#include "src/coll/strategy_client.hpp"
+#include "src/network/config.hpp"
+#include "src/network/faults.hpp"
+#include "src/runtime/packetizer.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::coll {
+
+/// How a FIFO class picks the injection FIFO for a packet.
+enum class FifoPolicy : std::uint8_t {
+  kRoundRobin,   // per-node per-class rotating counter (direct family, TPS)
+  kPositional,   // (peer_index + packet_index) % count (vmesh)
+};
+
+/// A contiguous group of injection FIFOs with a selection policy. Classes
+/// may alias the full FIFO range (separate rotation counters, shared
+/// hardware) or reserve disjoint sub-ranges (TPS's per-phase groups).
+struct FifoClass {
+  int begin = 0;
+  int count = 0;  // 0 = all injection FIFOs
+  FifoPolicy policy = FifoPolicy::kRoundRobin;
+  /// Reserved classes claim exclusive FIFOs: the linter checks that all
+  /// reserved classes are pairwise disjoint and fit the hardware budget.
+  bool reserved = false;
+
+  int resolved_count(int injection_fifos) const {
+    return count > 0 ? count : injection_fifos;
+  }
+};
+
+/// Whether a phase's sends may start immediately (pipelined with earlier
+/// phases) or only after the node's previous-phase receives complete plus a
+/// local compute delay (vmesh's re-sort barrier).
+enum class PhaseGate : std::uint8_t { kPipelined, kLocalBarrier };
+
+struct PhaseSpec {
+  PhaseGate gate = PhaseGate::kPipelined;
+  net::RoutingMode mode = net::RoutingMode::kAdaptive;
+  std::uint8_t fifo_class = 0;
+  /// Wire shape of one message in this phase (never empty).
+  std::vector<rt::PacketSpec> packets;
+  /// CPU cost model, charged via InjectDesc::extra_cpu_cycles:
+  ///   lround(per_packet + pace_extra * chunks [+ first_packet_extra on the
+  ///   message's packet 0]).
+  double first_packet_extra_cycles = 0.0;
+  double per_packet_cycles = 0.0;
+  double pace_extra_per_chunk = 0.0;
+  /// Software cost of re-injecting a relayed packet that lands in this phase.
+  std::uint32_t forward_cpu_cycles = 0;
+};
+
+enum class StreamForm : std::uint8_t { kOrdered, kExplicit };
+
+/// Relay rule for ordered streams.
+enum class RelayRule : std::uint8_t {
+  kNone,        // direct: every stream packet goes straight to its pair dst
+  kLinearAxis,  // TPS: via the node on src's relay-axis line at dst's
+                // coordinate (re-picked along the line under faults)
+};
+
+/// Generative per-node stream: walk the node's DestOrder in `rounds` rounds
+/// of `burst` packets per destination (the direct family's schedule), with
+/// an optional relay rule routing each message through an intermediate.
+struct OrderedStream {
+  std::uint32_t rounds = 1;
+  int burst = 1;
+  RelayRule relay = RelayRule::kNone;
+  int relay_axis = 0;
+  /// Phase of legs that terminate at a relay / at the final destination.
+  std::uint8_t relayed_phase = 0;
+  std::uint8_t final_phase = 0;
+};
+
+/// One statically-scheduled wire message from a node (kExplicit form).
+struct SendOp {
+  topo::Rank dst = -1;
+  std::uint8_t phase = 0;
+  std::uint8_t flags = 0;
+  /// Index of this op within its node's ops *of the same phase* (input to
+  /// the positional FIFO policy).
+  std::uint16_t peer_index = 0;
+  /// Original sources whose blocks this combined message carries: a span of
+  /// CommSchedule::finalize_pool, recorded into the delivery matrix when the
+  /// message's last packet arrives. kFinalizeSelf means the single-entry
+  /// list {sending node} without pool storage.
+  std::int32_t finalize_begin = -1;
+  std::int32_t finalize_count = 0;
+
+  static constexpr std::uint8_t kFinalizeSelf = 1;
+};
+
+/// Credit-based flow control for relayed ordered streams (TPS, paper §5):
+/// at most `window` un-credited packets per (source, relay-line coordinate);
+/// relays return one credit packet per `batch` forwards.
+struct CreditSpec {
+  int window = 0;  // 0 = off
+  int batch = 10;
+  std::uint32_t credit_cpu_cycles = 50;
+};
+
+/// A logical transfer: one message-worth of application data for an ordered
+/// (src, dst) pair, with the relay chain it travels through. Enumerated on
+/// demand by CommSchedule::for_each_transfer — never stored.
+struct Transfer {
+  std::int64_t id = 0;
+  topo::Rank src = -1;
+  topo::Rank dst = -1;
+  /// Store-and-forward intermediates, in travel order (empty = direct).
+  std::array<topo::Rank, 2> relays{-1, -1};
+  int relay_count = 0;
+  std::uint64_t bytes = 0;
+  /// Phase of the *final* leg (the delivery that completes the pair).
+  std::uint8_t phase = 0;
+  std::uint8_t fifo_class = 0;
+};
+
+struct CommSchedule {
+  topo::Shape shape{};
+  topo::Torus torus{};
+  std::uint64_t msg_bytes = 0;
+  int injection_fifos = 8;
+  StreamForm form = StreamForm::kOrdered;
+
+  std::vector<PhaseSpec> phases;
+  std::vector<FifoClass> fifo_classes;
+
+  // --- kOrdered ---
+  OrderedStream stream{};
+  std::vector<DestOrder> orders;  // one per node
+
+  // --- kExplicit ---
+  std::vector<SendOp> ops;              // grouped by node, phase-major
+  std::vector<std::uint32_t> op_begin;  // nodes + 1 offsets into `ops`
+  std::vector<topo::Rank> finalize_pool;
+  /// Pair coverage claimed by the builder under its fault plan (empty =
+  /// every off-diagonal pair). The linter cross-checks this claim against
+  /// the enumerated transfers.
+  PairMask covered;
+
+  // --- barrier gating (at most one kLocalBarrier phase) ---
+  int barrier_phase = -1;
+  /// Per node: packets of phase `barrier_phase - 1` that must arrive before
+  /// the barrier compute starts (0 = gate open immediately).
+  std::vector<std::uint64_t> barrier_expected;
+  /// Per node: local compute cycles between the last gated arrival and the
+  /// barrier phase opening (vmesh's gamma-cost re-sort copy).
+  std::vector<net::Tick> barrier_compute_cycles;
+
+  CreditSpec credits{};
+
+  /// Extra transfer-level dependency edges (before, after), by transfer id.
+  /// Execution-level ordering comes from phases, barriers and relay chains;
+  /// these edges annotate additional constraints for composed or generated
+  /// schedules and are validated (phase order + acyclicity) by the linter.
+  std::vector<std::pair<std::int64_t, std::int64_t>> extra_deps;
+
+  std::int32_t nodes() const { return static_cast<std::int32_t>(shape.nodes()); }
+
+  /// The relay an ordered stream routes (src -> dst) through: src itself for
+  /// a direct send, or -1 when no live relay exists under `faults`.
+  /// Deterministic, so coverage, lint and execution agree.
+  topo::Rank relay_for(topo::Rank src, topo::Rank dst,
+                       const net::FaultPlan* faults) const;
+
+  /// Whether this schedule carries (src, dst) under `faults` — the IR-derived
+  /// replacement for the per-strategy mark_reachable overrides.
+  bool pair_covered(topo::Rank src, topo::Rank dst,
+                    const net::FaultPlan* faults) const;
+
+  /// Enumerates every logical transfer in deterministic id order (lint and
+  /// dump view; O(P * positions) for ordered streams — do not call on the
+  /// 20k-node shapes in a hot path). `fn` is called as fn(const Transfer&).
+  template <typename Fn>
+  void for_each_transfer(const net::FaultPlan* faults, Fn&& fn) const;
+
+  /// Total enumerated transfers (same walk as for_each_transfer).
+  std::int64_t transfer_count(const net::FaultPlan* faults) const;
+
+  /// CSV dump of the transfer table (header + one row per transfer).
+  std::string to_csv(const net::FaultPlan* faults) const;
+  /// JSON dump: schedule summary + transfer array.
+  std::string to_json(const net::FaultPlan* faults) const;
+
+  /// The finalize list of `op` (handles kFinalizeSelf), written into `out`.
+  void finalize_list(const SendOp& op, topo::Rank op_src,
+                     std::vector<topo::Rank>& out) const;
+
+ private:
+  bool leg_ok(topo::Rank from, topo::Rank to, const net::FaultPlan* faults) const;
+};
+
+/// Interprets any CommSchedule against the fabric: per-node stream cursors,
+/// FIFO-class rotation, store-and-forward relaying with credit flow control,
+/// barrier gating with the local compute timer, delivery recording and
+/// IR-derived reachability. Wrapped by rt::ReliableClient under faults
+/// exactly like the legacy clients.
+class ScheduleExecutor : public StrategyClient {
+ public:
+  ScheduleExecutor(const net::NetworkConfig& config, CommSchedule schedule,
+                   DeliveryMatrix* matrix, const net::FaultPlan* faults = nullptr);
+
+  bool next_packet(topo::Rank node, net::InjectDesc& out) override;
+  void on_delivery(topo::Rank node, const net::Packet& packet) override;
+  void on_timer(topo::Rank node, std::uint64_t cookie) override;
+
+  /// Reachability comes from the schedule IR (CommSchedule::pair_covered),
+  /// not from per-strategy logic.
+  void mark_reachable(PairMask& mask) const override;
+
+  const CommSchedule& schedule() const { return schedule_; }
+  std::uint64_t credit_packets_sent() const { return credit_packets_; }
+  std::size_t max_forward_backlog() const { return max_forward_backlog_; }
+
+ private:
+  // Tag layout (opaque to the fabric; executor-private):
+  //   [63:62] kind; kFinal/kStoreForward/kCredit: [61:48] aux,
+  //   [47:24] original source, [23:0] final destination;
+  //   kCombined: [31:0] op index into schedule_.ops.
+  enum Kind : std::uint64_t { kFinal = 0, kStoreForward = 1, kCredit = 2, kCombined = 3 };
+  static std::uint64_t make_tag(Kind kind, topo::Rank orig_src, topo::Rank final_dst,
+                                std::uint32_t aux = 0);
+  static std::uint64_t make_combined_tag(std::uint32_t op_index);
+
+  struct Forward {
+    topo::Rank final_dst;
+    topo::Rank orig_src;
+    std::uint32_t payload_bytes;
+    std::uint16_t chunks;
+  };
+
+  struct NodeState {
+    // Ordered-stream cursor.
+    std::uint32_t position = 0;
+    std::uint32_t round = 0;
+    std::uint32_t burst_sent = 0;
+    // Explicit-stream cursor.
+    std::uint32_t op = 0;   // absolute index into schedule_.ops
+    std::uint32_t pkt = 0;  // packet within the current op's message
+    bool done = false;
+    // Barrier gate.
+    bool barrier_open = false;
+    std::uint64_t barrier_left = 0;
+    // Relaying.
+    std::deque<Forward> forwards;
+    // Per-FIFO-class rotation counters (uint8 wrap matches the legacy
+    // clients' counters bit-for-bit).
+    std::vector<std::uint8_t> fifo_rr;
+    // Credit flow control, indexed by the peer's relay-axis coordinate.
+    std::vector<std::int32_t> outstanding;
+    std::vector<std::int32_t> to_credit;
+    std::deque<topo::Rank> credit_queue;
+  };
+
+  std::uint8_t pick_fifo(NodeState& s, std::uint8_t fifo_class, std::uint32_t peer_index,
+                         std::uint32_t pkt_index);
+  bool emit_ordered(topo::Rank node, NodeState& s, net::InjectDesc& out);
+  bool emit_explicit(topo::Rank node, NodeState& s, net::InjectDesc& out);
+
+  net::NetworkConfig config_;
+  CommSchedule schedule_;
+  std::vector<NodeState> nodes_;
+  /// Packets still missing per in-flight combined message (lazily seeded
+  /// from the op's phase message shape; delivery-matrix bookkeeping only).
+  std::unordered_map<std::uint32_t, std::uint32_t> combined_remaining_;
+  std::vector<topo::Rank> finalize_scratch_;
+  std::uint64_t credit_packets_ = 0;
+  std::size_t max_forward_backlog_ = 0;
+};
+
+// --- inline transfer enumeration -------------------------------------------
+
+template <typename Fn>
+void CommSchedule::for_each_transfer(const net::FaultPlan* faults, Fn&& fn) const {
+  std::int64_t id = 0;
+  const std::int32_t node_count = nodes();
+  if (form == StreamForm::kOrdered) {
+    for (topo::Rank n = 0; n < node_count; ++n) {
+      const DestOrder& order = orders[static_cast<std::size_t>(n)];
+      for (std::uint32_t pos = 0; pos < order.positions(); ++pos) {
+        const topo::Rank dst = order.at(pos);
+        if (dst < 0) continue;
+        Transfer t;
+        t.src = n;
+        t.dst = dst;
+        t.bytes = msg_bytes;
+        if (stream.relay == RelayRule::kLinearAxis) {
+          const topo::Rank inter = relay_for(n, dst, faults);
+          if (inter < 0) continue;  // pair skipped at the source
+          if (inter != n && inter != dst) {
+            t.relays[0] = inter;
+            t.relay_count = 1;
+          }
+          t.phase = (inter != n) ? stream.relayed_phase : stream.final_phase;
+          if (t.relay_count > 0) t.phase = stream.final_phase;
+        } else {
+          if (faults != nullptr &&
+              !faults->pair_routable(n, dst,
+                                     phases[stream.final_phase].mode)) {
+            continue;
+          }
+          t.phase = stream.final_phase;
+        }
+        t.fifo_class = phases[t.phase].fifo_class;
+        t.id = id++;
+        fn(static_cast<const Transfer&>(t));
+      }
+    }
+    return;
+  }
+  std::vector<topo::Rank> origs;
+  for (topo::Rank n = 0; n < node_count; ++n) {
+    for (std::uint32_t i = op_begin[static_cast<std::size_t>(n)];
+         i < op_begin[static_cast<std::size_t>(n) + 1]; ++i) {
+      const SendOp& op = ops[i];
+      finalize_list(op, n, origs);
+      for (const topo::Rank orig : origs) {
+        Transfer t;
+        t.src = orig;
+        t.dst = op.dst;
+        t.bytes = msg_bytes;
+        t.phase = op.phase;
+        t.fifo_class = phases[op.phase].fifo_class;
+        if (orig != n) {
+          t.relays[0] = n;
+          t.relay_count = 1;
+        }
+        t.id = id++;
+        fn(static_cast<const Transfer&>(t));
+      }
+    }
+  }
+}
+
+}  // namespace bgl::coll

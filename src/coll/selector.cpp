@@ -1,26 +1,134 @@
 #include "src/coll/selector.hpp"
 
+#include <algorithm>
+
+#include "src/coll/registry.hpp"
+#include "src/model/predict.hpp"
+
 namespace bgl::coll {
+
+namespace {
+
+Selection paper_rule(const topo::Shape& shape, std::uint64_t msg_bytes) {
+  if (msg_bytes <= kShortMessageBytes && shape.nodes() >= kVmeshMinNodes) {
+    return Selection{StrategyKind::kVirtualMesh,
+                     "short message at or below the 32-64 B change-over on a large partition",
+                     {}};
+  }
+  if (shape.symmetric() && shape.full_torus()) {
+    return Selection{StrategyKind::kAdaptiveRandom,
+                     "symmetric torus: randomized adaptive direct reaches ~99% of peak",
+                     {}};
+  }
+  return Selection{StrategyKind::kTwoPhase,
+                   "asymmetric partition: TPS avoids adaptive-routing congestion",
+                   {}};
+}
+
+/// Healthy closed-form estimate (Eqs. 3/2/4) scaled by the live-link
+/// fraction — a crude but monotone degraded-peak proxy for tie-breaking.
+double degraded_estimate_us(StrategyKind kind, const topo::Shape& shape,
+                            std::uint64_t msg_bytes, const net::FaultPlan& faults) {
+  double healthy_us;
+  switch (kind) {
+    case StrategyKind::kVirtualMesh: {
+      const auto [pvx, pvy] =
+          vmesh_factorize(static_cast<std::int32_t>(shape.nodes()));
+      healthy_us = model::vmesh_aa_time_us(shape, pvx, pvy, msg_bytes);
+      break;
+    }
+    case StrategyKind::kTwoPhase:
+      healthy_us = model::peak_aa_time_us(shape, msg_bytes);
+      break;
+    default:
+      healthy_us = model::direct_aa_time_us(shape, msg_bytes);
+      break;
+  }
+  const double total_links =
+      static_cast<double>(shape.nodes()) * topo::kDirections;
+  const double dead_links =
+      static_cast<double>(faults.dead_link_count()) +
+      static_cast<double>(faults.dead_node_count()) * topo::kDirections;
+  const double live_fraction =
+      std::max(0.1, 1.0 - dead_links / std::max(1.0, total_links));
+  return healthy_us / live_fraction;
+}
+
+CandidateScore score_candidate(StrategyKind kind, const topo::Shape& shape,
+                               std::uint64_t msg_bytes, const net::FaultPlan& faults) {
+  CandidateScore score;
+  score.kind = kind;
+  const auto nodes = static_cast<std::int64_t>(shape.nodes());
+  score.total_pairs = static_cast<std::uint64_t>(nodes) *
+                      static_cast<std::uint64_t>(nodes - 1);
+  score.degraded_est_us = degraded_estimate_us(kind, shape, msg_bytes, faults);
+
+  // Coverage comes from the schedule IR — the same pair_covered logic the
+  // linter certifies against the executor's transfer enumeration. Coverage
+  // is seed-independent, so a default config with this shape suffices.
+  net::NetworkConfig net;
+  net.shape = shape;
+  AlltoallOptions options;
+  options.msg_bytes = msg_bytes;
+  options.net = net;
+  const CommSchedule sched = build_schedule(kind, net, msg_bytes, options, &faults);
+  for (topo::Rank s = 0; s < shape.nodes(); ++s) {
+    for (topo::Rank d = 0; d < shape.nodes(); ++d) {
+      if (s != d && sched.pair_covered(s, d, &faults)) ++score.covered_pairs;
+    }
+  }
+  return score;
+}
+
+}  // namespace
 
 Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes,
                           const net::FaultPlan* faults) {
-  Selection pick;
-  if (msg_bytes <= kShortMessageBytes && shape.nodes() >= kVmeshMinNodes) {
-    pick = Selection{StrategyKind::kVirtualMesh,
-                     "short message at or below the 32-64 B change-over on a large partition"};
-  } else if (shape.symmetric() && shape.full_torus()) {
-    pick = Selection{StrategyKind::kAdaptiveRandom,
-                     "symmetric torus: randomized adaptive direct reaches ~99% of peak"};
-  } else {
-    pick = Selection{StrategyKind::kTwoPhase,
-                     "asymmetric partition: TPS avoids adaptive-routing congestion"};
-  }
-  if (faults != nullptr && faults->enabled() && pick.kind != StrategyKind::kAdaptiveRandom &&
-      (faults->dead_link_count() > 0 || faults->dead_node_count() > 0)) {
+  Selection pick = paper_rule(shape, msg_bytes);
+  const bool permanent_faults = faults != nullptr && faults->enabled() &&
+                                (faults->dead_link_count() > 0 ||
+                                 faults->dead_node_count() > 0);
+  if (!permanent_faults) return pick;
+
+  if (shape.nodes() > kSelectorScoreLimit) {
+    // Too large to score pair coverage; AR's per-packet adaptive rerouting
+    // is the robust default around failed hardware.
     pick.kind = StrategyKind::kAdaptiveRandom;
-    pick.rationale = "permanent faults strand the indirect schedules' relays: "
+    pick.rationale = "permanent faults on a partition too large to score: "
                      "fall back to direct AR, which reroutes adaptively";
+    return pick;
   }
+
+  // Score the paper pick against the robust alternatives on IR-computed
+  // coverage; break coverage ties on the degraded time estimate.
+  std::vector<StrategyKind> kinds{pick.kind};
+  for (const StrategyKind alt :
+       {StrategyKind::kAdaptiveRandom, StrategyKind::kTwoPhase}) {
+    if (std::find(kinds.begin(), kinds.end(), alt) == kinds.end()) {
+      kinds.push_back(alt);
+    }
+  }
+  if (msg_bytes <= kShortMessageBytes && shape.nodes() >= kVmeshMinNodes &&
+      std::find(kinds.begin(), kinds.end(), StrategyKind::kVirtualMesh) ==
+          kinds.end()) {
+    kinds.push_back(StrategyKind::kVirtualMesh);
+  }
+  for (const StrategyKind kind : kinds) {
+    pick.candidates.push_back(score_candidate(kind, shape, msg_bytes, *faults));
+  }
+  std::stable_sort(pick.candidates.begin(), pick.candidates.end(),
+                   [](const CandidateScore& a, const CandidateScore& b) {
+                     if (a.covered_pairs != b.covered_pairs) {
+                       return a.covered_pairs > b.covered_pairs;
+                     }
+                     return a.degraded_est_us < b.degraded_est_us;
+                   });
+  const CandidateScore& best = pick.candidates.front();
+  pick.kind = best.kind;
+  pick.rationale = "permanent faults: " + strategy_name(best.kind) + " covers " +
+                   std::to_string(best.covered_pairs) + "/" +
+                   std::to_string(best.total_pairs) +
+                   " pairs with the best degraded-time estimate";
   return pick;
 }
 

@@ -4,10 +4,20 @@
 //  - symmetric torus: the direct AR strategy (randomization + adaptive
 //    routing already reach ~99% of peak);
 //  - asymmetric torus or mesh: the Two Phase Schedule.
+//
+// Under permanent faults the paper pick may strand pairs at dead relays, so
+// the selector scores candidates on their schedule IR instead of guessing:
+// each candidate's reachable-pair coverage comes from the same
+// CommSchedule::pair_covered logic the linter checks, and ties break on a
+// degraded closed-form time estimate (Eqs. 3/2/4 scaled by the live-link
+// fraction). Above kSelectorScoreLimit nodes the O(P^2) coverage scan is too
+// expensive and the selector falls back to direct AR, whose adaptive routing
+// reroutes around failed hardware packet by packet.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/coll/alltoall.hpp"
 #include "src/network/faults.hpp"
@@ -15,9 +25,22 @@
 
 namespace bgl::coll {
 
+/// One fault-mode candidate's score card.
+struct CandidateScore {
+  StrategyKind kind = StrategyKind::kAdaptiveRandom;
+  /// Ordered pairs the candidate's schedule still carries under the plan.
+  std::uint64_t covered_pairs = 0;
+  std::uint64_t total_pairs = 0;
+  /// Closed-form healthy-time estimate scaled by the live-link fraction, us.
+  double degraded_est_us = 0.0;
+};
+
 struct Selection {
   StrategyKind kind = StrategyKind::kAdaptiveRandom;
   std::string rationale;
+  /// Scored fault-mode candidates, best first (empty when the paper rule
+  /// applied directly: no permanent faults, or above kSelectorScoreLimit).
+  std::vector<CandidateScore> candidates;
 };
 
 /// Message size at or below which the combining scheme wins (paper: the
@@ -28,11 +51,12 @@ inline constexpr std::uint64_t kShortMessageBytes = 64;
 /// virtual mesh needs enough nodes for its two phases to pay off).
 inline constexpr std::int64_t kVmeshMinNodes = 256;
 
-/// Applies the paper's rule, then degrades: when `faults` (optional) carries
-/// permanent link or node failures, the indirect strategies' fixed relays
-/// become fragile — phase-2 data is stranded wherever a relay or a leg died —
-/// so the selector falls back to direct AR, whose adaptive routing reroutes
-/// around the failed hardware packet by packet.
+/// Largest partition the fault-mode selector scores with the O(P^2)
+/// coverage scan; larger faulted partitions fall back to direct AR.
+inline constexpr std::int64_t kSelectorScoreLimit = 2048;
+
+/// Applies the paper's rule; with permanent faults, scores candidates by
+/// IR-computed coverage and degraded-peak estimate as described above.
 Selection select_strategy(const topo::Shape& shape, std::uint64_t msg_bytes,
                           const net::FaultPlan* faults = nullptr);
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/coll/dest_order.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/coll/strategy_client.hpp"
 #include "src/runtime/packetizer.hpp"
 
@@ -43,6 +44,13 @@ struct TpsTuning {
 
 /// The paper's linear-dimension selection rule for `shape`.
 int choose_linear_axis(const topo::Shape& shape);
+
+/// TPS as a schedule builder: two pipelined phases (linear legs, planar
+/// forwards) with reserved FIFO classes, a kLinearAxis relay rule and the
+/// optional credit flow control. Executing the result via ScheduleExecutor is
+/// bit-identical to TwoPhaseClient.
+CommSchedule build_tps_schedule(const net::NetworkConfig& config,
+                                std::uint64_t msg_bytes, const TpsTuning& tuning);
 
 class TwoPhaseClient : public StrategyClient {
  public:

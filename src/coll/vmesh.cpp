@@ -15,6 +15,179 @@ std::pair<int, int> vmesh_factorize(std::int32_t nodes) {
   return {nodes, 1};
 }
 
+CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
+                                  std::uint64_t msg_bytes,
+                                  const VmeshTuning& tuning,
+                                  const net::FaultPlan* faults) {
+  const auto nodes = static_cast<std::int32_t>(config.shape.nodes());
+  int pvx = 1;
+  int pvy = 1;
+  if (tuning.pvx > 0 && tuning.pvy > 0) {
+    assert(static_cast<std::int64_t>(tuning.pvx) * tuning.pvy == nodes);
+    pvx = tuning.pvx;
+    pvy = tuning.pvy;
+  } else {
+    std::tie(pvx, pvy) = vmesh_factorize(nodes);
+  }
+  const double gamma_cycles_per_byte = tuning.gamma_ns_per_byte * tuning.clock_ghz;
+
+  CommSchedule sched;
+  sched.shape = config.shape;
+  sched.torus = topo::Torus{config.shape};
+  sched.msg_bytes = msg_bytes;
+  sched.injection_fifos = config.injection_fifos;
+  sched.form = StreamForm::kExplicit;
+
+  // Virtual rank order per `mapping` (first axis varies fastest).
+  std::vector<int> vrank_of_rank(static_cast<std::size_t>(nodes));
+  std::vector<topo::Rank> rank_of_vrank(static_cast<std::size_t>(nodes));
+  {
+    std::array<int, topo::kAxes> order{};
+    switch (tuning.mapping) {
+      case MeshMapping::kXYZ: order = {topo::kX, topo::kY, topo::kZ}; break;
+      case MeshMapping::kZYX: order = {topo::kZ, topo::kY, topo::kX}; break;
+      case MeshMapping::kYXZ: order = {topo::kY, topo::kX, topo::kZ}; break;
+    }
+    int vrank = 0;
+    topo::Coord c;
+    for (int k = 0; k < config.shape.dim[static_cast<std::size_t>(order[2])]; ++k) {
+      for (int j = 0; j < config.shape.dim[static_cast<std::size_t>(order[1])]; ++j) {
+        for (int i = 0; i < config.shape.dim[static_cast<std::size_t>(order[0])]; ++i) {
+          c[order[0]] = i;
+          c[order[1]] = j;
+          c[order[2]] = k;
+          const topo::Rank r = sched.torus.rank_of(c);
+          vrank_of_rank[static_cast<std::size_t>(r)] = vrank;
+          rank_of_vrank[static_cast<std::size_t>(vrank)] = r;
+          ++vrank;
+        }
+      }
+    }
+  }
+  const auto col_of = [&](topo::Rank r) {
+    return vrank_of_rank[static_cast<std::size_t>(r)] % pvx;
+  };
+  const auto row_of = [&](topo::Rank r) {
+    return vrank_of_rank[static_cast<std::size_t>(r)] / pvx;
+  };
+  const auto rank_at = [&](int col, int row) {
+    return rank_of_vrank[static_cast<std::size_t>(row * pvx + col)];
+  };
+  const auto leg_ok = [&](topo::Rank from, topo::Rank to) {
+    if (faults == nullptr || !faults->enabled() || from == to) return true;
+    return faults->pair_routable(from, to, net::RoutingMode::kAdaptive);
+  };
+
+  PhaseSpec row_phase;  // combined row messages
+  row_phase.mode = net::RoutingMode::kAdaptive;
+  row_phase.fifo_class = 0;
+  row_phase.packets = rt::packetize(static_cast<std::uint64_t>(pvy) * msg_bytes,
+                                    rt::WireFormat::combining());
+  row_phase.first_packet_extra_cycles =
+      tuning.alpha_msg_cycles + gamma_cycles_per_byte * static_cast<double>(pvy) *
+                                    static_cast<double>(msg_bytes);
+  PhaseSpec col_phase;  // combined column messages, after the re-sort barrier
+  col_phase.gate = PhaseGate::kLocalBarrier;
+  col_phase.mode = net::RoutingMode::kAdaptive;
+  col_phase.fifo_class = 0;
+  col_phase.packets = rt::packetize(static_cast<std::uint64_t>(pvx) * msg_bytes,
+                                    rt::WireFormat::combining());
+  col_phase.first_packet_extra_cycles = tuning.alpha_msg_cycles;
+  const std::size_t row_message_packets = row_phase.packets.size();
+  sched.phases.push_back(std::move(row_phase));
+  sched.phases.push_back(std::move(col_phase));
+  sched.fifo_classes.push_back(
+      FifoClass{0, 0, FifoPolicy::kPositional, false});
+
+  sched.barrier_phase = 1;
+  sched.barrier_expected.resize(static_cast<std::size_t>(nodes));
+  sched.barrier_compute_cycles.resize(static_cast<std::size_t>(nodes));
+  sched.op_begin.reserve(static_cast<std::size_t>(nodes) + 1);
+  sched.op_begin.push_back(0);
+  if (faults != nullptr && faults->enabled()) sched.covered = PairMask(nodes);
+
+  std::vector<topo::Rank> row_peers, col_peers;
+  util::Xoshiro256StarStar master(config.seed ^ 0x3e5affULL);
+  for (std::int32_t n = 0; n < nodes; ++n) {
+    auto rng = master.fork();
+    const int col = col_of(n);
+    const int row = row_of(n);
+    // Under a fault plan, peers we cannot reach are dropped from the send
+    // schedule, and phase 2 only waits for row peers that can reach *us*.
+    std::uint64_t p1_senders = 0;
+    row_peers.clear();
+    for (int j = 0; j < pvx; ++j) {
+      if (j == col) continue;
+      const topo::Rank peer = rank_at(j, row);
+      if (leg_ok(n, peer)) row_peers.push_back(peer);
+      if (leg_ok(peer, n)) ++p1_senders;
+    }
+    col_peers.clear();
+    for (int k = 0; k < pvy; ++k) {
+      if (k == row) continue;
+      const topo::Rank peer = rank_at(col, k);
+      if (leg_ok(n, peer)) col_peers.push_back(peer);
+    }
+    rng.shuffle(row_peers);
+    rng.shuffle(col_peers);
+
+    sched.barrier_expected[static_cast<std::size_t>(n)] =
+        p1_senders * row_message_packets;
+    const double resort_bytes = static_cast<double>(row_peers.size()) *
+                                static_cast<double>(pvy) *
+                                static_cast<double>(msg_bytes);
+    sched.barrier_compute_cycles[static_cast<std::size_t>(n)] =
+        static_cast<net::Tick>(std::llround(gamma_cycles_per_byte * resort_bytes));
+
+    // The blocks a phase-2 message from this node carries: one per row
+    // member whose phase-1 message could reach us (plus our own).
+    const auto finalize_begin =
+        static_cast<std::int32_t>(sched.finalize_pool.size());
+    for (int j = 0; j < pvx; ++j) {
+      const topo::Rank orig = rank_at(j, row);
+      if (orig != n && !leg_ok(orig, n)) continue;
+      sched.finalize_pool.push_back(orig);
+    }
+    const auto finalize_count =
+        static_cast<std::int32_t>(sched.finalize_pool.size()) - finalize_begin;
+
+    for (std::size_t i = 0; i < row_peers.size(); ++i) {
+      SendOp op;
+      op.dst = row_peers[i];
+      op.phase = 0;
+      op.flags = SendOp::kFinalizeSelf;
+      op.peer_index = static_cast<std::uint16_t>(i);
+      sched.ops.push_back(op);
+    }
+    for (std::size_t i = 0; i < col_peers.size(); ++i) {
+      SendOp op;
+      op.dst = col_peers[i];
+      op.phase = 1;
+      op.peer_index = static_cast<std::uint16_t>(i);
+      op.finalize_begin = finalize_begin;
+      op.finalize_count = finalize_count;
+      sched.ops.push_back(op);
+    }
+    sched.op_begin.push_back(static_cast<std::uint32_t>(sched.ops.size()));
+  }
+
+  if (faults != nullptr && faults->enabled()) {
+    for (topo::Rank s = 0; s < nodes; ++s) {
+      for (topo::Rank d = 0; d < nodes; ++d) {
+        if (s == d) continue;
+        // Data for (s, d) travels s -> relay (row message) -> d (column
+        // message); either leg degenerates when the relay is an endpoint.
+        const topo::Rank relay = rank_at(col_of(d), row_of(s));
+        const bool ok = faults->node_alive(relay) && faults->node_alive(s) &&
+                        faults->node_alive(d) && leg_ok(s, relay) &&
+                        leg_ok(relay, d);
+        if (!ok) sched.covered.set_unreachable(s, d);
+      }
+    }
+  }
+  return sched;
+}
+
 VirtualMeshClient::VirtualMeshClient(const net::NetworkConfig& config,
                                      std::uint64_t msg_bytes, const VmeshTuning& tuning,
                                      DeliveryMatrix* matrix, const net::FaultPlan* faults)

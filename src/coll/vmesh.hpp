@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/coll/dest_order.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/coll/strategy_client.hpp"
 #include "src/runtime/packetizer.hpp"
 
@@ -45,6 +46,16 @@ struct VmeshTuning {
 /// Near-square factorization P = pvx * pvy with pvx >= pvy; pvx is the
 /// smallest divisor of P at or above sqrt(P).
 std::pair<int, int> vmesh_factorize(std::int32_t nodes);
+
+/// VMesh as a schedule builder: an explicit two-phase op list (combined row
+/// messages, then barrier-gated combined column messages) with per-node
+/// barrier counts, finalize lists and the fault-plan coverage mask all
+/// precomputed. Executing the result via ScheduleExecutor is bit-identical
+/// to VirtualMeshClient.
+CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
+                                  std::uint64_t msg_bytes,
+                                  const VmeshTuning& tuning,
+                                  const net::FaultPlan* faults = nullptr);
 
 class VirtualMeshClient : public StrategyClient {
  public:

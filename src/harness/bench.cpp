@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 
 #include <unistd.h>
 
 #include "src/harness/pool.hpp"
+#include "src/harness/resume.hpp"
 #include "src/network/faults.hpp"
 
 namespace bgl::harness {
@@ -34,6 +36,9 @@ BenchContext BenchContext::from_cli(util::Cli& cli) {
   cli.describe("faults", "fault-injection spec, e.g. link:0.02,drop:1e-5,seed:7 "
                          "(keys: link tlink repair fail_at degrade degrade_mult "
                          "node drop seed rto retries stuck)");
+  cli.describe("resume", "partial CSV/JSON output of an interrupted run; "
+                         "already-completed points are skipped and the sinks "
+                         "write the merged result");
   BenchContext ctx;
   try {
     ctx.full = cli.get_bool("full", false);
@@ -69,6 +74,26 @@ BenchContext BenchContext::from_cli(util::Cli& cli) {
     const std::string fault_spec = cli.get("faults", "");
     if (!fault_spec.empty() || cli.has("faults")) {
       ctx.faults = net::parse_fault_spec(fault_spec);
+    }
+    ctx.resume_path = cli.get("resume", "");
+    if (cli.has("resume")) {
+      if (ctx.resume_path.empty()) {
+        throw std::runtime_error("option --resume: needs the partial output file");
+      }
+      if (ctx.csv_path.empty() && ctx.json_path.empty()) {
+        throw std::runtime_error(
+            "option --resume: needs --csv or --json to write the merged output");
+      }
+      if (ctx.sweep.repeats > 1) {
+        throw std::runtime_error(
+            "option --resume: aggregated --repeats output has no per-run rows "
+            "to resume from");
+      }
+      if (ctx.host_timing) {
+        throw std::runtime_error(
+            "option --resume: --host-timing rows are nondeterministic and "
+            "cannot merge byte-identically");
+      }
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s: error: %s\n", cli.program().c_str(), error.what());
@@ -121,8 +146,18 @@ coll::AlltoallOptions BenchContext::base_options(const topo::Shape& shape,
 
 std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
   using clock = std::chrono::steady_clock;
+
+  // --resume: skip every slot whose drained row the partial output already
+  // carries; the sinks then splice those rows back in (byte-identically).
+  std::optional<ResumePlan> resume;
+  SweepOptions sweep_options = sweep;
+  if (!resume_path.empty()) {
+    resume = plan_resume(load_resume_log(resume_path), sweep_jobs, sweep);
+    sweep_options.skip_slots = &resume->skip;
+  }
+
   const auto start = clock::now();
-  auto runs = sweep_jobs.run(sweep);
+  auto runs = sweep_jobs.run(sweep_options);
   const std::chrono::duration<double, std::milli> wall = clock::now() - start;
 
   CsvSink csv(csv_path);
@@ -131,7 +166,9 @@ std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
   if (!csv_path.empty()) sinks.attach(&csv);
   if (!json_path.empty()) sinks.attach(&json);
   if (!sinks.empty()) {
-    if (sweep.repeats == 1) {
+    if (resume.has_value()) {
+      emit_merged(runs, *resume, sweep.repeats, sinks);
+    } else if (sweep.repeats == 1) {
       emit(runs, sinks, host_timing);
     } else {
       emit_aggregate(aggregate(runs), sinks);
@@ -174,6 +211,11 @@ std::vector<SimResult> BenchContext::run(const Sweep& sweep_jobs) const {
     std::printf("[harness] repeats %d: tables show the first repeat; sinks "
                 "carry min/mean/max/stddev per point\n",
                 sweep.repeats);
+  }
+  if (resume.has_value()) {
+    std::printf("[harness] resume: reused %zu of %zu rows from %s "
+                "(reused points print as zero in the tables)\n",
+                resume->reused, runs.size(), resume_path.c_str());
   }
   if (timed_out > 0) {
     std::printf("[harness] %zu run(s) hit --timeout (%.1fs): marked failed "

@@ -34,6 +34,12 @@ struct BenchContext {
   /// Fault injection applied to every point (--faults spec; disabled by
   /// default). Simulation results remain deterministic for a fixed seed.
   net::FaultConfig faults{};
+  /// Partial CSV/JSON output of an interrupted run (--resume): slots whose
+  /// drained rows are already present are skipped, and the sinks write a
+  /// merged file byte-identical to an uninterrupted run (see resume.hpp).
+  /// Requires --csv or --json; incompatible with --repeats > 1 and
+  /// --host-timing. Resumed points print as zero rows in the bench tables.
+  std::string resume_path;
 
   /// Declares and reads the shared bench options (--full, --budget, --seed,
   /// --jobs, --shard, --repeats, --progress, --csv, --json, --host-timing,

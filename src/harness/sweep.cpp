@@ -57,6 +57,16 @@ class ProgressMeter {
   bool printed_ = false;
 };
 
+void validate_skips(const SweepOptions& options, std::size_t points) {
+  if (options.skip_slots != nullptr &&
+      options.skip_slots->size() !=
+          points * static_cast<std::size_t>(options.repeats)) {
+    throw std::invalid_argument(
+        "sweep: skip_slots must have points * repeats entries, got " +
+        std::to_string(options.skip_slots->size()));
+  }
+}
+
 void validate(const SweepOptions& options) {
   if (options.repeats < 1) {
     throw std::invalid_argument("sweep: repeats must be >= 1, got " +
@@ -127,6 +137,7 @@ std::size_t Sweep::add(coll::StrategyKind kind, const coll::AlltoallOptions& opt
 std::vector<SimResult> Sweep::run(const SweepOptions& options) const {
   using clock = std::chrono::steady_clock;
   validate(options);
+  validate_skips(options, jobs_.size());
   const ShardRange range =
       shard_range(jobs_.size(), options.shard_index, options.shard_count);
   const auto repeats = static_cast<std::size_t>(options.repeats);
@@ -152,6 +163,16 @@ std::vector<SimResult> Sweep::run(const SweepOptions& options) const {
         result.repeat = static_cast<int>(repeat);
         result.ran = true;
         result.label = job.label;
+
+        const std::size_t global = point * repeats + repeat;
+        if (options.skip_slots != nullptr && (*options.skip_slots)[global]) {
+          // Resumed slot: the caller already has this row (resume.hpp).
+          result.ran = false;
+          result.seed = options.derive_seeds ? derive_seed(options.base_seed, global)
+                                             : job.options.net.seed;
+          meter.tick();
+          return result;
+        }
 
         auto sim_options = job.options;
         if (sim_options.wall_timeout_ms <= 0.0 && options.timeout_ms > 0.0) {

@@ -93,6 +93,12 @@ struct SweepOptions {
   /// run.drained == false (aggregate() then excludes it from the stats).
   /// Jobs that carry their own options.wall_timeout_ms keep it.
   double timeout_ms = 0.0;
+  /// Resume support: one flag per *global* run slot (point * repeats +
+  /// repeat). Slots marked true are not simulated; their result comes back
+  /// with `ran == false` and the caller splices the previously-written row
+  /// in (see resume.hpp). nullptr = run everything. Must have exactly
+  /// size() * repeats entries when set.
+  const std::vector<bool>* skip_slots = nullptr;
 };
 
 class Sweep {

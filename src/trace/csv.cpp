@@ -35,6 +35,15 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   ++rows_;
 }
 
+std::string csv_line(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvWriter::escape(cells[i]);
+  }
+  return out;
+}
+
 std::string CsvWriter::escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";

@@ -34,4 +34,8 @@ class CsvWriter {
   std::size_t rows_ = 0;
 };
 
+/// Formats one CSV row (no trailing newline) with the same RFC 4180 escaping
+/// as CsvWriter, for callers that build CSV text in memory.
+std::string csv_line(const std::vector<std::string>& cells);
+
 }  // namespace bgl::trace

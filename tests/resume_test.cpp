@@ -1,0 +1,312 @@
+// Resumable sweeps: parsing the partial CSV/JSON output of an interrupted
+// run, planning which slots it already covers, and the headline contract —
+// a resumed run's merged output is byte-identical to the file an
+// uninterrupted run would have written.
+#include "src/harness/resume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/harness/runner.hpp"
+#include "src/harness/sink.hpp"
+#include "src/harness/sweep.hpp"
+#include "src/topology/torus.hpp"
+
+namespace bgl::harness {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Six quick points across two strategies and three shapes.
+Sweep small_sweep() {
+  Sweep sweep;
+  for (const char* spec : {"4x4", "2x2x2", "8"}) {
+    for (const auto kind :
+         {coll::StrategyKind::kAdaptiveRandom, coll::StrategyKind::kTwoPhase}) {
+      coll::AlltoallOptions options;
+      options.net.shape = topo::parse_shape(spec);
+      options.msg_bytes = 64;
+      sweep.add(kind, options, std::string(spec) + "/" +
+                (kind == coll::StrategyKind::kAdaptiveRandom ? "AR" : "TPS"));
+    }
+  }
+  return sweep;
+}
+
+class ResumeFiles : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::string temp(const std::string& stem) {
+    const std::string path = testing::TempDir() + stem;
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+// --- parsers ---------------------------------------------------------------
+
+TEST(ResumeParse, CsvRoundTripIncludingQuotedCells) {
+  const std::string text =
+      "label,repeat,seed\n"
+      "\"a,b\",0,42\n"
+      "plain,1,\"7\"\n"
+      "\"quote\"\"inside\",2,9\n"
+      "\"multi\nline\",3,11\n";
+  const ResumeLog log = parse_result_csv(text);
+  ASSERT_EQ(log.columns, (std::vector<std::string>{"label", "repeat", "seed"}));
+  ASSERT_EQ(log.rows.size(), 4u);
+  EXPECT_EQ(log.rows[0][0], "a,b");
+  EXPECT_EQ(log.rows[1][2], "7");
+  EXPECT_EQ(log.rows[2][0], "quote\"inside");
+  EXPECT_EQ(log.rows[3][0], "multi\nline");
+}
+
+TEST(ResumeParse, CsvToleratesCrlfAndMissingFinalNewline) {
+  const ResumeLog log = parse_result_csv("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(log.rows.size(), 2u);
+  EXPECT_EQ(log.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(ResumeParse, CsvRejectsBrokenInput) {
+  EXPECT_THROW(parse_result_csv("a,b\n1,2,3\n"), std::runtime_error);
+  EXPECT_THROW(parse_result_csv("a,b\n\"unterminated,2\n"), std::runtime_error);
+  EXPECT_THROW(parse_result_csv(""), std::runtime_error);
+}
+
+TEST(ResumeParse, JsonRejectsBrokenInput) {
+  EXPECT_THROW(parse_result_json("not json"), std::runtime_error);
+  EXPECT_THROW(parse_result_json("[{\"a\": 1}"), std::runtime_error);
+  EXPECT_THROW(parse_result_json("[{\"a\": 1},\n{\"b\": 2}]"),
+               std::runtime_error);  // rows disagree on keys
+}
+
+TEST_F(ResumeFiles, JsonSinkOutputRoundTrips) {
+  // Parse exactly what JsonSink writes: numbers unquoted, strings escaped.
+  const std::string path = temp("resume_roundtrip.json");
+  {
+    JsonSink sink(path);
+    sink.begin({"label", "value", "note"});
+    sink.row({"4x4/AR", "12.5", "has \"quotes\" and ,commas"});
+    sink.row({"2x2x2/TPS", "7", "tab\there"});
+    sink.end();
+  }
+  const ResumeLog log = parse_result_json(slurp(path));
+  ASSERT_EQ(log.columns,
+            (std::vector<std::string>{"label", "value", "note"}));
+  ASSERT_EQ(log.rows.size(), 2u);
+  EXPECT_EQ(log.rows[0][0], "4x4/AR");
+  EXPECT_EQ(log.rows[0][1], "12.5");
+  EXPECT_EQ(log.rows[0][2], "has \"quotes\" and ,commas");
+  EXPECT_EQ(log.rows[1][2], "tab\there");
+}
+
+TEST_F(ResumeFiles, LoadPicksParserByExtension) {
+  const std::string csv = temp("resume_load.csv");
+  const std::string json = temp("resume_load.json");
+  std::ofstream(csv) << "a,b\n1,2\n";
+  std::ofstream(json) << "[\n  {\"a\": 1, \"b\": 2}\n]\n";
+  EXPECT_EQ(load_resume_log(csv).rows.size(), 1u);
+  EXPECT_EQ(load_resume_log(json).rows.size(), 1u);
+  EXPECT_THROW(load_resume_log(testing::TempDir() + "resume_missing.csv"),
+               std::runtime_error);
+}
+
+// --- planning --------------------------------------------------------------
+
+/// The full per-run CSV of `sweep` under `options`, as a parsed log.
+ResumeLog full_log(const Sweep& sweep, const SweepOptions& options,
+                   std::vector<SimResult>* results_out = nullptr) {
+  auto results = sweep.run(options);
+  std::ostringstream text;
+  ResumeLog log;
+  log.columns = result_columns(false);
+  for (const auto& result : results) log.rows.push_back(result_cells(result));
+  if (results_out != nullptr) *results_out = std::move(results);
+  return log;
+}
+
+TEST(ResumePlanTest, CompleteLogSkipsEverySlot) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+  const ResumeLog log = full_log(sweep, options);
+  const ResumePlan plan = plan_resume(log, sweep, options);
+  EXPECT_EQ(plan.reused, sweep.size());
+  for (std::size_t slot = 0; slot < plan.skip.size(); ++slot) {
+    EXPECT_TRUE(plan.skip[slot]) << "slot " << slot;
+    EXPECT_EQ(plan.saved[slot], log.rows[slot]);
+  }
+}
+
+TEST(ResumePlanTest, UndrainedRowsAreRerun) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+  ResumeLog log = full_log(sweep, options);
+  const std::size_t drained_col = 10;  // see result_columns()
+  ASSERT_EQ(result_columns(false)[drained_col], "drained");
+  log.rows[2][drained_col] = "0";
+  const ResumePlan plan = plan_resume(log, sweep, options);
+  EXPECT_EQ(plan.reused, sweep.size() - 1);
+  EXPECT_FALSE(plan.skip[2]);
+}
+
+TEST(ResumePlanTest, ChangedBaseSeedRerunsEverything) {
+  // The seed is part of the slot identity, so a stale file from a different
+  // --seed contributes nothing rather than corrupting the merged output.
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+  const ResumeLog log = full_log(sweep, options);
+  SweepOptions reseeded = options;
+  reseeded.base_seed = 999;
+  const ResumePlan plan = plan_resume(log, sweep, reseeded);
+  EXPECT_EQ(plan.reused, 0u);
+}
+
+TEST(ResumePlanTest, RejectsNonPerRunSchema) {
+  const auto sweep = small_sweep();
+  ResumeLog log;
+  log.columns = aggregate_columns();
+  EXPECT_THROW(plan_resume(log, sweep, SweepOptions{}), std::runtime_error);
+  log.columns = result_columns(true);  // host-timing schema
+  EXPECT_THROW(plan_resume(log, sweep, SweepOptions{}), std::runtime_error);
+}
+
+TEST(ResumePlanTest, SkipSlotsMustMatchSlotCount) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  std::vector<bool> wrong(sweep.size() + 1, false);
+  options.skip_slots = &wrong;
+  EXPECT_THROW(sweep.run(options), std::invalid_argument);
+}
+
+TEST(ResumePlanTest, SkippedSlotsComeBackUnranWithTheirSeed) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+  std::vector<bool> skip(sweep.size(), false);
+  skip[1] = skip[4] = true;
+  options.skip_slots = &skip;
+  const auto results = sweep.run(options);
+  ASSERT_EQ(results.size(), sweep.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].ran, !skip[i]) << "slot " << i;
+    EXPECT_EQ(results[i].seed, derive_seed(options.base_seed, i));
+  }
+}
+
+// --- the headline contract -------------------------------------------------
+
+TEST_F(ResumeFiles, ResumedRunWritesByteIdenticalOutput) {
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+
+  // The uninterrupted run's files: the gold standard.
+  const std::string full_csv = temp("resume_full.csv");
+  const std::string full_json = temp("resume_full.json");
+  {
+    const auto results = sweep.run(options);
+    CsvSink csv(full_csv);
+    JsonSink json(full_json);
+    MultiSink sinks;
+    sinks.attach(&csv);
+    sinks.attach(&json);
+    emit(results, sinks);
+  }
+
+  // An "interrupted" run: only rows 0, 2 and 5 made it to disk (out of
+  // order, as a parallel writer might have flushed them).
+  const ResumeLog full = parse_result_csv(slurp(full_csv));
+  const std::string partial_csv = temp("resume_partial.csv");
+  {
+    CsvSink csv(partial_csv);
+    csv.begin(full.columns);
+    for (const std::size_t i : {5u, 0u, 2u}) csv.row(full.rows[i]);
+    csv.end();
+  }
+
+  // Resume: plan against the partial file, run only the missing slots,
+  // splice and compare bytes.
+  const ResumePlan plan =
+      plan_resume(load_resume_log(partial_csv), sweep, options);
+  EXPECT_EQ(plan.reused, 3u);
+  SweepOptions resumed = options;
+  resumed.skip_slots = &plan.skip;
+  const auto results = sweep.run(resumed);
+
+  const std::string merged_csv = temp("resume_merged.csv");
+  const std::string merged_json = temp("resume_merged.json");
+  {
+    CsvSink csv(merged_csv);
+    JsonSink json(merged_json);
+    MultiSink sinks;
+    sinks.attach(&csv);
+    sinks.attach(&json);
+    emit_merged(results, plan, options.repeats, sinks);
+  }
+  EXPECT_EQ(slurp(merged_csv), slurp(full_csv));
+  EXPECT_EQ(slurp(merged_json), slurp(full_json));
+  EXPECT_FALSE(slurp(full_csv).empty());
+}
+
+TEST_F(ResumeFiles, ResumeComposesWithSharding) {
+  // A killed shard resumes from its own partial file and still produces the
+  // exact bytes the full shard run would have written.
+  const auto sweep = small_sweep();
+  SweepOptions options;
+  options.jobs = 2;
+  options.shard_index = 1;
+  options.shard_count = 2;
+
+  const std::string full_csv = temp("resume_shard_full.csv");
+  {
+    const auto results = sweep.run(options);
+    CsvSink csv(full_csv);
+    emit(results, csv);
+  }
+
+  const ResumeLog full = parse_result_csv(slurp(full_csv));
+  ASSERT_GE(full.rows.size(), 2u);
+  const std::string partial_csv = temp("resume_shard_partial.csv");
+  {
+    CsvSink csv(partial_csv);
+    csv.begin(full.columns);
+    csv.row(full.rows[0]);
+    csv.end();
+  }
+
+  const ResumePlan plan =
+      plan_resume(load_resume_log(partial_csv), sweep, options);
+  EXPECT_EQ(plan.reused, 1u);
+  SweepOptions resumed = options;
+  resumed.skip_slots = &plan.skip;
+  const auto results = sweep.run(resumed);
+
+  const std::string merged_csv = temp("resume_shard_merged.csv");
+  {
+    CsvSink csv(merged_csv);
+    emit_merged(results, plan, options.repeats, csv);
+  }
+  EXPECT_EQ(slurp(merged_csv), slurp(full_csv));
+}
+
+}  // namespace
+}  // namespace bgl::harness

@@ -1,0 +1,114 @@
+// The schedule IR refactor's contract: running a strategy through
+// build_*_schedule + ScheduleExecutor is BIT-IDENTICAL to the legacy
+// per-strategy client — same completion cycles, same fabric event count,
+// same delivery matrix, same reachability mask — fault-free and under a
+// fault plan, across the determinism-suite shape and the tuning variants.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/coll/alltoall.hpp"
+
+namespace bgl::coll {
+namespace {
+
+struct EquivCase {
+  const char* name;
+  StrategyKind kind;
+  const char* shape;
+  std::uint64_t msg_bytes;
+  void (*tweak)(AlltoallOptions&);
+};
+
+void untweaked(AlltoallOptions&) {}
+
+void check_equivalence(const EquivCase& c, bool faulted) {
+  AlltoallOptions options;
+  options.net.shape = topo::parse_shape(c.shape);
+  options.net.seed = 1234;
+  options.msg_bytes = c.msg_bytes;
+  c.tweak(options);
+  if (faulted) {
+    options.net.faults.link_fail = 0.04;
+    options.net.faults.node_fail = 1;
+  }
+  const auto nodes = static_cast<std::int32_t>(options.net.shape.nodes());
+  DeliveryMatrix legacy_matrix(nodes);
+  DeliveryMatrix ir_matrix(nodes);
+
+  AlltoallOptions legacy_options = options;
+  legacy_options.use_legacy_clients = true;
+  legacy_options.deliveries = &legacy_matrix;
+  const RunResult legacy = run_alltoall(c.kind, legacy_options);
+
+  AlltoallOptions ir_options = options;
+  ir_options.use_legacy_clients = false;
+  ir_options.deliveries = &ir_matrix;
+  const RunResult ir = run_alltoall(c.kind, ir_options);
+
+  SCOPED_TRACE(std::string(c.name) + (faulted ? " [faulted]" : " [fault-free]"));
+  EXPECT_EQ(legacy.elapsed_cycles, ir.elapsed_cycles);
+  EXPECT_EQ(legacy.events, ir.events);
+  EXPECT_EQ(legacy.packets_delivered, ir.packets_delivered);
+  EXPECT_EQ(legacy.payload_bytes, ir.payload_bytes);
+  EXPECT_EQ(legacy.drained, ir.drained);
+  EXPECT_TRUE(legacy.drained);
+  EXPECT_EQ(legacy.unreachable_pairs, ir.unreachable_pairs);
+  EXPECT_EQ(legacy.pairs_complete, ir.pairs_complete);
+  EXPECT_EQ(legacy.reachable_complete, ir.reachable_complete);
+  EXPECT_DOUBLE_EQ(legacy.links.overall_mean, ir.links.overall_mean);
+  for (topo::Rank s = 0; s < nodes; ++s) {
+    for (topo::Rank d = 0; d < nodes; ++d) {
+      ASSERT_EQ(legacy_matrix.bytes(s, d), ir_matrix.bytes(s, d))
+          << "delivery matrix diverges at (" << s << " -> " << d << ")";
+      ASSERT_EQ(legacy.reachable.reachable(s, d), ir.reachable.reachable(s, d))
+          << "reachability diverges at (" << s << " -> " << d << ")";
+    }
+  }
+}
+
+class ScheduleEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(ScheduleEquivalence, FaultFree) { check_equivalence(GetParam(), false); }
+TEST_P(ScheduleEquivalence, Faulted) { check_equivalence(GetParam(), true); }
+
+const EquivCase kCases[] = {
+    // The determinism-suite shape, every strategy.
+    {"mpi_4x4x8", StrategyKind::kMpi, "4x4x8", 300, &untweaked},
+    {"ar_4x4x8", StrategyKind::kAdaptiveRandom, "4x4x8", 300, &untweaked},
+    {"dr_4x4x8", StrategyKind::kDeterministic, "4x4x8", 300, &untweaked},
+    {"throttled_4x4x8", StrategyKind::kThrottled, "4x4x8", 300, &untweaked},
+    {"tps_4x4x8", StrategyKind::kTwoPhase, "4x4x8", 300, &untweaked},
+    {"vmesh_4x4x8", StrategyKind::kVirtualMesh, "4x4x8", 300, &untweaked},
+    // Tuning variants on the small cube.
+    {"mpi_burst2", StrategyKind::kMpi, "4x4x4", 520,
+     [](AlltoallOptions& o) { o.burst = 2; }},
+    {"ar_rotation", StrategyKind::kAdaptiveRandom, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.order = OrderPolicy::kRotation; }},
+    {"ar_identity", StrategyKind::kAdaptiveRandom, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.order = OrderPolicy::kIdentity; }},
+    {"ar_single_packet", StrategyKind::kAdaptiveRandom, "4x4x4", 32, &untweaked},
+    {"throttled_larger", StrategyKind::kThrottled, "4x4x4", 1024,
+     [](AlltoallOptions& o) { o.throttle = 0.7; }},
+    {"tps_no_reserved", StrategyKind::kTwoPhase, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.reserved_fifos = false; }},
+    {"tps_credits", StrategyKind::kTwoPhase, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.credit_window = 8; o.credit_batch = 4; }},
+    {"tps_linear_x", StrategyKind::kTwoPhase, "4x4x8", 300,
+     [](AlltoallOptions& o) { o.linear_axis = 0; }},
+    {"vmesh_zyx", StrategyKind::kVirtualMesh, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.vmesh_mapping = 1; }},
+    {"vmesh_yxz", StrategyKind::kVirtualMesh, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.vmesh_mapping = 2; }},
+    {"vmesh_16x4", StrategyKind::kVirtualMesh, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.pvx = 16; o.pvy = 4; }},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ScheduleEquivalence, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<EquivCase>& param) {
+      return std::string(param.param.name);
+    });
+
+}  // namespace
+}  // namespace bgl::coll

@@ -1,0 +1,127 @@
+// Simulator-core throughput: host-side packets-simulated/sec of the
+// single-threaded reference engine vs the slab-parallel core on one
+// all-to-all point, written as a machine-readable perf artifact
+// (BENCH_simcore.json) for CI trend tracking.
+//
+// This measures the *simulator*, not the simulated network: simulated
+// results are identical across thread counts (the equivalence suite checks
+// the delivery matrix); only wall time may differ.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/coll/alltoall.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  auto ctx = bench::BenchContext::from_cli(cli);
+  cli.describe("shape", "partition (default 8x8x16; the paper-scale point is 32x32x20)");
+  cli.describe("bytes", "payload per destination (default 240)");
+  cli.describe("out", "perf artifact path (default BENCH_simcore.json)");
+  cli.describe("verify",
+               "also check the delivery matrix is complete in every run "
+               "(default 1; costs nodes^2 words of memory at large shapes)");
+  cli.validate();
+
+  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 240));
+  const std::string out_path = cli.get("out", "BENCH_simcore.json");
+  const bool verify = cli.get_int("verify", 1) != 0;
+  const int parallel = ctx.sim_threads > 1
+                           ? ctx.sim_threads
+                           : std::max(2u, std::thread::hardware_concurrency());
+  bench::print_header(
+      "Simulator core throughput — reference engine vs slab-parallel",
+      ("partition " + shape.to_string() + ", " + std::to_string(bytes) +
+       " B per destination, AR; parallel run asks for " +
+       std::to_string(parallel) + " threads")
+          .c_str());
+
+  struct Run {
+    int requested = 0;
+    int used = 0;
+    bool drained = false;
+    bool complete = false;
+    double wall_ms = 0.0;
+    std::uint64_t packets = 0;
+    std::uint64_t events = 0;
+    double packets_per_sec = 0.0;
+  };
+  std::vector<Run> runs;
+  for (const int threads : {1, parallel}) {
+    coll::AlltoallOptions options = ctx.base_options(shape, bytes);
+    options.net.sim_threads = threads;
+    options.verify = verify;
+    const auto start = std::chrono::steady_clock::now();
+    const coll::RunResult r =
+        coll::run_alltoall(coll::StrategyKind::kAdaptiveRandom, options);
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - start;
+    Run run;
+    run.requested = threads;
+    run.used = r.sim_threads;
+    run.drained = r.drained;
+    run.complete = !verify || r.reachable_complete;
+    run.wall_ms = wall.count();
+    run.packets = r.packets_delivered;
+    run.events = r.events;
+    run.packets_per_sec =
+        wall.count() > 0.0 ? 1000.0 * static_cast<double>(r.packets_delivered) /
+                                 wall.count()
+                           : 0.0;
+    runs.push_back(run);
+  }
+
+  util::Table table({"threads (used)", "drained", "complete", "wall ms",
+                     "packets", "packets/sec", "events"});
+  for (const Run& r : runs) {
+    table.add_row({std::to_string(r.requested) + " (" + std::to_string(r.used) + ")",
+                   r.drained ? "yes" : "NO",
+                   verify ? (r.complete ? "yes" : "NO") : "-",
+                   util::fmt(r.wall_ms, 1), std::to_string(r.packets),
+                   util::fmt(r.packets_per_sec, 0), std::to_string(r.events)});
+  }
+  table.print();
+  const double speedup = runs[1].wall_ms > 0.0 ? runs[0].wall_ms / runs[1].wall_ms : 0.0;
+  std::printf("\nSpeedup: %.2fx with %d worker threads.\n", speedup, runs[1].used);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"simcore\",\n  \"shape\": \"%s\",\n"
+                    "  \"msg_bytes\": %llu,\n  \"runs\": [\n",
+               shape.to_string().c_str(),
+               static_cast<unsigned long long>(bytes));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::fprintf(out,
+                 "    {\"sim_threads\": %d, \"sim_threads_used\": %d, "
+                 "\"drained\": %s, \"complete\": %s, \"wall_ms\": %.3f, "
+                 "\"packets\": %llu, \"packets_per_sec\": %.1f, "
+                 "\"events\": %llu}%s\n",
+                 r.requested, r.used, r.drained ? "true" : "false",
+                 r.complete ? "true" : "false", r.wall_ms,
+                 static_cast<unsigned long long>(r.packets), r.packets_per_sec,
+                 static_cast<unsigned long long>(r.events),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"verified\": %s,\n  \"speedup\": %.3f\n}\n",
+               verify ? "true" : "false", speedup);
+  std::fclose(out);
+  std::printf("Wrote %s\n", out_path.c_str());
+  for (const Run& r : runs) {
+    if (!r.drained || !r.complete) {
+      std::fprintf(stderr, "FAIL: run at %d threads %s\n", r.requested,
+                   r.drained ? "left the delivery matrix incomplete"
+                             : "did not drain");
+      return 1;
+    }
+  }
+  return 0;
+}

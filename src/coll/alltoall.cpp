@@ -56,8 +56,17 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
   const net::FaultPlan plan(net, net.shape);
   const net::FaultPlan* faults = plan.enabled() ? &plan : nullptr;
 
+  // A delayed strike (fail_at > 0) is invisible to planning: schedules and
+  // clients are built as if the network were healthy, because at plan time it
+  // *is* — nobody may steer around faults that have not happened. The fabric
+  // flips perm_faults_struck() when the strike lands; the resulting shortfall
+  // is reported as reachable_complete == false plus the stranded relay-byte
+  // count, never silently planned away.
+  const bool blind_strike = faults != nullptr && net.faults.fail_at > 0;
+  const net::FaultPlan* planning_faults = blind_strike ? nullptr : faults;
+
   if (kind == StrategyKind::kBest) {
-    kind = select_strategy(net.shape, options.msg_bytes, faults).kind;
+    kind = select_strategy(net.shape, options.msg_bytes, planning_faults).kind;
   }
 
   // Delivery recording: the caller's matrix, or an internal one when only
@@ -74,28 +83,43 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
     // Default path: build the strategy's declarative schedule and interpret
     // it with the one executor (bit-identical to the legacy clients).
     client = std::make_unique<ScheduleExecutor>(
-        net, build_schedule(kind, net, options.msg_bytes, options, faults),
-        matrix, faults);
+        net, build_schedule(kind, net, options.msg_bytes, options, planning_faults),
+        matrix, planning_faults);
   } else {
     switch (kind) {
       case StrategyKind::kMpi:
       case StrategyKind::kAdaptiveRandom:
       case StrategyKind::kDeterministic:
       case StrategyKind::kThrottled:
-        client = std::make_unique<DirectClient>(
-            net, options.msg_bytes, direct_tuning_for(kind, options), matrix, faults);
+        client = std::make_unique<DirectClient>(net, options.msg_bytes,
+                                                direct_tuning_for(kind, options), matrix,
+                                                planning_faults);
         break;
       case StrategyKind::kTwoPhase:
         client = std::make_unique<TwoPhaseClient>(
-            net, options.msg_bytes, tps_tuning_for(options), matrix, faults);
+            net, options.msg_bytes, tps_tuning_for(options), matrix, planning_faults);
         break;
       case StrategyKind::kVirtualMesh:
         client = std::make_unique<VirtualMeshClient>(
-            net, options.msg_bytes, vmesh_tuning_for(options), matrix, faults);
+            net, options.msg_bytes, vmesh_tuning_for(options), matrix, planning_faults);
         break;
       case StrategyKind::kBest:
         assert(false);
         break;
+    }
+  }
+
+  if (net.sim_threads > 1) {
+    // Eligibility gate for the slab-parallel core (see DESIGN.md "Threading
+    // model"): configurations whose semantics depend on one global event
+    // order — fault runs with the reliability wrapper, the legacy clients,
+    // and schedules with cross-node dependency gates — stay on the reference
+    // single-threaded engine. The fabric applies its own equivalent gate;
+    // forcing it here keeps effective_sim_threads() honest in RunResult.
+    const auto* executor = dynamic_cast<const ScheduleExecutor*>(client.get());
+    if (faults != nullptr || options.use_legacy_clients || executor == nullptr ||
+        !executor->schedule().extra_deps.empty()) {
+      net.sim_threads = 1;
     }
   }
 
@@ -143,11 +167,15 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
   result.packets_delivered = fabric.stats().packets_delivered;
   result.payload_bytes = fabric.stats().payload_bytes_delivered;
   result.events = fabric.events_processed();
+  result.sim_threads = fabric.effective_sim_threads();
   if (net.collect_link_stats) {
     result.links = trace::summarize_links(fabric, result.elapsed_cycles);
   }
   if (faults != nullptr) {
     result.faults = fabric.fault_stats();
+    // Relay payload stranded in the custody of fail-stopped nodes: the part
+    // of the delivery shortfall the strike itself explains.
+    result.faults.stranded_relay_bytes = client->stranded_relay_bytes(plan);
     result.reachable = PairMask(static_cast<std::int32_t>(net.shape.nodes()));
     client->mark_reachable(result.reachable);
     result.unreachable_pairs = result.reachable.unreachable_pairs();

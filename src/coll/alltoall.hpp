@@ -109,6 +109,9 @@ struct RunResult {
   std::uint64_t packets_delivered = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t events = 0;
+  /// Simulator worker threads actually used after eligibility gating (1 on
+  /// the reference engine; see NetworkConfig::sim_threads).
+  int sim_threads = 1;
   bool drained = false;
   /// True when the run was killed by AlltoallOptions::wall_timeout_ms.
   bool timed_out = false;

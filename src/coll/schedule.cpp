@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "src/trace/csv.hpp"
 
@@ -169,6 +170,57 @@ ScheduleExecutor::ScheduleExecutor(const net::NetworkConfig& config,
       s.barrier_open = true;
     }
   }
+  if (schedule_.form == StreamForm::kExplicit) {
+    combined_remaining_.assign(schedule_.ops.size(), 0);
+  }
+  init_extra_deps();
+}
+
+void ScheduleExecutor::init_extra_deps() {
+  if (schedule_.extra_deps.empty()) return;
+  // Dependency edges name transfer ids, and a transfer only has a gateable
+  // emission point in the ordered relay-free form (one message per (src,
+  // dst) pair, emitted at one cursor position). Other forms must be rejected
+  // here — the declared constraint would otherwise be silently ignored.
+  if (schedule_.form != StreamForm::kOrdered ||
+      schedule_.stream.relay != RelayRule::kNone) {
+    throw std::invalid_argument(
+        "extra_deps are executable only on ordered relay-free schedules");
+  }
+  std::vector<std::uint64_t> keys;  // transfer id -> pair key
+  schedule_.for_each_transfer(
+      faults_, [&](const Transfer& t) { keys.push_back(pair_key(t.src, t.dst)); });
+  const auto count = static_cast<std::int64_t>(keys.size());
+  for (const auto& [before, after] : schedule_.extra_deps) {
+    if (before < 0 || before >= count || after < 0 || after >= count) {
+      throw std::invalid_argument("extra_deps transfer id out of range");
+    }
+    if (before == after) {
+      throw std::invalid_argument("extra_deps self-dependency");
+    }
+    ++dep_gates_[keys[static_cast<std::size_t>(after)]];
+    DepWatch& watch = dep_watch_[keys[static_cast<std::size_t>(before)]];
+    watch.bytes_left = static_cast<std::int64_t>(schedule_.msg_bytes);
+    watch.release.push_back(keys[static_cast<std::size_t>(after)]);
+  }
+}
+
+void ScheduleExecutor::note_dep_delivery(topo::Rank orig_src, topo::Rank dst,
+                                         std::uint32_t payload_bytes) {
+  const auto it = dep_watch_.find(pair_key(orig_src, dst));
+  if (it == dep_watch_.end()) return;
+  it->second.bytes_left -= payload_bytes;
+  if (it->second.bytes_left > 0) return;
+  for (const std::uint64_t gated : it->second.release) {
+    const auto gate = dep_gates_.find(gated);
+    assert(gate != dep_gates_.end() && gate->second > 0);
+    if (--gate->second == 0) {
+      dep_gates_.erase(gate);
+      // The waiting sender parked in emit_ordered; re-ask its core.
+      fabric_->wake_cpu(static_cast<topo::Rank>(gated >> 32));
+    }
+  }
+  dep_watch_.erase(it);
 }
 
 std::uint8_t ScheduleExecutor::pick_fifo(NodeState& s, std::uint8_t fifo_class,
@@ -202,7 +254,7 @@ bool ScheduleExecutor::next_packet(topo::Rank node, net::InjectDesc& out) {
     out.mode = net::RoutingMode::kAdaptive;
     out.fifo = pick_fifo(s, phase.fifo_class, 0, 0);
     out.extra_cpu_cycles = schedule_.credits.credit_cpu_cycles;
-    ++credit_packets_;
+    credit_packets_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -288,6 +340,15 @@ bool ScheduleExecutor::emit_ordered(topo::Rank node, NodeState& s,
       continue;
     }
 
+    if (!dep_gates_.empty()) {
+      const auto gate = dep_gates_.find(pair_key(node, dst));
+      if (gate != dep_gates_.end() && gate->second > 0) {
+        // This transfer waits on an extra_deps edge: park the whole stream
+        // (ordered semantics) until note_dep_delivery re-wakes the core.
+        return false;
+      }
+    }
+
     const PhaseSpec& phase = schedule_.phases[phase_index];
     const std::uint32_t pkt_index =
         s.round * static_cast<std::uint32_t>(st.burst) + s.burst_sent;
@@ -361,6 +422,7 @@ void ScheduleExecutor::on_delivery(topo::Rank node, const net::Packet& packet) {
       const auto orig_src = static_cast<topo::Rank>((packet.tag >> 24) & 0xffffffU);
       note_final_delivery();
       if (matrix_ != nullptr) matrix_->record(orig_src, node, packet.payload_bytes);
+      if (!dep_watch_.empty()) note_dep_delivery(orig_src, node, packet.payload_bytes);
       return;
     }
     case kStoreForward: {
@@ -369,7 +431,11 @@ void ScheduleExecutor::on_delivery(topo::Rank node, const net::Packet& packet) {
       assert(final_dst != node);
       s.forwards.push_back(
           Forward{final_dst, orig_src, packet.payload_bytes, packet.chunks});
-      max_forward_backlog_ = std::max(max_forward_backlog_, s.forwards.size());
+      const std::size_t backlog = s.forwards.size();
+      std::size_t seen = max_forward_backlog_.load(std::memory_order_relaxed);
+      while (seen < backlog && !max_forward_backlog_.compare_exchange_weak(
+                                   seen, backlog, std::memory_order_relaxed)) {
+      }
       if (schedule_.credits.window > 0) {
         const auto lin = static_cast<std::size_t>(
             schedule_.torus.coord_of(orig_src)[schedule_.stream.relay_axis]);
@@ -394,15 +460,17 @@ void ScheduleExecutor::on_delivery(topo::Rank node, const net::Packet& packet) {
       const SendOp& op = schedule_.ops[op_index];
       note_final_delivery();
       if (matrix_ != nullptr) {
-        auto [it, inserted] = combined_remaining_.try_emplace(
-            op_index,
-            static_cast<std::uint32_t>(schedule_.phases[op.phase].packets.size()));
-        (void)inserted;
-        assert(it->second > 0);
-        if (--it->second == 0) {
-          combined_remaining_.erase(it);
-          schedule_.finalize_list(op, packet.src, finalize_scratch_);
-          for (const topo::Rank orig : finalize_scratch_) {
+        // Seeded on the message's first packet; an op's deliveries all land
+        // at its one destination, so the cell is never shared across slabs.
+        std::uint32_t& left = combined_remaining_[op_index];
+        if (left == 0) {
+          left = static_cast<std::uint32_t>(schedule_.phases[op.phase].packets.size());
+        }
+        assert(left > 0);
+        if (--left == 0) {
+          std::vector<topo::Rank> finalize;
+          schedule_.finalize_list(op, packet.src, finalize);
+          for (const topo::Rank orig : finalize) {
             matrix_->record(orig, node, schedule_.msg_bytes);
           }
         }
@@ -439,6 +507,16 @@ void ScheduleExecutor::mark_reachable(PairMask& mask) const {
       }
     }
   }
+}
+
+std::uint64_t ScheduleExecutor::stranded_relay_bytes(const net::FaultPlan& plan) const {
+  if (!plan.enabled() || plan.dead_node_count() == 0) return 0;
+  std::uint64_t bytes = 0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (plan.node_alive(static_cast<topo::Rank>(n))) continue;
+    for (const Forward& f : nodes_[n].forwards) bytes += f.payload_bytes;
+  }
+  return bytes;
 }
 
 }  // namespace bgl::coll

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -244,9 +245,18 @@ class ScheduleExecutor : public StrategyClient {
   /// not from per-strategy logic.
   void mark_reachable(PairMask& mask) const override;
 
+  /// Relay payload parked in the forward queues of nodes `plan` marks
+  /// fail-stopped: accepted into custody, never re-injectable (see
+  /// FaultStats::stranded_relay_bytes).
+  std::uint64_t stranded_relay_bytes(const net::FaultPlan& plan) const override;
+
   const CommSchedule& schedule() const { return schedule_; }
-  std::uint64_t credit_packets_sent() const { return credit_packets_; }
-  std::size_t max_forward_backlog() const { return max_forward_backlog_; }
+  std::uint64_t credit_packets_sent() const {
+    return credit_packets_.load(std::memory_order_relaxed);
+  }
+  std::size_t max_forward_backlog() const {
+    return max_forward_backlog_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Tag layout (opaque to the fabric; executor-private):
@@ -293,15 +303,39 @@ class ScheduleExecutor : public StrategyClient {
   bool emit_ordered(topo::Rank node, NodeState& s, net::InjectDesc& out);
   bool emit_explicit(topo::Rank node, NodeState& s, net::InjectDesc& out);
 
+  // --- extra_deps execution (ordered relay-free schedules only) ---
+  /// Key of an ordered (src, dst) pair — the transfer identity the dependency
+  /// edges resolve to.
+  std::uint64_t pair_key(topo::Rank src, topo::Rank dst) const {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+           static_cast<std::uint32_t>(dst);
+  }
+  void init_extra_deps();
+  void note_dep_delivery(topo::Rank orig_src, topo::Rank dst,
+                         std::uint32_t payload_bytes);
+
   net::NetworkConfig config_;
   CommSchedule schedule_;
   std::vector<NodeState> nodes_;
-  /// Packets still missing per in-flight combined message (lazily seeded
-  /// from the op's phase message shape; delivery-matrix bookkeeping only).
-  std::unordered_map<std::uint32_t, std::uint32_t> combined_remaining_;
-  std::vector<topo::Rank> finalize_scratch_;
-  std::uint64_t credit_packets_ = 0;
-  std::size_t max_forward_backlog_ = 0;
+  /// Packets still missing per in-flight combined message, indexed by op
+  /// (0 = message not yet seen; seeded from the op's phase message shape on
+  /// its first delivery). A dense vector rather than a map so concurrent
+  /// slabs never touch shared map structure — each op's deliveries all land
+  /// at its one destination node. Delivery-matrix bookkeeping only.
+  std::vector<std::uint32_t> combined_remaining_;
+  /// Unsatisfied-dependency count per gated transfer, keyed by pair. The
+  /// sender polls its head transfer's gate in emit_ordered and parks until
+  /// the count reaches zero (extra_deps schedules run single-threaded).
+  std::unordered_map<std::uint64_t, std::uint32_t> dep_gates_;
+  struct DepWatch {
+    std::int64_t bytes_left = 0;
+    std::vector<std::uint64_t> release;  // gated pair keys to decrement
+  };
+  /// Transfers other transfers wait on, keyed by pair; bytes_left counts the
+  /// watched transfer's outstanding final-delivery payload.
+  std::unordered_map<std::uint64_t, DepWatch> dep_watch_;
+  std::atomic<std::uint64_t> credit_packets_{0};
+  std::atomic<std::size_t> max_forward_backlog_{0};
 };
 
 // --- inline transfer enumeration -------------------------------------------

@@ -230,6 +230,15 @@ void check_transfers(const CommSchedule& sched, const net::FaultPlan* faults,
 void check_deps(const CommSchedule& sched, LintReport& report,
                 const std::vector<std::uint8_t>& phase_of) {
   if (sched.extra_deps.empty()) return;
+  // The executor can only gate emission in the ordered relay-free form (one
+  // message per (src, dst) pair, one cursor position); anywhere else the
+  // declared constraint would be unenforceable and is rejected up front,
+  // matching ScheduleExecutor::init_extra_deps.
+  if (sched.form == StreamForm::kExplicit) {
+    add(report, "deps", "extra_deps are not executable on an explicit-form schedule");
+  } else if (sched.stream.relay != RelayRule::kNone) {
+    add(report, "deps", "extra_deps are not executable on a relaying schedule");
+  }
   const auto transfers = static_cast<std::int64_t>(phase_of.size());
   std::vector<std::vector<std::int64_t>> out_edges(phase_of.size());
   std::vector<std::int32_t> in_degree(phase_of.size(), 0);

@@ -1,6 +1,8 @@
 // Common base for the all-to-all strategy fabric clients.
 #pragma once
 
+#include <atomic>
+
 #include "src/coll/verify.hpp"
 #include "src/network/fabric.hpp"
 
@@ -12,10 +14,12 @@ class StrategyClient : public net::Client {
 
   /// Completion time of the collective: the last delivery of *final*
   /// application data (excludes e.g. credit packets).
-  net::Tick completion_cycles() const { return completion_; }
+  net::Tick completion_cycles() const { return completion_.load(std::memory_order_relaxed); }
 
   /// Final application packets delivered so far (for progress checks).
-  std::uint64_t final_deliveries() const { return final_deliveries_; }
+  std::uint64_t final_deliveries() const {
+    return final_deliveries_.load(std::memory_order_relaxed);
+  }
 
   /// Clears `mask` bits for pairs this strategy cannot serve under the fault
   /// plan it was constructed with (no-op when fault-free). The base rule —
@@ -32,20 +36,37 @@ class StrategyClient : public net::Client {
     }
   }
 
+  /// Relay payload bytes accepted into custody by nodes that `plan` marks
+  /// fail-stopped — data owed to final destinations that died with its
+  /// custodian and can never drain (mid-run strikes, fail_at > 0).
+  /// Strategies without store-and-forward state have none.
+  virtual std::uint64_t stranded_relay_bytes(const net::FaultPlan& plan) const {
+    (void)plan;
+    return 0;
+  }
+
  protected:
   /// Routing mode the base mark_reachable checks paths under.
   virtual net::RoutingMode reach_mode() const { return net::RoutingMode::kAdaptive; }
 
+  // Delivery bookkeeping is thread-safe: under a parallel run concurrent
+  // slabs deliver concurrently. Relaxed ordering suffices (monotone counters,
+  // merged views only read after the run joins); on a single-threaded run
+  // the values are bit-identical to the plain fields they replace.
   void note_final_delivery() {
-    ++final_deliveries_;
-    completion_ = fabric_->now();
+    final_deliveries_.fetch_add(1, std::memory_order_relaxed);
+    net::Tick at = fabric_->now();
+    net::Tick seen = completion_.load(std::memory_order_relaxed);
+    while (seen < at &&
+           !completion_.compare_exchange_weak(seen, at, std::memory_order_relaxed)) {
+    }
   }
 
   net::Fabric* fabric_ = nullptr;
   DeliveryMatrix* matrix_ = nullptr;
   const net::FaultPlan* faults_ = nullptr;  // owned by run_alltoall; may be null
-  net::Tick completion_ = 0;
-  std::uint64_t final_deliveries_ = 0;
+  std::atomic<net::Tick> completion_{0};
+  std::atomic<std::uint64_t> final_deliveries_{0};
 };
 
 }  // namespace bgl::coll

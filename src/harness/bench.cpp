@@ -36,6 +36,9 @@ BenchContext BenchContext::from_cli(util::Cli& cli) {
   cli.describe("faults", "fault-injection spec, e.g. link:0.02,drop:1e-5,seed:7 "
                          "(keys: link tlink repair fail_at degrade degrade_mult "
                          "node drop seed rto retries stuck)");
+  cli.describe("sim-threads", "slab-parallel worker threads inside each "
+                              "simulation (default 1 = reference engine; "
+                              "see --jobs for across-point parallelism)");
   cli.describe("resume", "partial CSV/JSON output of an interrupted run; "
                          "already-completed points are skipped and the sinks "
                          "write the merged result");
@@ -49,6 +52,11 @@ BenchContext BenchContext::from_cli(util::Cli& cli) {
       throw std::runtime_error(
           "option --jobs: must be >= 1 (omit the flag for one worker per "
           "hardware thread)");
+    }
+    ctx.sim_threads = static_cast<int>(cli.get_int("sim-threads", 1));
+    if (ctx.sim_threads < 1) {
+      throw std::runtime_error("option --sim-threads: must be >= 1, got " +
+                               std::to_string(ctx.sim_threads));
     }
     ctx.sweep.repeats = static_cast<int>(cli.get_int("repeats", 1));
     if (ctx.sweep.repeats < 1) {
@@ -140,6 +148,7 @@ coll::AlltoallOptions BenchContext::base_options(const topo::Shape& shape,
   options.net.shape = shape;
   options.net.seed = sweep.base_seed;
   options.net.faults = faults;
+  options.net.sim_threads = sim_threads;
   options.msg_bytes = msg_bytes;
   return options;
 }

@@ -34,6 +34,12 @@ struct BenchContext {
   /// Fault injection applied to every point (--faults spec; disabled by
   /// default). Simulation results remain deterministic for a fixed seed.
   net::FaultConfig faults{};
+  /// Worker threads inside each simulation (--sim-threads; the slab-parallel
+  /// fabric core). Orthogonal to --jobs, which parallelizes across sweep
+  /// points: for many small points prefer --jobs, for one huge partition
+  /// prefer --sim-threads. Ineligible configurations (faults, legacy
+  /// clients, dependency-gated schedules) fall back to 1 per run.
+  int sim_threads = 1;
   /// Partial CSV/JSON output of an interrupted run (--resume): slots whose
   /// drained rows are already present are skipped, and the sinks write a
   /// merged file byte-identical to an uninterrupted run (see resume.hpp).
@@ -43,9 +49,10 @@ struct BenchContext {
 
   /// Declares and reads the shared bench options (--full, --budget, --seed,
   /// --jobs, --shard, --repeats, --progress, --csv, --json, --host-timing,
-  /// --timeout, --faults). Call before cli.validate(). Prints a clear error
-  /// to stderr and exits with status 2 on invalid values (--jobs 0,
-  /// --repeats 0, malformed --shard or --faults, non-numeric values).
+  /// --timeout, --faults, --sim-threads). Call before cli.validate(). Prints
+  /// a clear error to stderr and exits with status 2 on invalid values
+  /// (--jobs 0, --repeats 0, malformed --shard or --faults, non-numeric
+  /// values).
   static BenchContext from_cli(util::Cli& cli);
 
   std::uint64_t seed() const { return sweep.base_seed; }

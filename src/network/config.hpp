@@ -121,6 +121,16 @@ struct NetworkConfig {
 
   bool collect_link_stats = true;
 
+  /// Worker threads for the simulator core. 1 (the default) is the reference
+  /// single-threaded engine, bit-identical run to run. Values > 1 partition
+  /// the torus into axis-aligned slabs driven by conservative time windows
+  /// (see DESIGN.md "Threading model"); results stay deterministic for a
+  /// fixed (seed, sim_threads) pair, delivery matrices are preserved
+  /// exactly, and completion times may differ from 1-thread runs only
+  /// through the relaxed cross-slab credit-return timing. Runs with faults,
+  /// hop observers, or extra_deps silently fall back to 1 thread.
+  int sim_threads = 1;
+
   /// Fault injection; the default is a healthy network.
   FaultConfig faults{};
 

@@ -1,9 +1,12 @@
 #include "src/network/fabric.hpp"
 
 #include <algorithm>
+#include <barrier>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace bgl::net {
 
@@ -13,7 +16,13 @@ constexpr int axis_of(int dir) noexcept { return dir / 2; }
 constexpr int sign_of(int dir) noexcept { return (dir % 2 == 0) ? +1 : -1; }
 constexpr int dir_index(int axis, int sign) noexcept { return axis * 2 + (sign > 0 ? 0 : 1); }
 
+/// Events between watchdog polls on a parallel worker (mirrors
+/// sim::Engine::kAbortPollMask).
+constexpr std::uint64_t kMtPollMask = 0x1fff;
+
 }  // namespace
+
+thread_local Fabric::Shard* Fabric::shard_ctx_ = nullptr;
 
 Fabric::Fabric(const NetworkConfig& config, Client& client)
     : config_(config),
@@ -79,6 +88,12 @@ Fabric::Fabric(const NetworkConfig& config, Client& client)
 
   cpu_.resize(static_cast<std::size_t>(nodes));
 
+  engine_.set_strict(config_.debug_checks);
+  // Conservative lookahead of the parallel run: any cross-slab packet takes
+  // at least one chunk of serialization plus the hop latency, so a window of
+  // that length can be simulated per slab without seeing a neighbor's events.
+  window_cycles_ = static_cast<Tick>(config_.chunk_cycles) + config_.hop_latency_cycles;
+
   init_faults();
 }
 
@@ -87,6 +102,11 @@ void Fabric::init_faults() {
   faults_active_ = fault_plan_.enabled();
   if (!faults_active_) return;
   const FaultConfig& fc = config_.faults;
+  // fail_at == 0: permanent faults are applied (and planned around) from the
+  // start, exactly as before. fail_at > 0: the network runs blind until the
+  // strike — doomed nodes pump, traffic routes into them — and the plan's
+  // permanent state only becomes consultable at kPermStrike.
+  struck_ = (fc.fail_at == 0);
   fault_rng_ = util::Xoshiro256StarStar(fault_plan_.derived_seed() ^ 0xd809f0ddULL);
   stuck_cycles_ =
       fc.stuck_drop_cycles != 0 ? fc.stuck_drop_cycles : 4 * fc.retrans_timeout;
@@ -111,12 +131,14 @@ void Fabric::init_faults() {
 }
 
 bool Fabric::run(Tick deadline) {
+  const int threads = plan_threads();
+  if (threads > 1) return run_parallel(threads, deadline);
   if (!primed_) {
     primed_ = true;
     const int nodes = torus_.nodes();
     for (Rank n = 0; n < nodes; ++n) {
       CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
-      if (faults_active_ && !fault_plan_.node_alive(n)) {
+      if (faults_active_ && struck_ && !fault_plan_.node_alive(n)) {
         cpu.idle = true;  // a dead node's core never pumps
         continue;
       }
@@ -127,6 +149,232 @@ bool Fabric::run(Tick deadline) {
   const bool quiescent = engine_.run(deadline);
   if (config_.debug_checks) run_debug_checks(quiescent);
   return quiescent;
+}
+
+int Fabric::plan_threads() const noexcept {
+  int threads = config_.sim_threads;
+  if (threads <= 1) return 1;
+  // Ineligible configurations fall back to the reference engine: the fault
+  // machinery and hop observers assume a global event order, and a zero
+  // lookahead window would serialize the slabs anyway.
+  if (faults_active_ || hop_observer_ || window_cycles_ == 0) return 1;
+  // A run primed into the engine (an earlier single-threaded call) cannot
+  // migrate mid-flight.
+  if (primed_ && !mt_primed_) return 1;
+  const int extent = config_.shape.dim[static_cast<std::size_t>(slab_axis())];
+  return std::max(1, std::min(threads, extent));
+}
+
+int Fabric::slab_axis() const noexcept {
+  int best = 0;
+  for (int a = 1; a < topo::kAxes; ++a) {
+    if (config_.shape.dim[static_cast<std::size_t>(a)] >=
+        config_.shape.dim[static_cast<std::size_t>(best)]) {
+      best = a;
+    }
+  }
+  return best;
+}
+
+void Fabric::setup_shards(int threads) {
+  const int axis = slab_axis();
+  const auto extent =
+      static_cast<std::int64_t>(config_.shape.dim[static_cast<std::size_t>(axis)]);
+  node_slab_.assign(static_cast<std::size_t>(torus_.nodes()), 0);
+  for (Rank n = 0; n < torus_.nodes(); ++n) {
+    const auto c = static_cast<std::int64_t>(torus_.coord_of(n)[axis]);
+    node_slab_[static_cast<std::size_t>(n)] =
+        static_cast<std::int32_t>(c * threads / extent);
+  }
+  shards_.clear();
+  shards_.resize(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    Shard& shard = shards_[static_cast<std::size_t>(i)];
+    shard.id = i;
+    // Independent per-slab stream derived from the run seed, so a run is
+    // reproducible for a fixed (seed, sim_threads) pair.
+    shard.rng = util::Xoshiro256StarStar(
+        config_.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
+    shard.outbox.resize(static_cast<std::size_t>(threads));
+  }
+}
+
+bool Fabric::run_parallel(int threads, Tick deadline) {
+  if (!mt_primed_) {
+    setup_shards(threads);
+    mt_primed_ = true;
+    primed_ = true;
+    for (Rank n = 0; n < torus_.nodes(); ++n) {
+      cpu_[static_cast<std::size_t>(n)].pump_scheduled = true;
+      shards_[static_cast<std::size_t>(node_slab_[static_cast<std::size_t>(n)])]
+          .wheel.push(0, kEvCpu, static_cast<std::uint32_t>(n), 0);
+    }
+  }
+  mt_done_ = false;
+  mt_drained_ = false;
+  mt_aborted_ = false;
+  mt_abort_flag_.store(false, std::memory_order_relaxed);
+  advance_window(deadline);
+  if (!mt_done_) {
+    std::barrier sync(threads, [this, deadline]() noexcept { barrier_phase(deadline); });
+    std::mutex error_mutex;
+    auto worker = [&](int index) {
+      Shard& shard = shards_[static_cast<std::size_t>(index)];
+      for (;;) {
+        try {
+          shard_step(shard);
+        } catch (...) {
+          shard_ctx_ = nullptr;
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!mt_error_) mt_error_ = std::current_exception();
+          }
+          mt_abort_flag_.store(true, std::memory_order_relaxed);
+        }
+        sync.arrive_and_wait();
+        if (mt_done_) break;
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int i = 1; i < threads; ++i) pool.emplace_back(worker, i);
+    worker(0);
+    for (std::thread& t : pool) t.join();
+  }
+  merge_shard_stats();
+  if (mt_error_) {
+    const std::exception_ptr error = mt_error_;
+    mt_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  if (config_.debug_checks) run_debug_checks(mt_drained_);
+  return mt_drained_;
+}
+
+void Fabric::shard_step(Shard& shard) {
+  shard_ctx_ = &shard;
+  const Tick limit = window_end_ - 1;  // window_end_ is exclusive and >= 1
+  while (auto event = shard.wheel.pop_if_at_most(limit)) {
+    shard.now = event->time;
+    ++shard.processed;
+    handle(*event);
+    if ((shard.processed & kMtPollMask) == 0) {
+      if (mt_abort_flag_.load(std::memory_order_relaxed)) break;
+      if (shard.id == 0 && abort_check_ && abort_check_()) {
+        mt_abort_flag_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  shard_ctx_ = nullptr;
+}
+
+void Fabric::barrier_phase(Tick deadline) noexcept {
+  // Runs on exactly one thread, between the last arrive and the release:
+  // every worker's window writes happen-before this and its reads
+  // happen-after, so boundary application needs no further synchronization.
+  // Deterministic order: by source shard, then destination, then insertion.
+  for (Shard& src : shards_) {
+    for (std::size_t d = 0; d < src.outbox.size(); ++d) {
+      for (const BoundaryMsg& msg : src.outbox[d]) apply_boundary(shards_[d], msg);
+      src.outbox[d].clear();
+    }
+  }
+  shard_ctx_ = nullptr;
+  if (mt_abort_flag_.load(std::memory_order_relaxed)) {
+    mt_done_ = true;
+    mt_drained_ = false;
+    if (!mt_error_) mt_aborted_ = true;  // watchdog abort, not a worker error
+    return;
+  }
+  advance_window(deadline);
+}
+
+void Fabric::advance_window(Tick deadline) {
+  Tick min_next = ~Tick{0};
+  bool any = false;
+  for (Shard& shard : shards_) {
+    if (const auto t = shard.wheel.next_time()) {
+      any = true;
+      min_next = std::min(min_next, *t);
+    }
+  }
+  if (!any) {
+    mt_done_ = true;
+    mt_drained_ = true;
+    return;
+  }
+  if (min_next > deadline) {
+    mt_done_ = true;
+    mt_drained_ = false;
+    return;
+  }
+  Tick end = min_next + window_cycles_;
+  if (end < min_next) end = ~Tick{0};                          // saturate
+  if (deadline != ~Tick{0} && end > deadline + 1) end = deadline + 1;
+  window_end_ = end;
+  // Window starts never retreat a slab's own clock (a neighbor's boundary
+  // credit may hold the global minimum below a busier slab's local time).
+  for (Shard& shard : shards_) shard.now = std::max(shard.now, min_next);
+}
+
+void Fabric::apply_boundary(Shard& dst, const BoundaryMsg& msg) {
+  shard_ctx_ = &dst;
+  if (msg.is_credit) {
+    buffer_free_[static_cast<std::size_t>(msg.buf)] += msg.chunks;
+    // The wake fires no earlier than the receiving slab's clock: a boundary
+    // credit may thus act up to one window later than an in-slab return
+    // would have (the documented timing relaxation of the parallel run).
+    schedule_arb_if_idle(msg.node, msg.port, std::max(msg.at, dst.now));
+  } else {
+    const std::uint32_t slot = alloc_flight_slot();
+    FlightSlot& flight = dst.flights[slot];
+    flight.packet = msg.packet;
+    flight.to_node = msg.node;
+    flight.link = msg.link;
+    flight.port = msg.port;
+    flight.deliver = msg.deliver;
+    dst.wheel.push(msg.at, kEvArrival, slot, 0);
+  }
+}
+
+void Fabric::merge_shard_stats() {
+  FabricStats total;
+  std::int64_t net = 0;
+  std::uint64_t events = 0;
+  for (const Shard& shard : shards_) {
+    total.packets_injected += shard.stats.packets_injected;
+    total.packets_delivered += shard.stats.packets_delivered;
+    total.payload_bytes_delivered += shard.stats.payload_bytes_delivered;
+    total.chunk_hops += shard.stats.chunk_hops;
+    total.first_injection = std::min(total.first_injection, shard.stats.first_injection);
+    total.last_delivery = std::max(total.last_delivery, shard.stats.last_delivery);
+    total.arb_grants += shard.stats.arb_grants;
+    total.arb_no_candidate += shard.stats.arb_no_candidate;
+    total.arb_blocked += shard.stats.arb_blocked;
+    net += shard.in_network;
+    events += shard.processed;
+  }
+  stats_ = total;
+  in_network_ = net;
+  mt_events_ = events;
+}
+
+void Fabric::post(Tick at, std::uint32_t type, std::uint32_t a, std::uint64_t b) {
+  Shard* shard = shard_ctx_;
+  if (shard == nullptr) {
+    engine_.schedule(at, type, a, b);
+    return;
+  }
+  if (at < shard->now) {
+    if (config_.debug_checks) {
+      throw std::logic_error("Fabric::post into the past: type=" + std::to_string(type) +
+                             " at=" + std::to_string(at) +
+                             " now=" + std::to_string(shard->now));
+    }
+    at = shard->now;
+  }
+  shard->wheel.push(at, type, a, b);
 }
 
 void Fabric::run_debug_checks(bool quiescent) const {
@@ -148,7 +396,12 @@ void Fabric::handle(const sim::Event& event) {
       pump_cpu(static_cast<Rank>(event.a));
       break;
     case kEvTimer:
-      client_->on_timer(static_cast<Rank>(event.a), event.b);
+      // Timers of a fail-stopped node die with it: its reliability scan loop
+      // would otherwise re-arm forever and the run could only end by
+      // exhausting the watchdog timeout.
+      if (node_alive_now(static_cast<Rank>(event.a))) {
+        client_->on_timer(static_cast<Rank>(event.a), event.b);
+      }
       break;
     case kEvFault:
       on_fault_event(event.a, event.b);
@@ -162,17 +415,17 @@ void Fabric::handle(const sim::Event& event) {
 }
 
 void Fabric::wake_cpu(Rank node) {
-  if (faults_active_ && !fault_plan_.node_alive(node)) return;
+  if (!node_alive_now(node)) return;
   CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
   if (cpu.stalled) return;  // will resume when its FIFO drains
   cpu.idle = false;
   if (cpu.pump_scheduled) return;
   cpu.pump_scheduled = true;
-  engine_.schedule(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(node));
+  post(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(node));
 }
 
 void Fabric::schedule_timer(Rank node, Tick delay, std::uint64_t cookie) {
-  engine_.schedule_in(delay, kEvTimer, static_cast<std::uint32_t>(node), cookie);
+  post(now() + delay, kEvTimer, static_cast<std::uint32_t>(node), cookie);
 }
 
 int Fabric::fifo_free_chunks(Rank node, int fifo) const {
@@ -202,9 +455,14 @@ Tick Fabric::cpu_inject_cycles(const InjectDesc& desc) const noexcept {
 void Fabric::pump_cpu(Rank node) {
   CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
   cpu.pump_scheduled = false;
+  if (!node_alive_now(node)) {
+    // A pump queued before the node fail-stopped; the core is dead.
+    cpu.idle = true;
+    return;
+  }
   if (now() < cpu.next_free) {
     cpu.pump_scheduled = true;
-    engine_.schedule(cpu.next_free, kEvCpu, static_cast<std::uint32_t>(node));
+    post(cpu.next_free, kEvCpu, static_cast<std::uint32_t>(node));
     return;
   }
 
@@ -230,11 +488,11 @@ void Fabric::pump_cpu(Rank node) {
 
   cpu.next_free = now() + cpu_inject_cycles(cpu.pending);
   cpu.pump_scheduled = true;
-  engine_.schedule(cpu.next_free, kEvCpu, static_cast<std::uint32_t>(node));
+  post(cpu.next_free, kEvCpu, static_cast<std::uint32_t>(node));
 }
 
 bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
-  if (faults_active_ && !fault_plan_.pair_routable(node, desc.dst, desc.mode)) {
+  if (faults_active_ && struck_ && !fault_plan_.pair_routable(node, desc.dst, desc.mode)) {
     // No live minimal path can ever deliver this packet. Consume the
     // descriptor (the core still pays its injection cost) and count it,
     // rather than letting an undeliverable packet wedge a FIFO forever.
@@ -255,11 +513,11 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   packet.ack_cum = desc.ack_cum;
   packet.ack_bits = desc.ack_bits;
 
-  if (faults_active_) {
+  if (faults_active_ && struck_) {
     // Same tie-coin draw as below, but steered away from tie resolutions
     // whose minimal DAG is severed by permanent faults.
     packet.hops = fault_plan_.choose_hops(node, desc.dst, desc.mode,
-                                          [this] { return rng_.coin(); });
+                                          [this] { return live_rng().coin(); });
   } else {
     const topo::Coord from = torus_.coord_of(node);
     const topo::Coord to = torus_.coord_of(desc.dst);
@@ -267,7 +525,8 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
       int signed_hops = torus_.hops_signed(from[a], to[a], a);
       // A half-way destination on an even torus ring is reachable both ways;
       // random choice balances the two directions across the all-to-all.
-      if (signed_hops != 0 && torus_.is_halfway_tie(from[a], to[a], a) && rng_.coin()) {
+      if (signed_hops != 0 && torus_.is_halfway_tie(from[a], to[a], a) &&
+          live_rng().coin()) {
         signed_hops = -signed_hops;
       }
       packet.hops[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(signed_hops);
@@ -278,9 +537,10 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   fifo_free_[fid] -= desc.wire_chunks;
   const bool becomes_head = fifos_[fid].empty();
   fifos_[fid].push_back(packet);
-  ++in_network_;
-  if (stats_.first_injection == FabricStats::kNever) stats_.first_injection = now();
-  ++stats_.packets_injected;
+  ++live_in_network();
+  FabricStats& stats = live_stats();
+  if (stats.first_injection == FabricStats::kNever) stats.first_injection = now();
+  ++stats.packets_injected;
   if (becomes_head) {
     fifo_want_[fid] = want_mask(packet);
     if (faults_active_) fifo_head_since_[fid] = now();
@@ -291,11 +551,15 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
 }
 
 void Fabric::schedule_arb_if_idle(Rank node, int dir) {
+  schedule_arb_if_idle(node, dir, now());
+}
+
+void Fabric::schedule_arb_if_idle(Rank node, int dir, Tick at) {
   const std::size_t link = static_cast<std::size_t>(link_id(node, dir));
   if (link_peer_[link] < 0) return;        // mesh edge: no link
   if (faults_active_ && link_down_[link]) return;  // re-armed at repair
   if (arb_scheduled_[link]) return;
-  if (link_busy_until_[link] > now()) return;  // busy-end arb already pending
+  if (link_busy_until_[link] > at) return;  // busy-end arb already pending
   // Skip the event when no current head wants this output; whichever future
   // head appears will trigger its own wakeup. This prunes the vast majority
   // of would-be no-candidate arbitration events under congestion.
@@ -320,7 +584,7 @@ void Fabric::schedule_arb_if_idle(Rank node, int dir) {
   }
   if (!wanted) return;
   arb_scheduled_[link] = 1;
-  engine_.schedule(now(), kEvArb, static_cast<std::uint32_t>(link));
+  post(at, kEvArb, static_cast<std::uint32_t>(link));
 }
 
 void Fabric::schedule_profitable_arbs(Rank node, const Packet& packet) {
@@ -447,7 +711,7 @@ void Fabric::arbitrate(int link) {
       // Never walk a packet into a region it could not leave: if the
       // remaining minimal DAG past `peer` is severed by permanent faults,
       // refuse this output (adaptive packets take another live direction).
-      if (faults_active_ && target != kDeliverHere &&
+      if (faults_active_ && struck_ && target != kDeliverHere &&
           !continuation_live(head, peer, dir)) {
         ++fault_stats_.reroute_vetoes;
         continue;
@@ -455,16 +719,33 @@ void Fabric::arbitrate(int link) {
 
       const Packet granted = head;
       queue.pop_front();
-      buffer_free_[static_cast<std::size_t>(base + vc)] +=
-          (vc == vc_bubble_ ? 1 : granted.chunks);
+      const std::int32_t credit = (vc == vc_bubble_ ? 1 : granted.chunks);
+      // Credit return: the upstream link feeding this buffer may now proceed.
+      // The free counter is owned by the feeder's slab, so when that slab is
+      // not ours the return travels as a boundary message instead.
+      const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(input ^ 1));
+      const bool credit_cross =
+          shard_ctx_ != nullptr && upstream >= 0 &&
+          node_slab_[static_cast<std::size_t>(upstream)] != shard_ctx_->id;
+      if (!credit_cross) buffer_free_[static_cast<std::size_t>(base + vc)] += credit;
       buffer_want_[static_cast<std::size_t>(base + vc)] =
           queue.empty() ? 0 : want_mask(queue.front());
       if (faults_active_ && !queue.empty()) {
         head_since_[static_cast<std::size_t>(base + vc)] = now();
       }
-      // Credit return: the upstream link feeding this buffer may now proceed.
-      const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(input ^ 1));
-      if (upstream >= 0) schedule_arb_if_idle(upstream, input);
+      if (credit_cross) {
+        BoundaryMsg msg;
+        msg.at = now();
+        msg.node = upstream;
+        msg.buf = base + vc;
+        msg.chunks = credit;
+        msg.port = static_cast<std::uint8_t>(input);
+        msg.is_credit = true;
+        shard_ctx_->outbox[static_cast<std::size_t>(
+            node_slab_[static_cast<std::size_t>(upstream)])].push_back(msg);
+      } else if (upstream >= 0) {
+        schedule_arb_if_idle(upstream, input);
+      }
       if (!queue.empty()) schedule_profitable_arbs(node, queue.front());
 
       rr_next_[lk] = static_cast<std::uint8_t>((input + 1) % topo::kDirections);
@@ -482,7 +763,7 @@ void Fabric::arbitrate(int link) {
     saw_candidate = true;
     const int target = select_downstream(head, node, dir, /*entering=*/true);
     if (target == kBlocked) continue;
-    if (faults_active_ && target != kDeliverHere &&
+    if (faults_active_ && struck_ && target != kDeliverHere &&
         !continuation_live(head, peer, dir)) {
       ++fault_stats_.reroute_vetoes;
       continue;
@@ -497,8 +778,7 @@ void Fabric::arbitrate(int link) {
     CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
     if (cpu.stalled && cpu.pending.fifo == fifo && !cpu.pump_scheduled) {
       cpu.pump_scheduled = true;
-      engine_.schedule(std::max(now(), cpu.next_free), kEvCpu,
-                       static_cast<std::uint32_t>(node));
+      post(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(node));
     }
     if (!queue.empty()) schedule_profitable_arbs(node, queue.front());
 
@@ -508,15 +788,15 @@ void Fabric::arbitrate(int link) {
 
   // No grant: the link stays idle; state changes re-schedule arbitration.
   if (saw_candidate) {
-    ++stats_.arb_blocked;
+    ++live_stats().arb_blocked;
   } else {
-    ++stats_.arb_no_candidate;
+    ++live_stats().arb_no_candidate;
   }
 }
 
 void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
                           const Packet& granted_in, int target) {
-  ++stats_.arb_grants;
+  ++live_stats().arb_grants;
   Packet granted = granted_in;
   const int axis = axis_of(dir);
   const int sign = sign_of(dir);
@@ -527,27 +807,47 @@ void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
   if (faults_active_ && link_degraded_[lk]) busy *= config_.faults.degrade_mult;
   link_busy_until_[lk] = now() + busy;
   if (config_.collect_link_stats) link_busy_[lk] += busy;
-  stats_.chunk_hops += granted.chunks;
+  live_stats().chunk_hops += granted.chunks;
 
-  const std::uint32_t slot = alloc_flight_slot();
-  FlightSlot& flight = flights_[slot];
-  flight.packet = granted;
-  flight.to_node = peer;
-  flight.link = static_cast<std::uint32_t>(lk);
-  flight.port = static_cast<std::uint8_t>(dir);
-  flight.deliver = (target == kDeliverHere);
-  if (!flight.deliver) {
-    flight.packet.vc = static_cast<std::uint8_t>(target);
+  const bool deliver = (target == kDeliverHere);
+  // The downstream reservation below stays slab-local even when `peer` does
+  // not: buffer (peer, dir) is fed by this very link, so its free counter is
+  // owned by our slab (feeder ownership).
+  if (!deliver) {
+    granted.vc = static_cast<std::uint8_t>(target);
     buffer_free_[static_cast<std::size_t>(buf_id(peer, dir, target))] -=
         (target == vc_bubble_ ? 1 : granted.chunks);
   }
-  engine_.schedule(now() + busy + config_.hop_latency_cycles, kEvArrival, slot);
+  const Tick arrive_at = now() + busy + config_.hop_latency_cycles;
+  if (shard_ctx_ != nullptr &&
+      node_slab_[static_cast<std::size_t>(peer)] != shard_ctx_->id) {
+    // Cross-slab hop: the arrival tick is exact (serialization + hop latency
+    // >= the lookahead window, so it lands at or past the next window start).
+    BoundaryMsg msg;
+    msg.at = arrive_at;
+    msg.packet = granted;
+    msg.node = peer;
+    msg.link = static_cast<std::uint32_t>(lk);
+    msg.port = static_cast<std::uint8_t>(dir);
+    msg.deliver = deliver;
+    shard_ctx_->outbox[static_cast<std::size_t>(
+        node_slab_[static_cast<std::size_t>(peer)])].push_back(msg);
+  } else {
+    const std::uint32_t slot = alloc_flight_slot();
+    FlightSlot& flight = flight_at(slot);
+    flight.packet = granted;
+    flight.to_node = peer;
+    flight.link = static_cast<std::uint32_t>(lk);
+    flight.port = static_cast<std::uint8_t>(dir);
+    flight.deliver = deliver;
+    post(arrive_at, kEvArrival, slot);
+  }
   arb_scheduled_[lk] = 1;
-  engine_.schedule(link_busy_until_[lk], kEvArb, static_cast<std::uint32_t>(lk));
+  post(link_busy_until_[lk], kEvArb, static_cast<std::uint32_t>(lk));
 }
 
 void Fabric::on_arrival(std::uint32_t slot_index) {
-  FlightSlot& flight = flights_[slot_index];
+  FlightSlot& flight = flight_at(slot_index);
   assert(flight.in_use);
   const Packet packet = flight.packet;
   const Rank node = flight.to_node;
@@ -556,7 +856,7 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
   const bool link_died = flight.dropped;
   flight.dropped = false;
   flight.in_use = false;
-  free_flights_.push_back(slot_index);
+  (shard_ctx_ != nullptr ? shard_ctx_->free_flights : free_flights_).push_back(slot_index);
 
   if (faults_active_) {
     bool drop = link_died;
@@ -568,7 +868,7 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
       ++fault_stats_.dropped_prob;
     }
     if (drop) {
-      --in_network_;
+      --live_in_network();
       if (!deliver) {
         // Return the downstream credit reserved at grant time; the freed
         // space may unblock the link feeding this buffer.
@@ -585,10 +885,11 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
   if (deliver) {
     assert(packet.at_destination());
     assert(packet.dst == node);
-    --in_network_;
-    ++stats_.packets_delivered;
-    stats_.payload_bytes_delivered += packet.payload_bytes;
-    stats_.last_delivery = std::max(stats_.last_delivery, now());
+    --live_in_network();
+    FabricStats& stats = live_stats();
+    ++stats.packets_delivered;
+    stats.payload_bytes_delivered += packet.payload_bytes;
+    stats.last_delivery = std::max(stats.last_delivery, now());
     client_->on_delivery(node, packet);
     return;
   }
@@ -606,11 +907,25 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
 
 void Fabric::on_fault_event(std::uint32_t a, std::uint64_t b) {
   if (a == kPermStrike) {
+    // The blind phase ends here: permanent state becomes consultable, links
+    // die and fail-stopped cores halt (their queued descriptors die with
+    // them; in-flight relay custody is what stranded_relay_bytes accounts).
+    struck_ = true;
+    fault_plan_.invalidate_routes();
     for (std::size_t l = 0; l < link_peer_.size(); ++l) {
       if (fault_plan_.link_dead(static_cast<int>(l))) {
         set_link_state(static_cast<int>(l), /*down=*/true);
       }
     }
+    for (Rank n = 0; n < torus_.nodes(); ++n) {
+      if (fault_plan_.node_alive(n)) continue;
+      CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
+      cpu.idle = true;
+      cpu.stalled = false;
+    }
+    // Traffic already committed into dead nodes can never drain on its own;
+    // the stuck sweep is the backstop that returns its credits.
+    arm_sweep();
     if (config_.debug_checks) run_debug_checks(false);
     return;
   }
@@ -666,7 +981,7 @@ bool Fabric::continuation_live(const Packet& head, Rank peer, int dir) const {
 void Fabric::arm_sweep() {
   if (sweep_scheduled_ || stuck_cycles_ == 0) return;
   sweep_scheduled_ = true;
-  engine_.schedule_in(stuck_cycles_, kEvSweep);
+  post(now() + stuck_cycles_, kEvSweep);
 }
 
 void Fabric::stuck_sweep() {
@@ -689,7 +1004,7 @@ void Fabric::stuck_sweep() {
   // event queue drains (quiescence) once the network truly empties.
   if (in_network_ > 0) {
     sweep_scheduled_ = true;
-    engine_.schedule_in(stuck_cycles_, kEvSweep);
+    post(now() + stuck_cycles_, kEvSweep);
   }
 }
 
@@ -723,10 +1038,10 @@ void Fabric::drop_fifo_head(Rank node, int fifo) {
   --in_network_;
   ++fault_stats_.dropped_stuck;
   CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
-  if (cpu.stalled && cpu.pending.fifo == fifo && !cpu.pump_scheduled) {
+  if (cpu.stalled && cpu.pending.fifo == fifo && !cpu.pump_scheduled &&
+      node_alive_now(node)) {
     cpu.pump_scheduled = true;
-    engine_.schedule(std::max(now(), cpu.next_free), kEvCpu,
-                     static_cast<std::uint32_t>(node));
+    post(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(node));
   }
   if (!queue.empty()) {
     fifo_head_since_[fid] = now();
@@ -798,6 +1113,9 @@ std::string Fabric::check_invariants(bool quiescent) const {
   }
   std::int64_t inflight = 0;
   for (const FlightSlot& slot : flights_) inflight += slot.in_use;
+  for (const Shard& shard : shards_) {
+    for (const FlightSlot& slot : shard.flights) inflight += slot.in_use;
+  }
   if (quiescent && inflight != 0) return fail("flight slots leaked");
   return "";
 }
@@ -848,9 +1166,9 @@ void Fabric::kick() {
   for (Rank n = 0; n < torus_.nodes(); ++n) {
     for (int d = 0; d < topo::kDirections; ++d) schedule_arb_if_idle(n, d);
     CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
-    if (!cpu.pump_scheduled) {
+    if (!cpu.pump_scheduled && node_alive_now(n)) {
       cpu.pump_scheduled = true;
-      engine_.schedule(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(n));
+      post(std::max(now(), cpu.next_free), kEvCpu, static_cast<std::uint32_t>(n));
     }
   }
 }
@@ -936,16 +1254,20 @@ void Fabric::trace_wait_cycle() const {
 }
 
 std::uint32_t Fabric::alloc_flight_slot() {
+  std::vector<FlightSlot>& flights =
+      shard_ctx_ != nullptr ? shard_ctx_->flights : flights_;
+  std::vector<std::uint32_t>& free_list =
+      shard_ctx_ != nullptr ? shard_ctx_->free_flights : free_flights_;
   std::uint32_t slot;
-  if (!free_flights_.empty()) {
-    slot = free_flights_.back();
-    free_flights_.pop_back();
+  if (!free_list.empty()) {
+    slot = free_list.back();
+    free_list.pop_back();
   } else {
-    slot = static_cast<std::uint32_t>(flights_.size());
-    flights_.emplace_back();
+    slot = static_cast<std::uint32_t>(flights.size());
+    flights.emplace_back();
   }
-  flights_[slot].in_use = true;
-  flights_[slot].dropped = false;
+  flights[slot].in_use = true;
+  flights[slot].dropped = false;
   return slot;
 }
 

@@ -29,8 +29,9 @@
 // nodes). Clients are the all-to-all strategies in src/coll.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <exception>
 #include <functional>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "src/network/config.hpp"
 #include "src/network/faults.hpp"
 #include "src/network/packet.hpp"
+#include "src/network/packet_ring.hpp"
 #include "src/sim/engine.hpp"
 #include "src/topology/torus.hpp"
 #include "src/util/rng.hpp"
@@ -99,6 +101,12 @@ struct FaultStats {
   std::uint64_t reroute_vetoes = 0;      // grants refused into dead ends
   std::uint64_t transient_strikes = 0;   // transient link outages begun
   Tick link_down_cycles = 0;             // summed transient downtime (per link)
+  /// Relay payload accepted by nodes that later fail-stopped (fail_at > 0):
+  /// bytes owed to final destinations that died with their custodian. The
+  /// strategy client computes it at quiescence (see
+  /// StrategyClient::stranded_relay_bytes); nonzero means the shortfall in
+  /// the delivery matrix is explained by the strike, not a simulator bug.
+  std::uint64_t stranded_relay_bytes = 0;
 
   std::uint64_t total_dropped() const noexcept {
     return dropped_in_flight + dropped_prob + dropped_stuck;
@@ -117,7 +125,10 @@ class Fabric : public sim::EventHandler {
   /// first call primes every node's core.
   bool run(Tick deadline = ~Tick{0});
 
-  Tick now() const noexcept { return engine_.now(); }
+  /// Current simulation time: the executing slab's clock on a parallel run,
+  /// the engine clock otherwise. Slab clocks may differ transiently (bounded
+  /// by the lookahead window) but each handler only ever observes its own.
+  Tick now() const noexcept { return shard_ctx_ != nullptr ? shard_now() : engine_.now(); }
   const topo::Torus& torus() const noexcept { return torus_; }
   const NetworkConfig& config() const noexcept { return config_; }
   const FabricStats& stats() const noexcept { return stats_; }
@@ -126,6 +137,14 @@ class Fabric : public sim::EventHandler {
   /// fault-event counters.
   const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
   const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+
+  /// True once permanent faults have actually been applied to the network.
+  /// With fail_at == 0 that is before the first packet (today's planning
+  /// semantics); with fail_at > 0 the network runs *blind* — healthy routing,
+  /// no plan steering — until the strike lands mid-run. The reliability
+  /// layer keys its give-up logic off this so pre-strike traffic is not
+  /// abandoned against a fault plan nobody is supposed to know yet.
+  bool perm_faults_struck() const noexcept { return struck_; }
 
   /// Re-arms `node`'s core if idle (clients call this when new work arrives,
   /// e.g. a TPS forward enqueued by on_delivery).
@@ -146,9 +165,10 @@ class Fabric : public sim::EventHandler {
   /// returning true aborts run() (which then reports not-drained). See
   /// sim::Engine::set_abort_check.
   void set_abort_check(std::function<bool()> check) {
-    engine_.set_abort_check(std::move(check));
+    abort_check_ = std::move(check);
+    engine_.set_abort_check(abort_check_);
   }
-  bool aborted() const noexcept { return engine_.aborted(); }
+  bool aborted() const noexcept { return engine_.aborted() || mt_aborted_; }
 
   /// Busy cycles of the directed link (node, direction); divide by elapsed
   /// time for utilization. Empty when collect_link_stats is off.
@@ -156,7 +176,13 @@ class Fabric : public sim::EventHandler {
 
   void handle(const sim::Event& event) override;
 
-  std::uint64_t events_processed() const noexcept { return engine_.events_processed(); }
+  std::uint64_t events_processed() const noexcept {
+    return engine_.events_processed() + mt_events_;
+  }
+
+  /// Worker threads the last/next run() actually uses after eligibility
+  /// gating (1 on single-thread runs; see NetworkConfig::sim_threads).
+  int effective_sim_threads() const noexcept { return plan_threads(); }
 
   /// Observer invoked at every link grant: (packet after hop decrement,
   /// node granting, direction index, downstream VC or kDeliverHere).
@@ -211,12 +237,82 @@ class Fabric : public sim::EventHandler {
     InjectDesc pending{};
   };
 
+  /// One cross-slab handoff, produced by the owning worker during a window
+  /// and applied single-threaded at the window barrier. Two kinds:
+  ///  - packet: a link grant whose downstream node lives in another slab.
+  ///    `at` is the exact arrival tick (>= the next window start, because
+  ///    serialization + hop latency bound the lookahead window).
+  ///  - credit: a buffer pop whose feeding link lives in another slab. The
+  ///    free-space counter of a buffer is owned by the *feeder's* slab (the
+  ///    only writer at grant time), so the return travels as a message and
+  ///    lands at the next barrier — a bounded (< one window) timing
+  ///    relaxation on boundary credit returns.
+  struct BoundaryMsg {
+    Tick at = 0;
+    Packet packet{};         // packet kind only
+    Rank node = -1;          // packet: downstream node; credit: feeder node
+    std::int32_t buf = 0;    // credit: buffer index whose free count grows
+    std::int32_t chunks = 0; // credit: chunks (or bubble slots) returned
+    std::uint32_t link = 0;  // packet: directed link crossed
+    std::uint8_t port = 0;   // packet: input port; credit: direction to re-arb
+    bool deliver = false;
+    bool is_credit = false;
+  };
+
+  /// Per-worker slab state: its own event wheel, clock, flight-slot arena,
+  /// RNG and stat counters. Torus state arrays (buffers, credits, links,
+  /// cores) stay in the shared structure-of-arrays vectors; slab ownership
+  /// partitions their *indices*, so workers never write the same cell.
+  struct Shard {
+    int id = 0;
+    sim::TimingWheel wheel;
+    Tick now = 0;
+    std::uint64_t processed = 0;
+    std::vector<FlightSlot> flights;
+    std::vector<std::uint32_t> free_flights;
+    util::Xoshiro256StarStar rng;
+    FabricStats stats;
+    std::int64_t in_network = 0;
+    /// Outgoing messages, indexed by destination shard.
+    std::vector<std::vector<BoundaryMsg>> outbox;
+  };
+
   // --- indexing helpers ---
   int link_id(Rank node, int dir) const noexcept { return node * topo::kDirections + dir; }
   int buf_id(Rank node, int port, int vc) const noexcept {
     return (node * topo::kDirections + port) * vcs_ + vc;
   }
   int fifo_id(Rank node, int fifo) const noexcept { return node * fifo_count_ + fifo; }
+
+  // --- event dispatch (single- or multi-threaded) ---
+  /// Schedules an event on the executing slab's wheel (parallel run) or the
+  /// engine (single-threaded run). All call sites schedule slab-local events
+  /// by construction; cross-slab effects go through BoundaryMsg instead.
+  void post(Tick at, std::uint32_t type, std::uint32_t a = 0, std::uint64_t b = 0);
+  Tick shard_now() const noexcept { return shard_ctx_->now; }
+  FabricStats& live_stats() noexcept {
+    return shard_ctx_ != nullptr ? shard_ctx_->stats : stats_;
+  }
+  std::int64_t& live_in_network() noexcept {
+    return shard_ctx_ != nullptr ? shard_ctx_->in_network : in_network_;
+  }
+  util::Xoshiro256StarStar& live_rng() noexcept {
+    return shard_ctx_ != nullptr ? shard_ctx_->rng : rng_;
+  }
+  FlightSlot& flight_at(std::uint32_t slot) noexcept {
+    return shard_ctx_ != nullptr ? shard_ctx_->flights[slot] : flights_[slot];
+  }
+
+  // --- parallel (slab-partitioned) run ---
+  int plan_threads() const noexcept;
+  int slab_axis() const noexcept;
+  bool run_parallel(int threads, Tick deadline);
+  void setup_shards(int threads);
+  void shard_step(Shard& shard);
+  void apply_boundary(Shard& dst, const BoundaryMsg& msg);
+  void barrier_phase(Tick deadline) noexcept;
+  void advance_window(Tick deadline);
+  void merge_shard_stats();
 
   // --- core simulation steps ---
   void pump_cpu(Rank node);
@@ -226,6 +322,7 @@ class Fabric : public sim::EventHandler {
   void on_arrival(std::uint32_t slot_index);
   bool try_inject(Rank node, const InjectDesc& desc);
   void schedule_arb_if_idle(Rank node, int dir);
+  void schedule_arb_if_idle(Rank node, int dir, Tick at);
   void schedule_profitable_arbs(Rank node, const Packet& packet);
 
   // --- fault machinery (no-ops unless faults_active_) ---
@@ -270,15 +367,18 @@ class Fabric : public sim::EventHandler {
   int bubble_slots_;     // bubble VC capacity in max-packet slots
 
   // Per (node, port, vc): queued packets and free space in chunks (the
-  // bubble VC counts max-packet slots instead; see constructor).
-  std::vector<std::deque<Packet>> buffers_;
+  // bubble VC counts max-packet slots instead; see constructor). Ownership
+  // under a parallel run: the queue and want mask belong to the node's slab;
+  // the free counter belongs to the slab of the link *feeding* the buffer
+  // (its only reader/writer at grant time).
+  std::vector<RingQueue<Packet>> buffers_;
   std::vector<std::int32_t> buffer_free_;
   // Output-direction wish mask of each buffer's head packet (0 if empty);
-  // contiguous so arbitration scans without touching the deques.
+  // contiguous so arbitration scans without touching the queues.
   std::vector<std::uint8_t> buffer_want_;
 
   // Per (node, fifo).
-  std::vector<std::deque<Packet>> fifos_;
+  std::vector<RingQueue<Packet>> fifos_;
   std::vector<std::int32_t> fifo_free_;
   std::vector<std::uint8_t> fifo_want_;
 
@@ -299,9 +399,36 @@ class Fabric : public sim::EventHandler {
   bool primed_ = false;
   HopObserver hop_observer_;
 
+  // --- parallel-run state (empty on single-threaded runs) ---
+  /// Slab of the worker executing the current handler; null outside
+  /// run_parallel. Thread-local so nested fabrics on different host threads
+  /// (harness --jobs) cannot alias.
+  static thread_local Shard* shard_ctx_;
+  std::vector<Shard> shards_;
+  std::vector<std::int32_t> node_slab_;
+  std::function<bool()> abort_check_;
+  Tick window_cycles_ = 0;
+  Tick window_end_ = 0;     // exclusive; written only at barriers
+  bool mt_primed_ = false;  // primed into shard wheels (vs. the engine)
+  bool mt_done_ = false;
+  bool mt_drained_ = false;
+  bool mt_aborted_ = false;
+  std::uint64_t mt_events_ = 0;
+  std::atomic<bool> mt_abort_flag_{false};
+  std::exception_ptr mt_error_;
+
   // --- fault state (sized only when the fault plan is enabled) ---
   FaultPlan fault_plan_;
   bool faults_active_ = false;
+  /// Permanent faults applied? True from construction when fail_at == 0
+  /// (plan-ahead semantics, unchanged), false until the kPermStrike event
+  /// when fail_at > 0 (blind mid-run fail-stop). Gates every consultation of
+  /// the plan's permanent state: routability, hop steering, reroute vetoes,
+  /// node liveness.
+  bool struck_ = false;
+  bool node_alive_now(Rank node) const noexcept {
+    return !faults_active_ || !struck_ || fault_plan_.node_alive(node);
+  }
   Tick stuck_cycles_ = 0;  // stuck-head drop budget (0 = sweep disabled)
   bool sweep_scheduled_ = false;
   std::vector<std::uint8_t> link_down_;      // current (incl. transient) state

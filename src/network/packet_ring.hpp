@@ -1,0 +1,95 @@
+// Growable power-of-two FIFO ring, the per-buffer packet store of the
+// fabric's structure-of-arrays router state.
+//
+// std::deque<Packet> allocates a separate multi-KB block per buffer (6 ports
+// x 3 VCs x P nodes of them) and chases a map of chunk pointers on every
+// front()/push_back(). The all-to-all working set keeps only a handful of
+// packets per buffer, so a small inline ring that doubles on overflow keeps
+// the head/tail hot in cache and allocates nothing at all until a buffer is
+// first used. FIFO semantics (and therefore simulation results) are
+// identical to the deque it replaces.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bgl::net {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+
+  T& front() noexcept {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+  const T& front() const noexcept {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+
+  /// i-th element from the front (0 == front()); i < size().
+  const T& at(std::size_t i) const noexcept {
+    assert(i < count_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  void push_back(const T& value) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & mask_] = value;
+    ++count_;
+  }
+
+  void pop_front() noexcept {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  // Minimal forward iteration (front to back) for invariant checks and
+  // debug dumps; not invalidation-safe across push/pop.
+  class const_iterator {
+   public:
+    const_iterator(const RingQueue* q, std::size_t i) noexcept : q_(q), i_(i) {}
+    const T& operator*() const noexcept { return q_->at(i_); }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& other) const noexcept { return i_ != other.i_; }
+
+   private:
+    const RingQueue* q_;
+    std::size_t i_;
+  };
+  const_iterator begin() const noexcept { return const_iterator(this, 0); }
+  const_iterator end() const noexcept { return const_iterator(this, count_); }
+
+ private:
+  void grow() {
+    const std::size_t cap = slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) next[i] = slots_[(head_ + i) & mask_];
+    slots_ = std::move(next);
+    mask_ = cap - 1;
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 4;
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace bgl::net

@@ -19,6 +19,11 @@ ReliableClient::ReliableClient(const net::NetworkConfig& config, net::Client& in
 }
 
 bool ReliableClient::routable(Rank from, Rank to, net::RoutingMode mode) const {
+  // Until a delayed permanent strike (fail_at > 0) actually lands, the
+  // network is healthy and nobody may consult the plan's permanent state:
+  // giving up on a pair the plan *will* sever would abandon traffic that is
+  // deliverable right now.
+  if (!fabric_->perm_faults_struck()) return true;
   return fabric_->fault_plan().pair_routable(from, to, mode);
 }
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 #include "src/sim/event_queue.hpp"
 
@@ -23,7 +25,15 @@ class Engine {
   Tick now() const noexcept { return now_; }
 
   void schedule(Tick at, std::uint32_t type, std::uint32_t a = 0, std::uint64_t b = 0) {
-    queue_.push(at < now_ ? now_ : at, type, a, b);
+    if (at < now_) {
+      // A handler scheduling into the past is a bug: the event would fire
+      // "now" and silently reorder against already-queued same-tick events.
+      // Strict mode (BGL_CHECK / debug_checks) reports it; the permissive
+      // default clamps so release sweeps degrade instead of dying.
+      if (strict_) throw_past_due(at, type);
+      at = now_;
+    }
+    queue_.push(at, type, a, b);
   }
   void schedule_in(Tick delay, std::uint32_t type, std::uint32_t a = 0, std::uint64_t b = 0) {
     queue_.push(now_ + delay, type, a, b);
@@ -43,6 +53,10 @@ class Engine {
   void set_abort_check(std::function<bool()> check) { abort_check_ = std::move(check); }
   bool aborted() const noexcept { return aborted_; }
 
+  /// Strict mode: abort (throw) on past-due schedule() calls instead of
+  /// clamping them to now(). Wired to NetworkConfig::debug_checks.
+  void set_strict(bool strict) noexcept { strict_ = strict; }
+
   TimingWheel& queue() noexcept { return queue_; }
 
  private:
@@ -50,12 +64,19 @@ class Engine {
   /// every ~8k events is noise even for micro benches).
   static constexpr std::uint64_t kAbortPollMask = 0x1fff;
 
+  [[noreturn]] void throw_past_due(Tick at, std::uint32_t type) const {
+    throw std::logic_error("Engine::schedule into the past: type=" +
+                           std::to_string(type) + " at=" + std::to_string(at) +
+                           " now=" + std::to_string(now_));
+  }
+
   EventHandler* handler_;
   TimingWheel queue_;
   Tick now_ = 0;
   std::uint64_t processed_ = 0;
   std::function<bool()> abort_check_;
   bool aborted_ = false;
+  bool strict_ = false;
 };
 
 }  // namespace bgl::sim

@@ -69,6 +69,20 @@ void TimingWheel::push(Tick time, std::uint32_t type, std::uint32_t a, std::uint
   }
 }
 
+std::optional<Tick> TimingWheel::next_time() const noexcept {
+  if (count_ > 0) {
+    // Bucket events are all earlier than anything in overflow (the overflow
+    // heap only holds events at or beyond cursor + size).
+    for (Tick t = cursor_;; ++t) {
+      const auto& bucket = buckets_[t & mask_];
+      const std::size_t pos = (t == cursor_) ? bucket_pos_ : 0;
+      if (pos < bucket.size()) return bucket[pos].time;
+    }
+  }
+  if (!overflow_.empty()) return overflow_.next_time();
+  return std::nullopt;
+}
+
 std::optional<Event> TimingWheel::pop_if_at_most(Tick deadline) {
   while (true) {
     auto& bucket = buckets_[cursor_ & mask_];

@@ -81,6 +81,11 @@ class TimingWheel {
   /// Pops the earliest event if its time is <= deadline.
   std::optional<Event> pop_if_at_most(Tick deadline);
 
+  /// Exact time of the earliest queued event without popping it (scans the
+  /// ring from the cursor; O(size) worst case — meant for the parallel
+  /// engine's once-per-window lower-bound computation, not per-event use).
+  std::optional<Tick> next_time() const noexcept;
+
   std::uint64_t total_pushed() const noexcept { return next_seq_; }
 
  private:

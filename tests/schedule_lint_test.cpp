@@ -148,6 +148,43 @@ TEST(ScheduleLint, RejectsDependencyCycle) {
   EXPECT_TRUE(has_issue(report, "deps")) << report.to_string();
 }
 
+TEST(ScheduleLint, RejectsDependenciesOnExplicitForm) {
+  // Even an acyclic, in-range dependency set is unenforceable on an
+  // explicit-form schedule: the executor has no per-transfer emission point
+  // to gate, so the linter must flag the constraint as non-executable.
+  CommSchedule sched = tiny_explicit_schedule();
+  sched.extra_deps = {{0, 1}};
+  const LintReport report = schedule_lint(sched, nullptr);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "deps")) << report.to_string();
+}
+
+TEST(ScheduleLint, RejectsDependenciesOnRelaySchedule) {
+  // TPS relays through intermediates; extra_deps on such a schedule are
+  // declared-but-unenforceable and must be rejected, not silently ignored.
+  const AlltoallOptions options = options_for("4x4x4", 300);
+  CommSchedule sched =
+      build_schedule(StrategyKind::kTwoPhase, options.net, options.msg_bytes,
+                     options, nullptr);
+  ASSERT_EQ(sched.form, StreamForm::kOrdered);
+  ASSERT_NE(sched.stream.relay, RelayRule::kNone);
+  sched.extra_deps = {{0, 1}};
+  const LintReport report = schedule_lint(sched, nullptr);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "deps")) << report.to_string();
+}
+
+TEST(ScheduleLint, AcceptsDependenciesOnOrderedDirectSchedule) {
+  const AlltoallOptions options = options_for("4x4x4", 300);
+  CommSchedule sched = build_schedule(StrategyKind::kMpi, options.net,
+                                      options.msg_bytes, options, nullptr);
+  ASSERT_EQ(sched.form, StreamForm::kOrdered);
+  ASSERT_EQ(sched.stream.relay, RelayRule::kNone);
+  sched.extra_deps = {{0, 100}};  // acyclic, in range: executable
+  const LintReport report = schedule_lint(sched, nullptr);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
 TEST(ScheduleLint, RejectsOutOfRangeDependency) {
   CommSchedule sched = tiny_explicit_schedule();
   sched.extra_deps = {{0, 99}};

@@ -62,6 +62,80 @@ TEST(TimingWheel, OverflowMigrationPreservesSameTimeOrder) {
   EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->type, 1u);
 }
 
+TEST(TimingWheel, HorizonBoundaryExactlyAtCursorPlusSize) {
+  // The wheel window is [cursor, cursor + size): an event at exactly
+  // cursor + size must take the overflow path (a bucket insert would alias
+  // slot `cursor` and fire a full rotation early).
+  TimingWheel wheel(16);
+  wheel.push(16, 0, 0, 0);  // first time outside the window
+  wheel.push(15, 1, 0, 0);  // last time inside the window
+  EXPECT_EQ(wheel.size(), 2u);
+  const auto first = wheel.pop_if_at_most(~Tick{0});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->time, 15u);
+  EXPECT_EQ(first->type, 1u);
+  const auto second = wheel.pop_if_at_most(~Tick{0});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->time, 16u);
+  EXPECT_EQ(second->type, 0u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimingWheel, WrapAroundKeepsTimes) {
+  // Advance the cursor past the ring size so bucket indices wrap; events on
+  // both sides of the wrap point must still fire in time order.
+  TimingWheel wheel(16);
+  wheel.push(14, 0, 0, 0);
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->time, 14u);  // cursor near the edge
+  wheel.push(17, 1, 0, 0);  // wraps to slot 1
+  wheel.push(15, 2, 0, 0);  // still below the wrap point
+  wheel.push(16, 3, 0, 0);  // wraps to slot 0
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->time, 15u);
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->time, 16u);
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->time, 17u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimingWheel, NextTimeOnEmptyWheel) {
+  TimingWheel wheel(16);
+  EXPECT_FALSE(wheel.next_time().has_value());
+}
+
+TEST(TimingWheel, NextTimeSeesBucketsAndOverflow) {
+  TimingWheel wheel(16);
+  wheel.push(1000, 0, 0, 0);  // overflow only
+  EXPECT_EQ(wheel.next_time().value(), 1000u);
+  wheel.push(7, 1, 0, 0);  // in-window bucket beats overflow
+  EXPECT_EQ(wheel.next_time().value(), 7u);
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->time, 7u);
+  EXPECT_EQ(wheel.next_time().value(), 1000u);
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->time, 1000u);
+  EXPECT_FALSE(wheel.next_time().has_value());
+}
+
+TEST(TimingWheel, NextTimeDoesNotConsume) {
+  TimingWheel wheel(16);
+  wheel.push(5, 42, 0, 0);
+  EXPECT_EQ(wheel.next_time().value(), 5u);
+  EXPECT_EQ(wheel.next_time().value(), 5u);  // idempotent
+  const auto e = wheel.pop_if_at_most(~Tick{0});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->type, 42u);
+}
+
+TEST(TimingWheel, NextTimeSkipsConsumedPrefixOfCurrentBucket) {
+  // Partially consumed same-tick bucket: next_time must report the same tick
+  // while unread events remain, then move on.
+  TimingWheel wheel(16);
+  wheel.push(3, 0, 0, 0);
+  wheel.push(3, 1, 0, 0);
+  wheel.push(9, 2, 0, 0);
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->type, 0u);
+  EXPECT_EQ(wheel.next_time().value(), 3u);  // one event left at t=3
+  EXPECT_EQ(wheel.pop_if_at_most(~Tick{0})->type, 1u);
+  EXPECT_EQ(wheel.next_time().value(), 9u);
+}
+
 TEST(TimingWheel, PastPushClampsToCursor) {
   TimingWheel wheel;
   wheel.push(50, 0, 0, 0);

@@ -37,11 +37,12 @@ double peak_cycles_for(const topo::Shape& shape, std::uint64_t msg_bytes,
   return model::aa_peak_cycles(shape, chunks_per_pair, chunk_cycles);
 }
 
-RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
+namespace {
+
+net::NetworkConfig effective_net(const AlltoallOptions& options) {
   if (options.net.shape.nodes() < 2) {
     throw std::invalid_argument("all-to-all needs at least 2 nodes");
   }
-
   net::NetworkConfig net = options.net;
   // BGL_CHECK=1 turns on the fabric invariant checks (property tests and the
   // sanitizer CI set it; it is too slow for sweeps to default on).
@@ -49,6 +50,103 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
       env != nullptr && env[0] != '\0' && env[0] != '0') {
     net.debug_checks = true;
   }
+  return net;
+}
+
+// Shared back half of run_alltoall/run_schedule: the slab-parallel
+// eligibility gate, the reliability wrapper, the fabric run and the
+// RunResult bookkeeping.
+RunResult finish_run(net::NetworkConfig net, StrategyClient& client,
+                     const AlltoallOptions& options, const net::FaultPlan& plan,
+                     const net::FaultPlan* faults, DeliveryMatrix* matrix,
+                     const std::string& label) {
+  if (net.sim_threads > 1) {
+    // Eligibility gate for the slab-parallel core (see DESIGN.md "Threading
+    // model"): configurations whose semantics depend on one global event
+    // order — fault runs with the reliability wrapper, the legacy clients,
+    // and schedules with cross-node dependency gates — stay on the reference
+    // single-threaded engine. The fabric applies its own equivalent gate;
+    // forcing it here keeps effective_sim_threads() honest in RunResult.
+    const auto* executor = dynamic_cast<const ScheduleExecutor*>(&client);
+    if (faults != nullptr || options.use_legacy_clients || executor == nullptr ||
+        !executor->schedule().extra_deps.empty()) {
+      net.sim_threads = 1;
+    }
+  }
+
+  // Under faults the strategy is wrapped in the end-to-end reliability
+  // layer; the fabric then pulls from (and delivers to) the wrapper.
+  std::optional<rt::ReliableClient> reliable;
+  if (faults != nullptr) reliable.emplace(net, client);
+  net::Client& top = reliable.has_value() ? static_cast<net::Client&>(*reliable)
+                                          : static_cast<net::Client&>(client);
+
+  net::Fabric fabric(net, top);
+  client.bind(fabric);
+  if (reliable.has_value()) reliable->attach(fabric);
+
+  const double peak = peak_cycles_for(net.shape, options.msg_bytes, net.chunk_cycles);
+  // Generous watchdog: a healthy run finishes within a few peak times plus
+  // the CPU-bound startup term; hitting this means a stall (drained=false).
+  const Tick deadline = options.deadline != 0
+                            ? options.deadline
+                            : static_cast<Tick>(peak * 200.0) + (Tick{4} << 32);
+
+  if (options.wall_timeout_ms > 0.0) {
+    const auto kill_at = std::chrono::steady_clock::now() +
+                         std::chrono::duration<double, std::milli>(options.wall_timeout_ms);
+    fabric.set_abort_check(
+        [kill_at] { return std::chrono::steady_clock::now() >= kill_at; });
+  }
+
+  RunResult result;
+  result.drained = fabric.run(deadline);
+  result.timed_out = fabric.aborted();
+  result.strategy = label;
+  result.shape = net.shape;
+  result.msg_bytes = options.msg_bytes;
+  result.elapsed_cycles = client.completion_cycles();
+  result.elapsed_us = static_cast<double>(result.elapsed_cycles) / 700.0;
+  result.percent_peak = result.elapsed_cycles > 0
+                            ? 100.0 * peak / static_cast<double>(result.elapsed_cycles)
+                            : 0.0;
+  const double payload_per_node =
+      static_cast<double>(net.shape.nodes() - 1) * static_cast<double>(options.msg_bytes);
+  result.per_node_mbps = result.elapsed_us > 0
+                             ? payload_per_node / result.elapsed_us  // B/us == MB/s
+                             : 0.0;
+  result.packets_delivered = fabric.stats().packets_delivered;
+  result.payload_bytes = fabric.stats().payload_bytes_delivered;
+  result.events = fabric.events_processed();
+  result.sim_threads = fabric.effective_sim_threads();
+  if (net.collect_link_stats) {
+    result.links = trace::summarize_links(fabric, result.elapsed_cycles);
+  }
+  if (faults != nullptr) {
+    result.faults = fabric.fault_stats();
+    // Relay payload stranded in the custody of fail-stopped nodes: the part
+    // of the delivery shortfall the strike itself explains.
+    result.faults.stranded_relay_bytes = client.stranded_relay_bytes(plan);
+    result.reachable = PairMask(static_cast<std::int32_t>(net.shape.nodes()));
+    client.mark_reachable(result.reachable);
+    result.unreachable_pairs = result.reachable.unreachable_pairs();
+    if (reliable.has_value()) {
+      result.reliability = reliable->stats();
+      result.abandoned_pairs = reliable->abandoned_pairs().size();
+    }
+  }
+  if (matrix != nullptr) {
+    result.pairs_complete = matrix->complete_pairs(options.msg_bytes);
+    result.reachable_complete =
+        matrix->complete_reachable(options.msg_bytes, result.reachable);
+  }
+  return result;
+}
+
+}  // namespace
+
+RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
+  net::NetworkConfig net = effective_net(options);
 
   // One plan, shared by planning (here), the Fabric (which expands its own
   // identical copy — the expansion is a pure function of config and shape)
@@ -109,87 +207,35 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
     }
   }
 
-  if (net.sim_threads > 1) {
-    // Eligibility gate for the slab-parallel core (see DESIGN.md "Threading
-    // model"): configurations whose semantics depend on one global event
-    // order — fault runs with the reliability wrapper, the legacy clients,
-    // and schedules with cross-node dependency gates — stay on the reference
-    // single-threaded engine. The fabric applies its own equivalent gate;
-    // forcing it here keeps effective_sim_threads() honest in RunResult.
-    const auto* executor = dynamic_cast<const ScheduleExecutor*>(client.get());
-    if (faults != nullptr || options.use_legacy_clients || executor == nullptr ||
-        !executor->schedule().extra_deps.empty()) {
-      net.sim_threads = 1;
-    }
+  return finish_run(net, *client, options, plan, faults, matrix,
+                    strategy_name(kind));
+}
+
+RunResult run_schedule(CommSchedule schedule, const AlltoallOptions& options,
+                       const std::string& label) {
+  net::NetworkConfig net = effective_net(options);
+  if (schedule.shape != net.shape) {
+    throw std::invalid_argument(
+        "run_schedule: schedule shape " + schedule.shape.to_string() +
+        " does not match network " + net.shape.to_string());
   }
 
-  // Under faults the strategy is wrapped in the end-to-end reliability
-  // layer; the fabric then pulls from (and delivers to) the wrapper.
-  std::optional<rt::ReliableClient> reliable;
-  if (faults != nullptr) reliable.emplace(net, *client);
-  net::Client& top = reliable.has_value() ? static_cast<net::Client&>(*reliable)
-                                          : static_cast<net::Client&>(*client);
+  const net::FaultPlan plan(net, net.shape);
+  const net::FaultPlan* faults = plan.enabled() ? &plan : nullptr;
+  // As in run_alltoall: a delayed strike is invisible at plan time, so the
+  // executor must not get to steer around faults that have not happened yet.
+  const bool blind_strike = faults != nullptr && net.faults.fail_at > 0;
+  const net::FaultPlan* planning_faults = blind_strike ? nullptr : faults;
 
-  net::Fabric fabric(net, top);
-  client->bind(fabric);
-  if (reliable.has_value()) reliable->attach(fabric);
-
-  const double peak = peak_cycles_for(net.shape, options.msg_bytes, net.chunk_cycles);
-  // Generous watchdog: a healthy run finishes within a few peak times plus
-  // the CPU-bound startup term; hitting this means a stall (drained=false).
-  const Tick deadline = options.deadline != 0
-                            ? options.deadline
-                            : static_cast<Tick>(peak * 200.0) + (Tick{4} << 32);
-
-  if (options.wall_timeout_ms > 0.0) {
-    const auto kill_at = std::chrono::steady_clock::now() +
-                         std::chrono::duration<double, std::milli>(options.wall_timeout_ms);
-    fabric.set_abort_check(
-        [kill_at] { return std::chrono::steady_clock::now() >= kill_at; });
+  std::optional<DeliveryMatrix> local_matrix;
+  DeliveryMatrix* matrix = options.deliveries;
+  if (matrix == nullptr && options.verify) {
+    local_matrix.emplace(static_cast<std::int32_t>(net.shape.nodes()));
+    matrix = &*local_matrix;
   }
 
-  RunResult result;
-  result.drained = fabric.run(deadline);
-  result.timed_out = fabric.aborted();
-  result.strategy = strategy_name(kind);
-  result.shape = net.shape;
-  result.msg_bytes = options.msg_bytes;
-  result.elapsed_cycles = client->completion_cycles();
-  result.elapsed_us = static_cast<double>(result.elapsed_cycles) / 700.0;
-  result.percent_peak = result.elapsed_cycles > 0
-                            ? 100.0 * peak / static_cast<double>(result.elapsed_cycles)
-                            : 0.0;
-  const double payload_per_node =
-      static_cast<double>(net.shape.nodes() - 1) * static_cast<double>(options.msg_bytes);
-  result.per_node_mbps = result.elapsed_us > 0
-                             ? payload_per_node / result.elapsed_us  // B/us == MB/s
-                             : 0.0;
-  result.packets_delivered = fabric.stats().packets_delivered;
-  result.payload_bytes = fabric.stats().payload_bytes_delivered;
-  result.events = fabric.events_processed();
-  result.sim_threads = fabric.effective_sim_threads();
-  if (net.collect_link_stats) {
-    result.links = trace::summarize_links(fabric, result.elapsed_cycles);
-  }
-  if (faults != nullptr) {
-    result.faults = fabric.fault_stats();
-    // Relay payload stranded in the custody of fail-stopped nodes: the part
-    // of the delivery shortfall the strike itself explains.
-    result.faults.stranded_relay_bytes = client->stranded_relay_bytes(plan);
-    result.reachable = PairMask(static_cast<std::int32_t>(net.shape.nodes()));
-    client->mark_reachable(result.reachable);
-    result.unreachable_pairs = result.reachable.unreachable_pairs();
-    if (reliable.has_value()) {
-      result.reliability = reliable->stats();
-      result.abandoned_pairs = reliable->abandoned_pairs().size();
-    }
-  }
-  if (matrix != nullptr) {
-    result.pairs_complete = matrix->complete_pairs(options.msg_bytes);
-    result.reachable_complete =
-        matrix->complete_reachable(options.msg_bytes, result.reachable);
-  }
-  return result;
+  ScheduleExecutor client(net, std::move(schedule), matrix, planning_faults);
+  return finish_run(net, client, options, plan, faults, matrix, label);
 }
 
 }  // namespace bgl::coll

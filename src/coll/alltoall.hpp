@@ -140,6 +140,17 @@ struct RunResult {
 
 RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options);
 
+struct CommSchedule;
+
+/// Run an arbitrary `CommSchedule` program (e.g. a synthesized one) through
+/// the same fabric / reliability / verification path as `run_alltoall`. The
+/// schedule must target `options.net.shape` and must have been built against
+/// the same fault plan the options imply (pass the plan to the builder).
+/// `label` becomes `RunResult::strategy`. Strategy-tuning fields of `options`
+/// (burst, linear_axis, ...) are ignored — the schedule already encodes them.
+RunResult run_schedule(CommSchedule schedule, const AlltoallOptions& options,
+                       const std::string& label = "synth");
+
 /// Eq. 2 peak time in cycles for an m-byte-per-pair AA on `shape`, counting
 /// the wire chunks of the direct packet format (used as the percent-of-peak
 /// denominator for every strategy).

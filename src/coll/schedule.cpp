@@ -147,6 +147,33 @@ ScheduleExecutor::ScheduleExecutor(const net::NetworkConfig& config,
   assert(!schedule_.fifo_classes.empty());
 
   const auto nodes = static_cast<std::size_t>(schedule_.shape.nodes());
+  // Barrier gating is an explicit-form construct: emission is gated per op,
+  // and arming counts kCombined arrivals of the preceding phase. Validate the
+  // barrier table up front — a mis-ordered or mis-sized table would otherwise
+  // deadlock or index out of range mid-run.
+  if (!schedule_.barriers.empty()) {
+    if (schedule_.form != StreamForm::kExplicit) {
+      throw std::invalid_argument("barriers require an explicit-form schedule");
+    }
+    int prev_phase = 0;
+    for (const BarrierSpec& barrier : schedule_.barriers) {
+      if (barrier.phase <= prev_phase ||
+          barrier.phase >= static_cast<int>(schedule_.phases.size())) {
+        throw std::invalid_argument(
+            "schedule barriers must be in strictly increasing phase order, "
+            "each gating a phase after the first");
+      }
+      if (barrier.expected.size() != nodes || barrier.compute_cycles.size() != nodes) {
+        throw std::invalid_argument("barrier vectors not sized to the node count");
+      }
+      prev_phase = barrier.phase;
+    }
+  }
+  barrier_of_phase_.assign(schedule_.phases.size(), -1);
+  for (std::size_t g = 0; g < schedule_.barriers.size(); ++g) {
+    barrier_of_phase_[static_cast<std::size_t>(schedule_.barriers[g].phase)] =
+        static_cast<std::int32_t>(g);
+  }
   const bool credits = schedule_.credits.window > 0 &&
                        schedule_.form == StreamForm::kOrdered &&
                        schedule_.stream.relay == RelayRule::kLinearAxis;
@@ -163,11 +190,11 @@ ScheduleExecutor::ScheduleExecutor(const net::NetworkConfig& config,
       s.outstanding.assign(static_cast<std::size_t>(relay_extent), 0);
       s.to_credit.assign(static_cast<std::size_t>(relay_extent), 0);
     }
-    if (schedule_.barrier_phase >= 0) {
-      s.barrier_left = schedule_.barrier_expected[n];
-      s.barrier_open = (s.barrier_left == 0);
-    } else {
-      s.barrier_open = true;
+    s.barrier_open.resize(schedule_.barriers.size());
+    s.barrier_left.resize(schedule_.barriers.size());
+    for (std::size_t g = 0; g < schedule_.barriers.size(); ++g) {
+      s.barrier_left[g] = schedule_.barriers[g].expected[n];
+      s.barrier_open[g] = (s.barrier_left[g] == 0) ? 1 : 0;
     }
   }
   if (schedule_.form == StreamForm::kExplicit) {
@@ -389,7 +416,8 @@ bool ScheduleExecutor::emit_explicit(topo::Rank node, NodeState& s,
     return false;
   }
   const SendOp& op = schedule_.ops[s.op];
-  if (static_cast<int>(op.phase) == schedule_.barrier_phase && !s.barrier_open) {
+  if (const std::int32_t gate = barrier_of_phase_[op.phase];
+      gate >= 0 && !s.barrier_open[static_cast<std::size_t>(gate)]) {
     return false;  // the barrier timer will wake us
   }
   const PhaseSpec& phase = schedule_.phases[op.phase];
@@ -475,13 +503,15 @@ void ScheduleExecutor::on_delivery(topo::Rank node, const net::Packet& packet) {
           }
         }
       }
-      if (schedule_.barrier_phase >= 0 &&
-          static_cast<int>(op.phase) == schedule_.barrier_phase - 1) {
-        assert(s.barrier_left > 0);
-        if (--s.barrier_left == 0) {
-          fabric_->schedule_timer(node, schedule_.barrier_compute_cycles[
-                                            static_cast<std::size_t>(node)],
-                                  /*cookie=*/1);
+      if (const std::size_t next = static_cast<std::size_t>(op.phase) + 1;
+          next < barrier_of_phase_.size() && barrier_of_phase_[next] >= 0) {
+        const auto g = static_cast<std::size_t>(barrier_of_phase_[next]);
+        assert(s.barrier_left[g] > 0);
+        if (--s.barrier_left[g] == 0) {
+          fabric_->schedule_timer(
+              node,
+              schedule_.barriers[g].compute_cycles[static_cast<std::size_t>(node)],
+              /*cookie=*/g + 1);
         }
       }
       return;
@@ -491,10 +521,10 @@ void ScheduleExecutor::on_delivery(topo::Rank node, const net::Packet& packet) {
 }
 
 void ScheduleExecutor::on_timer(topo::Rank node, std::uint64_t cookie) {
-  assert(cookie == 1);
-  (void)cookie;
+  assert(cookie >= 1 && cookie <= schedule_.barriers.size());
+  const auto g = static_cast<std::size_t>(cookie - 1);
   NodeState& s = nodes_[static_cast<std::size_t>(node)];
-  s.barrier_open = true;
+  s.barrier_open[g] = 1;
   fabric_->wake_cpu(node);
 }
 

@@ -127,6 +127,22 @@ struct SendOp {
   static constexpr std::uint8_t kFinalizeSelf = 1;
 };
 
+/// One local-barrier gate of an explicit-form schedule. Ops of phase `phase`
+/// wait until all of the node's expected packets of phase `phase - 1` have
+/// arrived plus a local compute delay (vmesh's gamma-cost re-sort copy).
+/// A schedule may carry several barriers — multi-stage combining schemes gate
+/// each stage on the previous one — listed in strictly increasing phase
+/// order, each matching a PhaseGate::kLocalBarrier phase.
+struct BarrierSpec {
+  int phase = -1;
+  /// Per node: packets of phase `phase - 1` that must arrive before the
+  /// barrier compute starts (0 = gate open immediately).
+  std::vector<std::uint64_t> expected;
+  /// Per node: local compute cycles between the last gated arrival and the
+  /// barrier phase opening.
+  std::vector<net::Tick> compute_cycles;
+};
+
 /// Credit-based flow control for relayed ordered streams (TPS, paper §5):
 /// at most `window` un-credited packets per (source, relay-line coordinate);
 /// relays return one credit packet per `batch` forwards.
@@ -175,14 +191,9 @@ struct CommSchedule {
   /// the enumerated transfers.
   PairMask covered;
 
-  // --- barrier gating (at most one kLocalBarrier phase) ---
-  int barrier_phase = -1;
-  /// Per node: packets of phase `barrier_phase - 1` that must arrive before
-  /// the barrier compute starts (0 = gate open immediately).
-  std::vector<std::uint64_t> barrier_expected;
-  /// Per node: local compute cycles between the last gated arrival and the
-  /// barrier phase opening (vmesh's gamma-cost re-sort copy).
-  std::vector<net::Tick> barrier_compute_cycles;
+  // --- barrier gating (explicit form; one BarrierSpec per kLocalBarrier
+  // phase, sorted by phase) ---
+  std::vector<BarrierSpec> barriers;
 
   CreditSpec credits{};
 
@@ -284,9 +295,9 @@ class ScheduleExecutor : public StrategyClient {
     std::uint32_t op = 0;   // absolute index into schedule_.ops
     std::uint32_t pkt = 0;  // packet within the current op's message
     bool done = false;
-    // Barrier gate.
-    bool barrier_open = false;
-    std::uint64_t barrier_left = 0;
+    // Barrier gates, one slot per CommSchedule::barriers entry.
+    std::vector<std::uint8_t> barrier_open;
+    std::vector<std::uint64_t> barrier_left;
     // Relaying.
     std::deque<Forward> forwards;
     // Per-FIFO-class rotation counters (uint8 wrap matches the legacy
@@ -317,6 +328,9 @@ class ScheduleExecutor : public StrategyClient {
   net::NetworkConfig config_;
   CommSchedule schedule_;
   std::vector<NodeState> nodes_;
+  /// Barrier index gating each phase (-1 = ungated), derived from
+  /// schedule_.barriers; arrivals of phase p arm barrier_of_phase_[p + 1].
+  std::vector<std::int32_t> barrier_of_phase_;
   /// Packets still missing per in-flight combined message, indexed by op
   /// (0 = message not yet seen; seeded from the op's phase message shape on
   /// its first delivery). A dense vector rather than a map so concurrent

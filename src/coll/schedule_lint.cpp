@@ -42,32 +42,55 @@ bool check_structure(const CommSchedule& sched, LintReport& report) {
     }
   }
 
-  int barrier_phases = 0;
-  for (int p = 0; p < phase_count; ++p) {
-    if (sched.phases[static_cast<std::size_t>(p)].gate == PhaseGate::kLocalBarrier) {
-      ++barrier_phases;
-      if (p != sched.barrier_phase) {
-        add(report, "structure",
-            "phase " + std::to_string(p) +
-                " is barrier-gated but barrier_phase is " +
-                std::to_string(sched.barrier_phase));
-      }
-    }
-  }
-  if (barrier_phases > 1) {
-    add(report, "structure", "more than one barrier-gated phase");
-  }
-  if (sched.barrier_phase >= 0) {
-    const auto nodes = static_cast<std::size_t>(sched.nodes());
-    if (sched.barrier_phase == 0 || sched.barrier_phase >= phase_count) {
+  // Barrier table: every kLocalBarrier phase needs exactly one BarrierSpec,
+  // specs come sorted by phase, and each spec's vectors cover every node.
+  std::vector<int> barrier_spec_of(static_cast<std::size_t>(phase_count), -1);
+  int prev_barrier_phase = 0;
+  for (std::size_t g = 0; g < sched.barriers.size(); ++g) {
+    const BarrierSpec& barrier = sched.barriers[g];
+    if (barrier.phase <= 0 || barrier.phase >= phase_count) {
       add(report, "structure",
-          "barrier_phase " + std::to_string(sched.barrier_phase) +
+          "barrier " + std::to_string(g) + " gates phase " +
+              std::to_string(barrier.phase) +
               " out of range (needs a preceding phase to gate on)");
+      continue;
     }
-    if (sched.barrier_expected.size() != nodes ||
-        sched.barrier_compute_cycles.size() != nodes) {
+    if (barrier.phase <= prev_barrier_phase && g > 0) {
+      add(report, "structure",
+          "barrier " + std::to_string(g) + " gates phase " +
+              std::to_string(barrier.phase) +
+              " out of order (barriers must be sorted by ascending phase)");
+    }
+    prev_barrier_phase = barrier.phase;
+    if (barrier_spec_of[static_cast<std::size_t>(barrier.phase)] >= 0) {
+      add(report, "structure",
+          "phase " + std::to_string(barrier.phase) +
+              " gated by more than one barrier");
+    }
+    barrier_spec_of[static_cast<std::size_t>(barrier.phase)] =
+        static_cast<int>(g);
+    const auto nodes = static_cast<std::size_t>(sched.nodes());
+    if (barrier.expected.size() != nodes ||
+        barrier.compute_cycles.size() != nodes) {
       add(report, "structure", "barrier vectors not sized to the node count");
     }
+  }
+  for (int p = 0; p < phase_count; ++p) {
+    const bool gated =
+        sched.phases[static_cast<std::size_t>(p)].gate == PhaseGate::kLocalBarrier;
+    const bool has_spec = barrier_spec_of[static_cast<std::size_t>(p)] >= 0;
+    if (gated && !has_spec) {
+      add(report, "structure",
+          "phase " + std::to_string(p) +
+              " is barrier-gated but has no BarrierSpec");
+    } else if (!gated && has_spec) {
+      add(report, "structure",
+          "phase " + std::to_string(p) +
+              " has a BarrierSpec but is not barrier-gated");
+    }
+  }
+  if (!sched.barriers.empty() && sched.form != StreamForm::kExplicit) {
+    add(report, "structure", "barriers require an explicit-form schedule");
   }
 
   if (sched.form == StreamForm::kOrdered) {

@@ -1,0 +1,202 @@
+// Schedule synthesis: a deterministic, seedable beam search (with an
+// optional simulated-annealing refinement pass) over the CommSchedule IR.
+//
+// The search space is a genome per strategy *family*:
+//   kDirect     routing mode, destination order, burst, RNG salt;
+//   kRelay      TPS-style store-and-forward: relay axis, reserved-FIFO split,
+//               credit window, salt;
+//   kCombine2D  virtual-mesh combining: physical mapping, mesh factorization,
+//               salt;
+//   kCombine3D  a three-stage axis-aligned combining scheme the paper never
+//               measured: stage g sends combined messages along one physical
+//               axis, gated by one barrier per stage boundary (the
+//               multi-barrier BarrierSpec machinery exists for this).
+//
+// Every genome expands to a CommSchedule via build_genome_schedule — a pure
+// function of (genome, network config, message size, fault plan) — so a
+// winner is reproducible from its genome string alone. Candidates are gated
+// by schedule_lint as a cheap fitness filter, then scored by short
+// simulations through the harness thread pool (`jobs`); scoring is
+// index-addressed, so the synthesized winner is bit-identical for any
+// worker count. Winners are cached in a content-addressed store keyed by
+// (shape, msg_bytes, fault plan); select_strategy_cached consults the cache
+// as a seventh registry entry, falling back to the paper's selector when
+// the cache has no better-than-baseline entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coll/alltoall.hpp"
+#include "src/coll/schedule.hpp"
+#include "src/coll/selector.hpp"
+#include "src/network/config.hpp"
+#include "src/network/faults.hpp"
+
+namespace bgl::coll::synth {
+
+enum class GenomeFamily : std::uint8_t { kDirect, kRelay, kCombine2D, kCombine3D };
+
+/// One point of the search space. Fields outside the genome's family are
+/// ignored (and kept at defaults so key() is canonical).
+struct Genome {
+  GenomeFamily family = GenomeFamily::kDirect;
+
+  // --- kDirect ---
+  int mode = 0;   // 0 = adaptive, 1 = deterministic
+  int order = 0;  // 0 = random permutation, 1 = rotation
+  int burst = 1;  // packets per destination per round: 1, 2 or 4
+
+  // --- kRelay ---
+  int relay_axis = 0;     // linear axis of the store-and-forward leg
+  int fifo_split = 4;     // 0 = shared FIFO classes; else reserved [0,split)
+  int credit_window = 0;  // phase-1 packets in flight per (src, relay); 0 = off
+
+  // --- kCombine2D / kCombine3D ---
+  int mapping = 0;       // physical axis order (MeshMapping value)
+  int factor_index = 0;  // kCombine2D: index into the divisor-pair ladder
+
+  /// Extra seed material for the per-node shuffles; 0 reproduces the
+  /// registry builder's RNG streams exactly.
+  std::uint64_t salt = 0;
+
+  /// Canonical compact encoding, e.g. "R:a1,f4,c0,s0". Equal genomes have
+  /// equal keys; the cache stores winners by this string.
+  std::string key() const;
+
+  friend bool operator==(const Genome&, const Genome&) = default;
+};
+
+/// Parses a Genome::key() string; returns false on malformed input.
+bool genome_from_key(const std::string& key, Genome& out);
+
+/// The divisor-pair ladder kCombine2D's factor_index walks: (pvx, pvy) with
+/// pvx * pvy == nodes and pvx >= pvy, near-square first.
+std::vector<std::pair<int, int>> mesh_factor_ladder(std::int32_t nodes);
+
+/// Expands a genome into its CommSchedule. Pure function of the arguments;
+/// `faults` is the planning fault plan (nullptr = fault-free).
+CommSchedule build_genome_schedule(const Genome& genome,
+                                   const net::NetworkConfig& net,
+                                   std::uint64_t msg_bytes,
+                                   const net::FaultPlan* faults);
+
+/// The new three-stage combining builder (kCombine3D): stage 0 combines all
+/// blocks sharing the destination's first-axis coordinate into one message
+/// per first-axis peer; stages 1 and 2 forward along the remaining axes,
+/// each gated by a BarrierSpec on the previous stage's arrivals plus a
+/// gamma-cost re-sort. Messages use the combining wire format. Under a
+/// fault plan, ops/finalize lists/coverage all derive from one chain
+/// predicate so lint, execution and verification agree.
+CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
+                                      std::uint64_t msg_bytes, int mapping,
+                                      const net::FaultPlan* faults);
+
+struct SynthOptions {
+  /// Evaluation network (shape, seed, chunk timing, fault config). The
+  /// search forces sim_threads = 1: scoring must be bit-deterministic
+  /// independent of the simulator's thread count.
+  net::NetworkConfig net{};
+  std::uint64_t msg_bytes = 240;
+
+  std::uint64_t seed = 1;  // search seed (mutation/SA randomness)
+  int beam_width = 4;
+  int generations = 3;
+  int mutations_per_survivor = 4;
+  int sa_steps = 0;  // optional simulated-annealing refinement of the winner
+  int jobs = 1;      // scoring parallelism; never changes the result
+  /// Per-candidate wall-clock kill switch, forwarded to the scoring runs.
+  double wall_timeout_ms = 0.0;
+  /// Also score the six registry strategies to fill SynthResult::baseline_*.
+  bool score_baselines = true;
+};
+
+struct Candidate {
+  Genome genome{};
+  /// Simulated elapsed cycles; UINT64_MAX = lint-rejected or failed run.
+  std::uint64_t cycles = ~std::uint64_t{0};
+  bool lint_ok = false;
+  bool drained = false;
+};
+
+struct SynthResult {
+  Candidate best{};
+  std::vector<Candidate> beam;  // final beam, best first
+  int evaluated = 0;            // simulations run (lint rejections excluded)
+  int lint_rejected = 0;
+  std::string baseline_name;    // best registry strategy on this problem
+  std::uint64_t baseline_cycles = ~std::uint64_t{0};
+};
+
+/// Runs the beam search (plus optional SA pass). Deterministic per
+/// (opts.seed, budget knobs): identical results for any opts.jobs.
+SynthResult synthesize(const SynthOptions& opts);
+
+/// One cached winner. `genome` round-trips through Genome::key().
+struct CacheEntry {
+  std::string key;  // SynthCache::problem_key of the (shape, bytes, faults)
+  Genome genome{};
+  std::uint64_t msg_bytes = 0;
+  std::uint64_t cycles = ~std::uint64_t{0};
+  std::string baseline_name;
+  std::uint64_t baseline_cycles = ~std::uint64_t{0};
+  std::uint64_t net_seed = 0;     // evaluation seed the winner was scored with
+  std::uint64_t search_seed = 0;  // provenance
+  std::string budget;             // e.g. "bw4:g3:m4:sa0"
+};
+
+/// Content-addressed winner store: one text file per problem key under
+/// `dir`, named by the key's FNV-1a hash with an FNV checksum line.
+/// Corrupt or truncated entries read as misses (the caller re-synthesizes).
+class SynthCache {
+ public:
+  explicit SynthCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Canonical problem key: shape, message bytes and every FaultConfig
+  /// field, e.g. "4x4x8|m64|link=0.02,node=1,fseed=7".
+  static std::string problem_key(const topo::Shape& shape, std::uint64_t msg_bytes,
+                                 const net::FaultConfig& faults);
+
+  std::string path_for(const std::string& key) const;
+
+  /// False on miss, unreadable file, checksum mismatch or malformed entry.
+  bool lookup(const std::string& key, CacheEntry& out) const;
+
+  /// Atomically (write + rename) persists `entry` under entry.key.
+  void store(const CacheEntry& entry) const;
+
+ private:
+  std::string dir_;
+};
+
+/// Cache-through synthesis: returns the cached winner for the options'
+/// problem key when present, otherwise runs synthesize() and stores the
+/// result. The returned SynthResult is identical either way (beam contents
+/// are only populated on a fresh run).
+SynthResult synthesize_cached(const SynthOptions& opts, const SynthCache& cache);
+
+/// Rebuilds a cached winner's schedule exactly as it was scored: the
+/// genome expanded against `net` with the entry's recorded evaluation seed.
+CommSchedule build_cached_schedule(const CacheEntry& entry,
+                                   const net::NetworkConfig& net,
+                                   const net::FaultPlan* faults);
+
+/// The cache as a seventh registry entry: consults `cache` for this
+/// problem; when a cached winner beat its recorded registry baseline, the
+/// selection says to run it (use_synth). Otherwise falls through to the
+/// paper's select_strategy.
+struct CachedSelection {
+  bool use_synth = false;
+  CacheEntry entry{};      // valid when use_synth
+  Selection registry{};    // always filled (the fallback pick)
+};
+
+CachedSelection select_strategy_cached(const topo::Shape& shape,
+                                       std::uint64_t msg_bytes,
+                                       const net::FaultPlan* faults,
+                                       const SynthCache& cache);
+
+}  // namespace bgl::coll::synth

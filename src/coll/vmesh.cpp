@@ -99,9 +99,10 @@ CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
   sched.fifo_classes.push_back(
       FifoClass{0, 0, FifoPolicy::kPositional, false});
 
-  sched.barrier_phase = 1;
-  sched.barrier_expected.resize(static_cast<std::size_t>(nodes));
-  sched.barrier_compute_cycles.resize(static_cast<std::size_t>(nodes));
+  BarrierSpec barrier;
+  barrier.phase = 1;
+  barrier.expected.resize(static_cast<std::size_t>(nodes));
+  barrier.compute_cycles.resize(static_cast<std::size_t>(nodes));
   sched.op_begin.reserve(static_cast<std::size_t>(nodes) + 1);
   sched.op_begin.push_back(0);
   if (faults != nullptr && faults->enabled()) sched.covered = PairMask(nodes);
@@ -131,12 +132,12 @@ CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
     rng.shuffle(row_peers);
     rng.shuffle(col_peers);
 
-    sched.barrier_expected[static_cast<std::size_t>(n)] =
+    barrier.expected[static_cast<std::size_t>(n)] =
         p1_senders * row_message_packets;
     const double resort_bytes = static_cast<double>(row_peers.size()) *
                                 static_cast<double>(pvy) *
                                 static_cast<double>(msg_bytes);
-    sched.barrier_compute_cycles[static_cast<std::size_t>(n)] =
+    barrier.compute_cycles[static_cast<std::size_t>(n)] =
         static_cast<net::Tick>(std::llround(gamma_cycles_per_byte * resort_bytes));
 
     // The blocks a phase-2 message from this node carries: one per row
@@ -185,6 +186,7 @@ CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
       }
     }
   }
+  sched.barriers.push_back(std::move(barrier));
   return sched;
 }
 

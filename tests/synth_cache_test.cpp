@@ -1,0 +1,207 @@
+// The synthesized-winner cache: store -> lookup -> executor run must be
+// byte-identical to a fresh synthesis run, corrupt or truncated entries must
+// read as misses (and be re-synthesized, never trusted), and the cached
+// selector must only prefer a winner that actually beat its baseline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "src/coll/schedule_lint.hpp"
+#include "src/coll/synth.hpp"
+
+namespace bgl::coll::synth {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = testing::TempDir() + "bgl_synth_cache_" + name + "_" +
+                          std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+SynthOptions small_options() {
+  SynthOptions opts;
+  opts.net.shape = topo::parse_shape("4x4x2");
+  opts.net.seed = 17;
+  opts.msg_bytes = 64;
+  opts.seed = 2;
+  opts.beam_width = 2;
+  opts.generations = 1;
+  opts.mutations_per_survivor = 2;
+  opts.jobs = 2;
+  return opts;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+TEST(SynthCache, RoundTripIsByteIdenticalToFreshSynthesis) {
+  const SynthCache cache(fresh_dir("roundtrip"));
+  const SynthOptions opts = small_options();
+
+  const SynthResult fresh = synthesize_cached(opts, cache);
+  ASSERT_TRUE(fresh.best.lint_ok);
+
+  const std::string key =
+      SynthCache::problem_key(opts.net.shape, opts.msg_bytes, opts.net.faults);
+  CacheEntry entry;
+  ASSERT_TRUE(cache.lookup(key, entry));
+  EXPECT_EQ(entry.genome, fresh.best.genome);
+  EXPECT_EQ(entry.cycles, fresh.best.cycles);
+  EXPECT_EQ(entry.msg_bytes, opts.msg_bytes);
+  EXPECT_EQ(entry.net_seed, opts.net.seed);
+  EXPECT_EQ(entry.search_seed, opts.seed);
+  EXPECT_EQ(entry.baseline_name, fresh.baseline_name);
+  EXPECT_EQ(entry.baseline_cycles, fresh.baseline_cycles);
+
+  // The cached path returns the same winner...
+  const SynthResult cached = synthesize_cached(opts, cache);
+  EXPECT_EQ(cached.best.genome.key(), fresh.best.genome.key());
+  EXPECT_EQ(cached.best.cycles, fresh.best.cycles);
+
+  // ...and rebuilding + executing the cached schedule reproduces the scored
+  // cycle count and the transfer table of a from-scratch expansion.
+  const CommSchedule rebuilt = build_cached_schedule(entry, opts.net, nullptr);
+  net::NetworkConfig scored_net = opts.net;
+  const CommSchedule direct_build =
+      build_genome_schedule(entry.genome, scored_net, opts.msg_bytes, nullptr);
+  EXPECT_EQ(rebuilt.to_csv(nullptr), direct_build.to_csv(nullptr));
+
+  AlltoallOptions run_opts;
+  run_opts.net = opts.net;
+  run_opts.net.sim_threads = 1;  // the evaluator's pinned configuration
+  run_opts.msg_bytes = opts.msg_bytes;
+  run_opts.verify = true;
+  const RunResult r = run_schedule(rebuilt, run_opts, entry.genome.key());
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(r.reachable_complete);
+  EXPECT_EQ(r.elapsed_cycles, entry.cycles);
+}
+
+TEST(SynthCache, DistinctProblemsGetDistinctSlots) {
+  net::FaultConfig clean;
+  net::FaultConfig faulted;
+  faulted.node_fail = 1;
+  faulted.seed = 3;
+  const topo::Shape shape = topo::parse_shape("4x4x2");
+  const std::string a = SynthCache::problem_key(shape, 64, clean);
+  const std::string b = SynthCache::problem_key(shape, 240, clean);
+  const std::string c = SynthCache::problem_key(shape, 64, faulted);
+  const std::string d =
+      SynthCache::problem_key(topo::parse_shape("2x4x4"), 64, clean);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(b, c);
+}
+
+TEST(SynthCache, CorruptEntriesAreMissesAndGetResynthesized) {
+  const SynthCache cache(fresh_dir("corrupt"));
+  const SynthOptions opts = small_options();
+  const SynthResult fresh = synthesize_cached(opts, cache);
+  const std::string key =
+      SynthCache::problem_key(opts.net.shape, opts.msg_bytes, opts.net.faults);
+  const std::string path = cache.path_for(key);
+  const std::string good = read_file(path);
+  ASSERT_FALSE(good.empty());
+
+  CacheEntry entry;
+
+  // Flip one byte inside the genome field: checksum mismatch -> miss.
+  {
+    std::string bad = good;
+    const std::size_t pos = bad.find("genome ");
+    ASSERT_NE(pos, std::string::npos);
+    bad[pos + 7] = bad[pos + 7] == 'D' ? 'R' : 'D';
+    write_file(path, bad);
+    EXPECT_FALSE(cache.lookup(key, entry));
+  }
+
+  // Truncated file (checksum line cut off) -> miss.
+  write_file(path, good.substr(0, good.size() / 2));
+  EXPECT_FALSE(cache.lookup(key, entry));
+
+  // Valid checksum over a record whose key belongs to another problem ->
+  // miss (a hash collision must not serve the wrong winner).
+  {
+    const std::string other_key = SynthCache::problem_key(
+        topo::parse_shape("2x2x2"), opts.msg_bytes, opts.net.faults);
+    CacheEntry forged;
+    forged.key = other_key;
+    forged.genome = fresh.best.genome;
+    forged.msg_bytes = opts.msg_bytes;
+    forged.cycles = fresh.best.cycles;
+    forged.baseline_cycles = fresh.baseline_cycles;
+    cache.store(forged);
+    std::error_code ec;
+    std::filesystem::copy_file(cache.path_for(other_key), path,
+                               std::filesystem::copy_options::overwrite_existing,
+                               ec);
+    ASSERT_FALSE(ec);
+    EXPECT_FALSE(cache.lookup(key, entry));
+  }
+
+  // Garbage -> miss; empty -> miss.
+  write_file(path, "not a cache entry at all\n");
+  EXPECT_FALSE(cache.lookup(key, entry));
+  write_file(path, "");
+  EXPECT_FALSE(cache.lookup(key, entry));
+
+  // A corrupt entry is re-synthesized, not trusted: the cached path runs the
+  // search again and heals the slot with the same deterministic winner.
+  const SynthResult healed = synthesize_cached(opts, cache);
+  EXPECT_EQ(healed.best.genome.key(), fresh.best.genome.key());
+  EXPECT_EQ(healed.best.cycles, fresh.best.cycles);
+  ASSERT_TRUE(cache.lookup(key, entry));
+  EXPECT_EQ(entry.genome, fresh.best.genome);
+}
+
+TEST(SynthCache, SelectorPrefersCachedWinnerOnlyWhenItBeatsBaseline) {
+  const SynthCache cache(fresh_dir("selector"));
+  const topo::Shape shape = topo::parse_shape("4x4x2");
+  const std::string key = SynthCache::problem_key(shape, 64, net::FaultConfig{});
+
+  // Empty cache: fall through to the paper's selector.
+  CachedSelection selection = select_strategy_cached(shape, 64, nullptr, cache);
+  EXPECT_FALSE(selection.use_synth);
+  EXPECT_FALSE(selection.registry.rationale.empty());
+
+  // A winner that merely tied its baseline stays on the registry pick.
+  CacheEntry entry;
+  entry.key = key;
+  entry.genome = Genome{};
+  entry.msg_bytes = 64;
+  entry.cycles = 1000;
+  entry.baseline_name = "AR";
+  entry.baseline_cycles = 1000;
+  cache.store(entry);
+  selection = select_strategy_cached(shape, 64, nullptr, cache);
+  EXPECT_FALSE(selection.use_synth);
+
+  // A strictly better winner becomes the seventh registry entry.
+  entry.cycles = 900;
+  cache.store(entry);
+  selection = select_strategy_cached(shape, 64, nullptr, cache);
+  EXPECT_TRUE(selection.use_synth);
+  EXPECT_EQ(selection.entry.genome, entry.genome);
+  EXPECT_EQ(selection.entry.cycles, 900u);
+  EXPECT_EQ(selection.registry.kind, select_strategy(shape, 64, nullptr).kind);
+}
+
+}  // namespace
+}  // namespace bgl::coll::synth

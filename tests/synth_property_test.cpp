@@ -1,0 +1,282 @@
+// Property suite for schedule synthesis: across a randomized matrix of
+// (shape, seed, fault plan) cases, every synthesized winner must
+//   (a) pass schedule_lint against its planning fault plan,
+//   (b) deliver every reachable pair exactly once when executed
+//       (DeliveryMatrix::complete_reachable), and
+//   (c) be bit-identical when re-synthesized with the same search seed at
+//       any --jobs count.
+// Plus executor/lint coverage for the multi-barrier machinery the
+// three-stage combining family rides on, and a thread-pool stress case for
+// the TSan matrix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coll/direct.hpp"
+#include "src/coll/schedule_lint.hpp"
+#include "src/coll/synth.hpp"
+#include "src/util/rng.hpp"
+
+namespace bgl::coll::synth {
+namespace {
+
+struct Case {
+  std::string shape;
+  std::uint64_t msg_bytes = 0;
+  std::uint64_t net_seed = 0;
+  std::uint64_t search_seed = 0;
+  net::FaultConfig faults{};
+};
+
+/// The randomized case matrix: >= 30 cases over small shapes, three message
+/// sizes and three fault modes (clean / dead nodes / dead links). The
+/// generator is seeded, so the matrix is the same on every run — failures
+/// reproduce.
+std::vector<Case> property_cases() {
+  const char* shapes[] = {"2x2x2", "4x2x2", "2x4x2", "4x4x2",
+                          "2x2x8", "4x4x4", "8x4x2", "4x2x8"};
+  const std::uint64_t sizes[] = {32, 64, 240};
+  util::Xoshiro256StarStar rng(20260807);
+  std::vector<Case> cases;
+  for (int i = 0; i < 32; ++i) {
+    Case c;
+    c.shape = shapes[rng.below(sizeof(shapes) / sizeof(shapes[0]))];
+    c.msg_bytes = sizes[rng.below(3)];
+    c.net_seed = 1 + rng.below(1000);
+    c.search_seed = 1 + rng.below(1000);
+    switch (i % 3) {
+      case 0: break;  // fault-free
+      case 1:
+        c.faults.node_fail = 1 + static_cast<int>(rng.below(2));
+        c.faults.seed = 1 + rng.below(64);
+        break;
+      default:
+        c.faults.link_fail = 0.02 + 0.01 * static_cast<double>(rng.below(4));
+        c.faults.seed = 1 + rng.below(64);
+        break;
+    }
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+SynthOptions options_for(const Case& c) {
+  SynthOptions opts;
+  opts.net.shape = topo::parse_shape(c.shape);
+  opts.net.seed = c.net_seed;
+  opts.net.faults = c.faults;
+  opts.msg_bytes = c.msg_bytes;
+  opts.seed = c.search_seed;
+  opts.beam_width = 2;
+  opts.generations = 1;
+  opts.mutations_per_survivor = 2;
+  opts.jobs = 1;
+  opts.score_baselines = false;  // the property is about the winner, not the
+                                 // registry comparison; skip for speed
+  return opts;
+}
+
+std::string trace_of(const Case& c) {
+  return c.shape + " m" + std::to_string(c.msg_bytes) + " net_seed " +
+         std::to_string(c.net_seed) + " search_seed " +
+         std::to_string(c.search_seed) + " node_fail " +
+         std::to_string(c.faults.node_fail) + " link_fail " +
+         std::to_string(c.faults.link_fail) + " fseed " +
+         std::to_string(c.faults.seed);
+}
+
+TEST(SynthProperty, EveryWinnerLintsCleanAndDeliversReachablePairs) {
+  for (const Case& c : property_cases()) {
+    SCOPED_TRACE(trace_of(c));
+    const SynthOptions opts = options_for(c);
+    const SynthResult result = synthesize(opts);
+    ASSERT_TRUE(result.best.lint_ok);
+    ASSERT_TRUE(result.best.drained);
+    ASSERT_NE(result.best.cycles, ~std::uint64_t{0});
+
+    // The genome string round-trips: a cache entry can reproduce the winner.
+    Genome parsed;
+    ASSERT_TRUE(genome_from_key(result.best.genome.key(), parsed));
+    EXPECT_EQ(parsed, result.best.genome);
+
+    // Rebuild the winner the way the evaluator scored it and re-lint.
+    net::NetworkConfig net = opts.net;
+    const net::FaultPlan plan(net, net.shape);
+    const net::FaultPlan* faults = plan.enabled() ? &plan : nullptr;
+    const CommSchedule sched =
+        build_genome_schedule(result.best.genome, net, opts.msg_bytes, faults);
+    const LintReport report = schedule_lint(sched, faults);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+
+    // Execute it: every reachable pair gets its bytes exactly once, nothing
+    // lands anywhere else.
+    AlltoallOptions run_opts;
+    run_opts.net = net;
+    run_opts.msg_bytes = opts.msg_bytes;
+    run_opts.verify = true;
+    const RunResult r = run_schedule(sched, run_opts, result.best.genome.key());
+    EXPECT_TRUE(r.drained);
+    EXPECT_TRUE(r.reachable_complete);
+    EXPECT_EQ(r.elapsed_cycles, result.best.cycles);
+  }
+}
+
+TEST(SynthProperty, WinnerIsBitIdenticalAcrossJobsAndReruns) {
+  int checked = 0;
+  for (const Case& c : property_cases()) {
+    if (++checked > 10) break;  // determinism triples the work; 10 cases
+                                // across all three fault modes suffice
+    SCOPED_TRACE(trace_of(c));
+    SynthOptions opts = options_for(c);
+    const SynthResult serial = synthesize(opts);
+    opts.jobs = 3;
+    const SynthResult pooled = synthesize(opts);
+    opts.jobs = 7;
+    const SynthResult pooled7 = synthesize(opts);
+    for (const SynthResult* other : {&pooled, &pooled7}) {
+      EXPECT_EQ(serial.best.genome.key(), other->best.genome.key());
+      EXPECT_EQ(serial.best.cycles, other->best.cycles);
+      EXPECT_EQ(serial.evaluated, other->evaluated);
+      EXPECT_EQ(serial.lint_rejected, other->lint_rejected);
+      ASSERT_EQ(serial.beam.size(), other->beam.size());
+      for (std::size_t i = 0; i < serial.beam.size(); ++i) {
+        EXPECT_EQ(serial.beam[i].genome.key(), other->beam[i].genome.key());
+        EXPECT_EQ(serial.beam[i].cycles, other->beam[i].cycles);
+      }
+    }
+  }
+}
+
+TEST(SynthProperty, SimulatedAnnealingIsDeterministicAndNeverWorsens) {
+  Case c;
+  c.shape = "4x4x4";
+  c.msg_bytes = 64;
+  c.net_seed = 11;
+  c.search_seed = 5;
+  SynthOptions opts = options_for(c);
+  opts.sa_steps = 6;
+  const SynthResult a = synthesize(opts);
+  opts.jobs = 4;
+  const SynthResult b = synthesize(opts);
+  EXPECT_EQ(a.best.genome.key(), b.best.genome.key());
+  EXPECT_EQ(a.best.cycles, b.best.cycles);
+
+  opts.jobs = 1;
+  opts.sa_steps = 0;
+  const SynthResult beam_only = synthesize(opts);
+  EXPECT_LE(a.best.cycles, beam_only.best.cycles);
+}
+
+TEST(SynthProperty, SaltZeroReproducesRegistryBuilders) {
+  // The genome space contains the registry strategies themselves: a
+  // zero-salt genome must expand to the exact schedule the registry builds
+  // (the search's seeds start from known-good ground).
+  net::NetworkConfig net;
+  net.shape = topo::parse_shape("4x4x2");
+  net.seed = 42;
+  Genome direct;  // D:m0,o0,b1,s0 == AR
+  const CommSchedule synth_sched =
+      build_genome_schedule(direct, net, 240, nullptr);
+  DirectTuning ar;  // registry AR defaults
+  const CommSchedule registry_sched = build_direct_schedule(net, 240, ar);
+  EXPECT_EQ(synth_sched.to_csv(nullptr), registry_sched.to_csv(nullptr));
+}
+
+// --- multi-barrier machinery (ROADMAP item 5) -------------------------------
+
+TEST(SynthProperty, Combine3dUsesTwoBarriersAndDeliversEverything) {
+  net::NetworkConfig net;
+  net.shape = topo::parse_shape("4x2x2");
+  net.seed = 9;
+  const CommSchedule sched = build_combine3d_schedule(net, 96, 0, nullptr);
+  ASSERT_EQ(sched.barriers.size(), 2u);
+  EXPECT_EQ(sched.barriers[0].phase, 1);
+  EXPECT_EQ(sched.barriers[1].phase, 2);
+  const LintReport report = schedule_lint(sched, nullptr);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  AlltoallOptions opts;
+  opts.net = net;
+  opts.msg_bytes = 96;
+  opts.verify = true;
+  const RunResult r = run_schedule(sched, opts, "C3:p0,s0");
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(r.reachable_complete);
+}
+
+TEST(SynthProperty, MisorderedBarriersAreRejectedByLintAndExecutor) {
+  net::NetworkConfig net;
+  net.shape = topo::parse_shape("4x2x2");
+  net.seed = 9;
+  CommSchedule sched = build_combine3d_schedule(net, 96, 0, nullptr);
+  std::swap(sched.barriers[0], sched.barriers[1]);  // now 2 before 1
+
+  const LintReport report = schedule_lint(sched, nullptr);
+  EXPECT_FALSE(report.ok());
+  bool flagged = false;
+  for (const LintIssue& issue : report.issues) {
+    if (issue.check == "structure" &&
+        issue.message.find("out of order") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged) << report.to_string();
+
+  EXPECT_THROW(ScheduleExecutor(net, sched, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(SynthProperty, DuplicateBarrierPhaseIsRejected) {
+  net::NetworkConfig net;
+  net.shape = topo::parse_shape("4x2x2");
+  net.seed = 9;
+  CommSchedule sched = build_combine3d_schedule(net, 96, 0, nullptr);
+  sched.barriers[1].phase = 1;  // both barriers now gate phase 1
+
+  const LintReport report = schedule_lint(sched, nullptr);
+  EXPECT_FALSE(report.ok()) << report.to_string();
+  EXPECT_THROW(ScheduleExecutor(net, sched, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(SynthProperty, BarriersOnOrderedFormAreRejected) {
+  net::NetworkConfig net;
+  net.shape = topo::parse_shape("4x2x2");
+  net.seed = 9;
+  Genome direct;
+  CommSchedule sched = build_genome_schedule(direct, net, 64, nullptr);
+  ASSERT_EQ(sched.form, StreamForm::kOrdered);
+  BarrierSpec barrier;
+  barrier.phase = 0;
+  sched.barriers.push_back(barrier);
+  const LintReport report = schedule_lint(sched, nullptr);
+  EXPECT_FALSE(report.ok()) << report.to_string();
+  EXPECT_THROW(ScheduleExecutor(net, sched, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+// TSan matrix target: the scoring pool evaluating many schedules (several
+// with barrier timers) concurrently. Named SynthPool so the sanitizer jobs
+// can select it by filter.
+TEST(SynthPool, ParallelScoringMatchesSerial) {
+  Case c;
+  c.shape = "4x4x2";
+  c.msg_bytes = 64;
+  c.net_seed = 3;
+  c.search_seed = 3;
+  c.faults.node_fail = 1;
+  c.faults.seed = 5;
+  SynthOptions opts = options_for(c);
+  opts.beam_width = 3;
+  opts.mutations_per_survivor = 3;
+  const SynthResult serial = synthesize(opts);
+  opts.jobs = 4;
+  const SynthResult pooled = synthesize(opts);
+  EXPECT_EQ(serial.best.genome.key(), pooled.best.genome.key());
+  EXPECT_EQ(serial.best.cycles, pooled.best.cycles);
+}
+
+}  // namespace
+}  // namespace bgl::coll::synth

@@ -1,0 +1,79 @@
+// Rediscovery regression: on one of the paper's asymmetric torus shapes the
+// beam search — whose relay seed deliberately starts on the *wrong* axis —
+// must land on a TPS-equivalent schedule (relay family, Z linear axis, the
+// paper's choose_linear_axis pick for 4x4x16) with simulated peak at least
+// TPS's, within a fixed budget. The winner's transfer table is pinned as a
+// golden file next to the schedule_lint goldens.
+//
+// Regenerate the golden after an intentional change with
+//   BGL_UPDATE_GOLDEN=1 ./build/tests/synth_rediscovery_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/coll/schedule_lint.hpp"
+#include "src/coll/synth.hpp"
+
+namespace bgl::coll::synth {
+namespace {
+
+constexpr const char* kGoldenFile =
+    BGL_TEST_GOLDEN_DIR "/synth_winner_4x4x16.csv";
+
+TEST(SynthRediscovery, FindsTpsEquivalentScheduleOnAsymmetricTorus) {
+  SynthOptions opts;
+  opts.net.shape = topo::parse_shape("4x4x16");
+  opts.net.seed = 1;
+  opts.msg_bytes = 240;
+  opts.seed = 2;  // fixed budget + seed: the whole search is deterministic
+  opts.beam_width = 3;
+  opts.generations = 2;
+  opts.mutations_per_survivor = 3;
+  opts.jobs = 4;
+  opts.score_baselines = false;  // compared against TPS directly below
+
+  const SynthResult result = synthesize(opts);
+  ASSERT_TRUE(result.best.lint_ok);
+  ASSERT_TRUE(result.best.drained);
+
+  // The paper's structure, rediscovered: store-and-forward relay family on
+  // the Z axis (choose_linear_axis's pick for 4x4x16), not the axis-0 seed.
+  EXPECT_EQ(result.best.genome.family, GenomeFamily::kRelay);
+  EXPECT_EQ(result.best.genome.relay_axis, topo::kZ);
+
+  // Simulated peak >= TPS's on the same pinned evaluation config.
+  AlltoallOptions tps_opts;
+  tps_opts.net = opts.net;
+  tps_opts.net.sim_threads = 1;
+  tps_opts.msg_bytes = opts.msg_bytes;
+  const RunResult tps = run_alltoall(StrategyKind::kTwoPhase, tps_opts);
+  ASSERT_TRUE(tps.drained);
+  EXPECT_LE(result.best.cycles, tps.elapsed_cycles)
+      << "winner " << result.best.genome.key() << " lost to registry TPS";
+
+  // Pin the winning schedule's transfer table.
+  const CommSchedule sched =
+      build_genome_schedule(result.best.genome, opts.net, opts.msg_bytes, nullptr);
+  const std::string csv = sched.to_csv(nullptr);
+  if (const char* update = std::getenv("BGL_UPDATE_GOLDEN");
+      update != nullptr && update[0] != '\0' && update[0] != '0') {
+    std::ofstream out(kGoldenFile, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenFile;
+    out << csv;
+    GTEST_SKIP() << "golden regenerated: " << kGoldenFile;
+  }
+  std::ifstream in(kGoldenFile, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << kGoldenFile
+                  << " (regenerate with BGL_UPDATE_GOLDEN=1)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(csv, golden.str())
+      << "winner " << result.best.genome.key()
+      << " no longer matches the pinned schedule";
+}
+
+}  // namespace
+}  // namespace bgl::coll::synth

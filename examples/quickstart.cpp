@@ -95,6 +95,11 @@ int main(int argc, char** argv) {
     const std::string report =
         bgl::trace::summarize_faults(plan, result.faults, result.reliability);
     if (!report.empty()) std::printf("%s\n", report.c_str());
+    const std::string recovery = bgl::trace::summarize_recovery(
+        result.epochs.epochs, result.epochs.replans, result.epochs.replan_cycles,
+        result.epochs.residual_pairs, result.epochs.recovered_bytes,
+        result.epochs.corruption_retransmits);
+    if (!recovery.empty()) std::printf("%s\n", recovery.c_str());
     std::printf("delivery        %llu/%llu pairs complete, %llu unreachable%s\n",
                 static_cast<unsigned long long>(result.pairs_complete),
                 static_cast<unsigned long long>(

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "src/coll/direct.hpp"
+#include "src/coll/recovery.hpp"
 #include "src/coll/registry.hpp"
 #include "src/coll/schedule.hpp"
 #include "src/coll/selector.hpp"
@@ -133,14 +134,38 @@ RunResult finish_run(net::NetworkConfig net, StrategyClient& client,
     if (reliable.has_value()) {
       result.reliability = reliable->stats();
       result.abandoned_pairs = reliable->abandoned_pairs().size();
+      result.epochs.corruption_retransmits = result.reliability.corrupt_rejected;
     }
   }
   if (matrix != nullptr) {
+    result.verified = true;
     result.pairs_complete = matrix->complete_pairs(options.msg_bytes);
     result.reachable_complete =
         matrix->complete_reachable(options.msg_bytes, result.reachable);
   }
   return result;
+}
+
+// Whether a run's shortfall is eligible for epoch recovery: a delayed
+// permanent strike (dead links or nodes landing mid-run) with recovery
+// enabled. Drop/corruption-only fault configs are repaired inline by the
+// reliability layer and never re-plan.
+bool recovery_armed(const AlltoallOptions& options, const net::NetworkConfig& net,
+                    const net::FaultPlan& plan, bool blind_strike) {
+  return options.recover && blind_strike &&
+         (plan.dead_link_count() > 0 || plan.dead_node_count() > 0);
+}
+
+// Epoch recovery after the struck epoch-0 run, shared by both entry points.
+void maybe_recover(RunResult& result, StrategyClient& client,
+                   const AlltoallOptions& options, const net::NetworkConfig& net,
+                   const net::FaultPlan& plan, DeliveryMatrix* matrix) {
+  // A wedged or killed epoch 0 never recovers: its ledger is mid-flight
+  // garbage and re-planning from it would double-deliver.
+  if (matrix == nullptr || !result.drained || result.timed_out) return;
+  std::vector<StrandedRelay> stranded;
+  client.collect_stranded(plan, stranded);
+  recover_epochs(result, options, net, plan, *matrix, stranded);
 }
 
 }  // namespace
@@ -167,11 +192,17 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
     kind = select_strategy(net.shape, options.msg_bytes, planning_faults).kind;
   }
 
+  // Epoch recovery needs the per-pair ledger to compute its residual, and
+  // only engages on the schedule-IR path (the legacy clients keep the
+  // pre-recovery contract for the equivalence suite).
+  const bool recover = !options.use_legacy_clients &&
+                       recovery_armed(options, net, plan, blind_strike);
+
   // Delivery recording: the caller's matrix, or an internal one when only
-  // the RunResult summary is wanted.
+  // the RunResult summary is wanted (or recovery may trigger).
   std::optional<DeliveryMatrix> local_matrix;
   DeliveryMatrix* matrix = options.deliveries;
-  if (matrix == nullptr && options.verify) {
+  if (matrix == nullptr && (options.verify || recover)) {
     local_matrix.emplace(static_cast<std::int32_t>(net.shape.nodes()));
     matrix = &*local_matrix;
   }
@@ -207,8 +238,10 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
     }
   }
 
-  return finish_run(net, *client, options, plan, faults, matrix,
-                    strategy_name(kind));
+  RunResult result =
+      finish_run(net, *client, options, plan, faults, matrix, strategy_name(kind));
+  if (recover) maybe_recover(result, *client, options, net, plan, matrix);
+  return result;
 }
 
 RunResult run_schedule(CommSchedule schedule, const AlltoallOptions& options,
@@ -227,15 +260,19 @@ RunResult run_schedule(CommSchedule schedule, const AlltoallOptions& options,
   const bool blind_strike = faults != nullptr && net.faults.fail_at > 0;
   const net::FaultPlan* planning_faults = blind_strike ? nullptr : faults;
 
+  const bool recover = recovery_armed(options, net, plan, blind_strike);
+
   std::optional<DeliveryMatrix> local_matrix;
   DeliveryMatrix* matrix = options.deliveries;
-  if (matrix == nullptr && options.verify) {
+  if (matrix == nullptr && (options.verify || recover)) {
     local_matrix.emplace(static_cast<std::int32_t>(net.shape.nodes()));
     matrix = &*local_matrix;
   }
 
   ScheduleExecutor client(net, std::move(schedule), matrix, planning_faults);
-  return finish_run(net, client, options, plan, faults, matrix, label);
+  RunResult result = finish_run(net, client, options, plan, faults, matrix, label);
+  if (recover) maybe_recover(result, client, options, net, plan, matrix);
+  return result;
 }
 
 }  // namespace bgl::coll

@@ -34,6 +34,27 @@ enum class StrategyKind {
 
 std::string strategy_name(StrategyKind kind);
 
+/// Epoch accounting of a run that crossed one or more recovery re-plans
+/// (see src/coll/recovery.hpp). A run that never re-planned reports
+/// epochs == 1 and zeros elsewhere; corruption_retransmits can be nonzero
+/// on its own under FaultConfig::corrupt_prob.
+struct EpochStats {
+  /// Execution epochs: 1 for the initial run plus one per repair schedule.
+  int epochs = 1;
+  /// Repair re-plan cycles executed (epochs - 1 on a recovered run).
+  int replans = 0;
+  /// Simulated cycles spent past the initial run: liveness agreement plus
+  /// every repair epoch's elapsed time (already folded into elapsed_cycles).
+  Tick replan_cycles = 0;
+  /// Ordered pairs the first re-plan found short of msg_bytes.
+  std::uint64_t residual_pairs = 0;
+  /// Residual bytes the repair epochs actually delivered.
+  std::uint64_t recovered_bytes = 0;
+  /// Deliveries rejected by the end-to-end payload checksum, each covered
+  /// by a retransmission (== ReliabilityStats::corrupt_rejected).
+  std::uint64_t corruption_retransmits = 0;
+};
+
 struct AlltoallOptions {
   /// Payload bytes per destination (the paper's m).
   std::uint64_t msg_bytes = 240;
@@ -75,6 +96,14 @@ struct AlltoallOptions {
   /// IR + ScheduleExecutor path. The two are bit-identical (enforced by the
   /// equivalence suite); the flag exists for that suite and for bisecting.
   bool use_legacy_clients = false;
+
+  /// Epoch-based recovery from a delayed permanent strike (fail_at > 0):
+  /// after the struck run quiesces, survivors agree on a liveness view,
+  /// compute the undelivered residual from the delivery matrix and execute
+  /// lint-checked repair schedules until every still-reachable pair is whole
+  /// (see src/coll/recovery.hpp). Only engages on the schedule-IR path; a
+  /// delivery matrix is allocated internally when recovery may trigger.
+  bool recover = true;
 
   /// Optional per-pair delivery verification (small partitions only).
   DeliveryMatrix* deliveries = nullptr;
@@ -118,7 +147,10 @@ struct RunResult {
 
   trace::LinkReport links;
 
-  // --- delivery verification (only with AlltoallOptions::verify) ---
+  // --- delivery verification (only when a DeliveryMatrix was recorded) ---
+  /// True when per-pair delivery state was recorded, i.e. pairs_complete and
+  /// reachable_complete are meaningful (verify, a caller matrix, or recovery).
+  bool verified = false;
   /// Ordered pairs that received their full msg_bytes.
   std::uint64_t pairs_complete = 0;
   /// Every reachable pair delivered exactly, nothing delivered elsewhere.
@@ -136,6 +168,8 @@ struct RunResult {
   /// Per-pair reachability (nodes() == 0 when fault-free); combine with
   /// AlltoallOptions::deliveries + DeliveryMatrix::complete_reachable.
   PairMask reachable;
+  /// Epoch-based recovery accounting (epochs == 1 when no re-plan ran).
+  EpochStats epochs{};
 };
 
 RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options);

@@ -199,8 +199,41 @@ ScheduleExecutor::ScheduleExecutor(const net::NetworkConfig& config,
   }
   if (schedule_.form == StreamForm::kExplicit) {
     combined_remaining_.assign(schedule_.ops.size(), 0);
+    // Pre-packetize payload overrides so every cursor and the delivery
+    // accounting agree on each op's wire shape. An override names exactly
+    // the bytes of one pair's message, so it is incompatible with combined
+    // multi-origin finalize lists (which share the phase's full shape).
+    bool any_override = false;
+    for (const SendOp& op : schedule_.ops) {
+      if (op.payload_bytes != 0) {
+        any_override = true;
+        if ((op.flags & SendOp::kFinalizeSelf) == 0 && op.finalize_count != 1) {
+          throw std::invalid_argument(
+              "SendOp payload override requires a single finalize origin");
+        }
+      }
+    }
+    if (any_override) {
+      op_packets_.resize(schedule_.ops.size());
+      for (std::size_t i = 0; i < schedule_.ops.size(); ++i) {
+        const SendOp& op = schedule_.ops[i];
+        if (op.payload_bytes != 0) {
+          op_packets_[i] = rt::packetize(
+              op.payload_bytes,
+              schedule_.phases[op.phase].override_format);
+        }
+      }
+    }
   }
   init_extra_deps();
+}
+
+const std::vector<rt::PacketSpec>& ScheduleExecutor::op_message(
+    std::uint32_t op_index) const {
+  if (op_index < op_packets_.size() && !op_packets_[op_index].empty()) {
+    return op_packets_[op_index];
+  }
+  return schedule_.phases[schedule_.ops[op_index].phase].packets;
 }
 
 void ScheduleExecutor::init_extra_deps() {
@@ -421,7 +454,8 @@ bool ScheduleExecutor::emit_explicit(topo::Rank node, NodeState& s,
     return false;  // the barrier timer will wake us
   }
   const PhaseSpec& phase = schedule_.phases[op.phase];
-  const rt::PacketSpec& spec = phase.packets[s.pkt];
+  const std::vector<rt::PacketSpec>& message = op_message(s.op);
+  const rt::PacketSpec& spec = message[s.pkt];
   out.dst = op.dst;
   out.tag = make_combined_tag(s.op);
   out.payload_bytes = spec.payload_bytes;
@@ -434,7 +468,7 @@ bool ScheduleExecutor::emit_explicit(topo::Rank node, NodeState& s,
   if (s.pkt == 0) extra += phase.first_packet_extra_cycles;
   out.extra_cpu_cycles = static_cast<std::uint32_t>(std::lround(extra));
 
-  if (++s.pkt >= phase.packets.size()) {
+  if (++s.pkt >= message.size()) {
     s.pkt = 0;
     ++s.op;
   }
@@ -492,14 +526,16 @@ void ScheduleExecutor::on_delivery(topo::Rank node, const net::Packet& packet) {
         // at its one destination, so the cell is never shared across slabs.
         std::uint32_t& left = combined_remaining_[op_index];
         if (left == 0) {
-          left = static_cast<std::uint32_t>(schedule_.phases[op.phase].packets.size());
+          left = static_cast<std::uint32_t>(op_message(op_index).size());
         }
         assert(left > 0);
         if (--left == 0) {
+          const std::uint64_t bytes =
+              op.payload_bytes != 0 ? op.payload_bytes : schedule_.msg_bytes;
           std::vector<topo::Rank> finalize;
           schedule_.finalize_list(op, packet.src, finalize);
           for (const topo::Rank orig : finalize) {
-            matrix_->record(orig, node, schedule_.msg_bytes);
+            matrix_->record(orig, node, bytes);
           }
         }
       }
@@ -539,13 +575,43 @@ void ScheduleExecutor::mark_reachable(PairMask& mask) const {
   }
 }
 
-std::uint64_t ScheduleExecutor::stranded_relay_bytes(const net::FaultPlan& plan) const {
-  if (!plan.enabled() || plan.dead_node_count() == 0) return 0;
-  std::uint64_t bytes = 0;
+void ScheduleExecutor::collect_stranded(const net::FaultPlan& plan,
+                                        std::vector<StrandedRelay>& out) const {
+  if (!plan.enabled() || plan.dead_node_count() == 0) return;
+  std::vector<topo::Rank> origs;
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    if (plan.node_alive(static_cast<topo::Rank>(n))) continue;
-    for (const Forward& f : nodes_[n].forwards) bytes += f.payload_bytes;
+    const auto rank = static_cast<topo::Rank>(n);
+    if (plan.node_alive(rank)) continue;
+    const NodeState& s = nodes_[n];
+    // Ordered relaying: custody sits in the dead node's forward queue.
+    for (const Forward& f : s.forwards) {
+      out.push_back(StrandedRelay{f.orig_src, f.final_dst, f.payload_bytes});
+    }
+    if (schedule_.form != StreamForm::kExplicit) continue;
+    // Explicit combining: custody is implicit in the dead node's unsent ops.
+    // Only ops whose barrier opened are counted — the barrier certifies the
+    // previous stage's blocks had all arrived, so the node really held them.
+    // Earlier or ungated phases carry the node's own data, not custody.
+    for (std::uint32_t i = std::max(s.op, schedule_.op_begin[n]);
+         i < schedule_.op_begin[n + 1]; ++i) {
+      const SendOp& op = schedule_.ops[i];
+      const std::int32_t gate = barrier_of_phase_[op.phase];
+      if (gate < 0 || !s.barrier_open[static_cast<std::size_t>(gate)]) continue;
+      const std::uint64_t bytes =
+          op.payload_bytes != 0 ? op.payload_bytes : schedule_.msg_bytes;
+      schedule_.finalize_list(op, rank, origs);
+      for (const topo::Rank orig : origs) {
+        if (orig != rank) out.push_back(StrandedRelay{orig, op.dst, bytes});
+      }
+    }
   }
+}
+
+std::uint64_t ScheduleExecutor::stranded_relay_bytes(const net::FaultPlan& plan) const {
+  std::vector<StrandedRelay> records;
+  collect_stranded(plan, records);
+  std::uint64_t bytes = 0;
+  for (const StrandedRelay& r : records) bytes += r.payload_bytes;
   return bytes;
 }
 

@@ -85,6 +85,10 @@ struct PhaseSpec {
   double pace_extra_per_chunk = 0.0;
   /// Software cost of re-injecting a relayed packet that lands in this phase.
   std::uint32_t forward_cpu_cycles = 0;
+  /// Wire format used to packetize per-op payload overrides
+  /// (SendOp::payload_bytes != 0) landing in this phase; irrelevant for ops
+  /// that use the phase's `packets` shape.
+  rt::WireFormat override_format = rt::WireFormat::direct();
 };
 
 enum class StreamForm : std::uint8_t { kOrdered, kExplicit };
@@ -123,6 +127,12 @@ struct SendOp {
   /// list {sending node} without pool storage.
   std::int32_t finalize_begin = -1;
   std::int32_t finalize_count = 0;
+  /// Per-op payload override, in bytes: 0 (the default) means the op carries
+  /// the schedule's full msg_bytes and uses its phase's message shape.
+  /// Nonzero ops are re-packetized with the phase's override_format — repair
+  /// schedules use this to top up partially-delivered pairs with exactly the
+  /// missing bytes, never duplicating data that already arrived.
+  std::uint32_t payload_bytes = 0;
 
   static constexpr std::uint8_t kFinalizeSelf = 1;
 };
@@ -258,8 +268,16 @@ class ScheduleExecutor : public StrategyClient {
 
   /// Relay payload parked in the forward queues of nodes `plan` marks
   /// fail-stopped: accepted into custody, never re-injectable (see
-  /// FaultStats::stranded_relay_bytes).
+  /// FaultStats::stranded_relay_bytes). For explicit-form schedules the
+  /// custody lives in a dead node's unsent combining ops instead of a
+  /// forward queue; an op counts once its phase's barrier opened (the stage
+  /// inputs had all arrived), a deliberate lower bound — partially-arrived
+  /// stage inputs are not itemizable per origin.
   std::uint64_t stranded_relay_bytes(const net::FaultPlan& plan) const override;
+
+  /// Itemized view of the same custody (see StrategyClient).
+  void collect_stranded(const net::FaultPlan& plan,
+                        std::vector<StrandedRelay>& out) const override;
 
   const CommSchedule& schedule() const { return schedule_; }
   std::uint64_t credit_packets_sent() const {
@@ -313,6 +331,9 @@ class ScheduleExecutor : public StrategyClient {
                          std::uint32_t pkt_index);
   bool emit_ordered(topo::Rank node, NodeState& s, net::InjectDesc& out);
   bool emit_explicit(topo::Rank node, NodeState& s, net::InjectDesc& out);
+  /// Wire message of op `op_index`: the phase's shape, or the op's private
+  /// packetization when SendOp::payload_bytes overrides it.
+  const std::vector<rt::PacketSpec>& op_message(std::uint32_t op_index) const;
 
   // --- extra_deps execution (ordered relay-free schedules only) ---
   /// Key of an ordered (src, dst) pair — the transfer identity the dependency
@@ -331,6 +352,9 @@ class ScheduleExecutor : public StrategyClient {
   /// Barrier index gating each phase (-1 = ungated), derived from
   /// schedule_.barriers; arrivals of phase p arm barrier_of_phase_[p + 1].
   std::vector<std::int32_t> barrier_of_phase_;
+  /// Private packetizations of ops with a payload_bytes override, keyed by
+  /// absolute op index (empty vector = no override, use the phase shape).
+  std::vector<std::vector<rt::PacketSpec>> op_packets_;
   /// Packets still missing per in-flight combined message, indexed by op
   /// (0 = message not yet seen; seeded from the op's phase message shape on
   /// its first delivery). A dense vector rather than a map so concurrent
@@ -402,7 +426,7 @@ void CommSchedule::for_each_transfer(const net::FaultPlan* faults, Fn&& fn) cons
         Transfer t;
         t.src = orig;
         t.dst = op.dst;
-        t.bytes = msg_bytes;
+        t.bytes = op.payload_bytes != 0 ? op.payload_bytes : msg_bytes;
         t.phase = op.phase;
         t.fifo_class = phases[op.phase].fifo_class;
         if (orig != n) {

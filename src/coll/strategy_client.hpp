@@ -2,11 +2,22 @@
 #pragma once
 
 #include <atomic>
+#include <vector>
 
 #include "src/coll/verify.hpp"
 #include "src/network/fabric.hpp"
 
 namespace bgl::coll {
+
+/// One unit of relay custody stranded at a fail-stopped node: payload a dead
+/// custodian accepted for (orig_src -> final_dst) and can never re-inject.
+/// The recovery layer re-sources these pairs from their original senders in
+/// a repair epoch (see src/coll/recovery.hpp).
+struct StrandedRelay {
+  topo::Rank orig_src = -1;
+  topo::Rank final_dst = -1;
+  std::uint64_t payload_bytes = 0;
+};
 
 class StrategyClient : public net::Client {
  public:
@@ -43,6 +54,18 @@ class StrategyClient : public net::Client {
   virtual std::uint64_t stranded_relay_bytes(const net::FaultPlan& plan) const {
     (void)plan;
     return 0;
+  }
+
+  /// Itemizes the custody behind stranded_relay_bytes, one record per
+  /// stranded (orig_src, final_dst) unit, appended to `out` in deterministic
+  /// order. The epoch-recovery layer uses the records to decide which pairs
+  /// a repair schedule must re-source and to account what stays stranded
+  /// when a pair is unrecoverable. Strategies without relay custody append
+  /// nothing.
+  virtual void collect_stranded(const net::FaultPlan& plan,
+                                std::vector<StrandedRelay>& out) const {
+    (void)plan;
+    (void)out;
   }
 
  protected:

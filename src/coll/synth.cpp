@@ -710,6 +710,7 @@ std::string SynthCache::problem_key(const topo::Shape& shape,
   key += ",degrade_mult=" + std::to_string(faults.degrade_mult);
   key += ",node=" + std::to_string(faults.node_fail);
   key += ",drop=" + fmt_double(faults.drop_prob);
+  key += ",corrupt=" + fmt_double(faults.corrupt_prob);
   key += ",fseed=" + std::to_string(faults.seed);
   key += ",rto=" + std::to_string(faults.retrans_timeout);
   key += ",retries=" + std::to_string(faults.max_retries);

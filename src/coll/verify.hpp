@@ -31,6 +31,12 @@ class PairMask {
     reachable_[index(src, dst)] = 0;
   }
 
+  /// Re-marks a pair reachable (sparse coverage masks built bottom-up, e.g.
+  /// a repair schedule covering only its residual pairs).
+  void set_reachable(topo::Rank src, topo::Rank dst) {
+    reachable_[index(src, dst)] = 1;
+  }
+
   bool reachable(topo::Rank src, topo::Rank dst) const {
     if (nodes_ == 0) return true;  // empty mask: no faults, all pairs live
     return reachable_[index(src, dst)] != 0;
@@ -73,6 +79,19 @@ class DeliveryMatrix {
   std::uint64_t bytes(topo::Rank src, topo::Rank dst) const {
     return bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nodes_) +
                   static_cast<std::size_t>(dst)];
+  }
+
+  /// Epoch-transition bookkeeping: a survivor discards the partial flow of a
+  /// pair it can never complete (source or destination fail-stopped mid-
+  /// message), returning the bytes dropped. Keeps the matrix exactly-once
+  /// accountable across repair epochs — see src/coll/recovery.hpp.
+  std::uint64_t discard(topo::Rank src, topo::Rank dst) {
+    std::uint64_t& cell =
+        bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nodes_) +
+               static_cast<std::size_t>(dst)];
+    const std::uint64_t dropped = cell;
+    cell = 0;
+    return dropped;
   }
 
   /// True when every ordered pair (src != dst) received exactly

@@ -148,6 +148,10 @@ coll::AlltoallOptions BenchContext::base_options(const topo::Shape& shape,
   options.net.shape = shape;
   options.net.seed = sweep.base_seed;
   options.net.faults = faults;
+  // Under --faults every point verifies per-pair delivery, so a drained but
+  // short run surfaces as reason == "incomplete" in the sinks instead of
+  // passing silently (the chaos-smoke CI gate keys off that column).
+  options.verify = faults.enabled();
   options.net.sim_threads = sim_threads;
   options.msg_bytes = msg_bytes;
   return options;

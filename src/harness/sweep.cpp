@@ -204,12 +204,19 @@ std::vector<std::string> result_columns(bool host_timing) {
   std::vector<std::string> columns = {
       "label",         "repeat",     "strategy", "shape",
       "msg_bytes",     "elapsed_us", "percent_peak", "per_node_mbps",
-      "packets_delivered", "events", "drained",  "seed"};
+      "packets_delivered", "events", "drained",  "reason", "seed"};
   if (host_timing) {
     columns.push_back("wall_ms");
     columns.push_back("events_per_sec");
   }
   return columns;
+}
+
+std::string failure_reason(const coll::RunResult& run) {
+  if (run.timed_out) return "timeout";
+  if (!run.drained) return "aborted";
+  if (run.verified && !run.reachable_complete) return "incomplete";
+  return "";
 }
 
 std::vector<std::string> result_cells(const SimResult& result, bool host_timing) {
@@ -225,6 +232,7 @@ std::vector<std::string> result_cells(const SimResult& result, bool host_timing)
                                     std::to_string(run.packets_delivered),
                                     std::to_string(run.events),
                                     run.drained ? "1" : "0",
+                                    failure_reason(run),
                                     std::to_string(result.seed)};
   if (host_timing) {
     cells.push_back(util::fmt(result.wall_ms, 3));

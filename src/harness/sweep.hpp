@@ -131,6 +131,14 @@ std::vector<std::string> result_columns(bool host_timing = false);
 std::vector<std::string> result_cells(const SimResult& result,
                                       bool host_timing = false);
 
+/// The row's "reason" cell: why the run failed, or "" for a healthy run.
+///   "timeout"    killed by the wall-clock watchdog (metrics are garbage);
+///   "aborted"    never quiesced before the cycle deadline (wedged);
+///   "incomplete" drained, but per-pair verification found reachable pairs
+///                short of their payload (only runs that recorded a
+///                delivery matrix can report this).
+std::string failure_reason(const coll::RunResult& run);
+
 /// Streams `results` through a sink (begin/rows/end).
 void emit(const std::vector<SimResult>& results, ResultSink& sink,
           bool host_timing = false);

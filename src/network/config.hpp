@@ -62,8 +62,15 @@ struct FaultConfig {
   std::uint32_t degrade_mult = 4;
   /// Number of nodes that fail outright (all their links die with them).
   int node_fail = 0;
-  /// Per-arrival probabilistic packet drop (models corrupted/lost packets).
+  /// Per-arrival probabilistic packet drop (models lost packets).
   double drop_prob = 0.0;
+  /// Per-arrival probabilistic payload corruption (Byzantine link): the
+  /// packet is *delivered* with flipped payload bits instead of dropped.
+  /// The link-level CRC protects the routing header on real BG/L hardware,
+  /// so in-simulation header fields stay intact; only the end-to-end payload
+  /// checksum is damaged, and the receiver must detect it (see
+  /// src/runtime/reliability.hpp).
+  double corrupt_prob = 0.0;
   /// Seed of the fault plan; 0 derives from the network seed so repeated
   /// sweeps sample independent fault placements.
   std::uint64_t seed = 0;
@@ -81,7 +88,7 @@ struct FaultConfig {
   /// True when any fault mechanism is configured.
   bool enabled() const noexcept {
     return link_fail > 0.0 || link_transient > 0.0 || degrade > 0.0 ||
-           node_fail > 0 || drop_prob > 0.0;
+           node_fail > 0 || drop_prob > 0.0 || corrupt_prob > 0.0;
   }
   friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };

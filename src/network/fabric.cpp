@@ -512,6 +512,7 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   packet.seq = desc.seq;
   packet.ack_cum = desc.ack_cum;
   packet.ack_bits = desc.ack_bits;
+  packet.checksum = desc.checksum;
 
   if (faults_active_ && struck_) {
     // Same tie-coin draw as below, but steered away from tie resolutions
@@ -849,7 +850,7 @@ void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
 void Fabric::on_arrival(std::uint32_t slot_index) {
   FlightSlot& flight = flight_at(slot_index);
   assert(flight.in_use);
-  const Packet packet = flight.packet;
+  Packet packet = flight.packet;
   const Rank node = flight.to_node;
   const bool deliver = flight.deliver;
   const std::uint8_t port = flight.port;
@@ -879,6 +880,21 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
         if (upstream >= 0) schedule_arb_if_idle(upstream, port);
       }
       return;
+    }
+    // Byzantine link: the packet crosses the hop intact on the wire model
+    // but its payload bits flip. The link-level CRC keeps the routing header
+    // usable, so in-simulation we damage only the end-to-end checksum — the
+    // receiver (ReliableClient) must reject it; silent acceptance would
+    // deliver garbage. Only the final hop corrupts, mirroring drop_prob's
+    // per-arrival accounting and keeping one counter per injected fault.
+    // The RNG draw is gated on corrupt_prob > 0 so existing faulted-run
+    // streams stay bit-identical when the mode is off.
+    if (deliver && config_.faults.corrupt_prob > 0.0 &&
+        fault_rng_.unit() < config_.faults.corrupt_prob) {
+      std::uint32_t mask = 0;
+      while (mask == 0) mask = static_cast<std::uint32_t>(fault_rng_());
+      packet.checksum ^= mask;
+      ++fault_stats_.corrupted_payloads;
     }
   }
 

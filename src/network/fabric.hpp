@@ -95,8 +95,12 @@ struct FabricStats {
 /// Counters of the fault subsystem; all zero on a fault-free run.
 struct FaultStats {
   std::uint64_t dropped_in_flight = 0;   // on a link that died under them
-  std::uint64_t dropped_prob = 0;        // probabilistic corruption drops
+  std::uint64_t dropped_prob = 0;        // probabilistic loss drops
   std::uint64_t dropped_stuck = 0;       // stuck-head sweep (wedge backstop)
+  /// Packets delivered with payload bits flipped by a Byzantine link
+  /// (corrupt_prob): not dropped — the receiver's end-to-end checksum must
+  /// reject every one (ReliabilityStats::corrupt_rejected matches this).
+  std::uint64_t corrupted_payloads = 0;
   std::uint64_t unroutable_at_injection = 0;  // no live minimal path existed
   std::uint64_t reroute_vetoes = 0;      // grants refused into dead ends
   std::uint64_t transient_strikes = 0;   // transient link outages begun

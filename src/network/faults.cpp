@@ -32,6 +32,7 @@ std::int64_t non_negative(const std::string& value, const std::string& key) {
 
 FaultConfig parse_fault_spec(const std::string& text) {
   FaultConfig out;
+  std::vector<std::string> seen;
   std::size_t pos = 0;
   while (pos <= text.size()) {
     const auto comma = text.find(',', pos);
@@ -49,6 +50,12 @@ FaultConfig parse_fault_spec(const std::string& text) {
     }
     const std::string key = entry.substr(0, sep);
     const std::string value = entry.substr(sep + 1);
+    // Last-wins would make "link:0.1,link:0" silently disable the fault the
+    // user thought they configured; duplicates are always a spec bug.
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+      spec_error("duplicate key '" + key + "' in '" + text + "'");
+    }
+    seen.push_back(key);
     if (key == "link") {
       out.link_fail = fraction(value, key);
     } else if (key == "tlink") {
@@ -69,6 +76,8 @@ FaultConfig parse_fault_spec(const std::string& text) {
       out.node_fail = static_cast<int>(non_negative(value, key));
     } else if (key == "drop") {
       out.drop_prob = fraction(value, key);
+    } else if (key == "corrupt") {
+      out.corrupt_prob = fraction(value, key);
     } else if (key == "seed") {
       out.seed = static_cast<std::uint64_t>(
           util::parse_strict_int(value, "option --faults seed"));
@@ -82,7 +91,7 @@ FaultConfig parse_fault_spec(const std::string& text) {
       out.stuck_drop_cycles = non_negative(value, key);
     } else {
       spec_error("unknown key '" + key + "' (expected link, tlink, repair, fail_at, " +
-                 "degrade, degrade_mult, node, drop, seed, rto, retries, stuck)");
+                 "degrade, degrade_mult, node, drop, corrupt, seed, rto, retries, stuck)");
     }
   }
   return out;

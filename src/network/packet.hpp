@@ -28,6 +28,11 @@ struct Packet {
   std::uint32_t seq = 0;       // 1-based per-(src,dst) sequence; 0 = unsequenced
   std::uint32_t ack_cum = 0;   // all sequences <= ack_cum delivered back to src
   std::uint32_t ack_bits = 0;  // SACK bitmap for sequences in (ack_cum, ack_cum+32]
+  /// End-to-end payload checksum stamped by the sender over the header and
+  /// payload identity; a Byzantine link (corrupt_prob) XORs it in flight and
+  /// the receiver rejects the packet on mismatch. All-zero and ignored when
+  /// faults are disabled.
+  std::uint32_t checksum = 0;
 
   bool at_destination() const noexcept {
     return hops[0] == 0 && hops[1] == 0 && hops[2] == 0;
@@ -58,6 +63,7 @@ struct InjectDesc {
   std::uint32_t seq = 0;
   std::uint32_t ack_cum = 0;
   std::uint32_t ack_bits = 0;
+  std::uint32_t checksum = 0;
 };
 
 }  // namespace bgl::net

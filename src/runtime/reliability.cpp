@@ -3,6 +3,45 @@
 #include <algorithm>
 
 namespace bgl::rt {
+namespace {
+
+// End-to-end checksum over the packet identity the 8 B proto header commits
+// to: who sent what to whom, under which sequence and ack state. The DES
+// carries no payload bytes, so the checksum doubles as the payload's proxy —
+// a Byzantine link "flips payload bits" by XORing this field in flight
+// (fabric.cpp), and any nonzero XOR is detected by recomputation.
+std::uint32_t header_checksum(std::uint32_t src, std::uint32_t dst,
+                              std::uint64_t tag, std::uint32_t payload,
+                              std::uint32_t seq, std::uint32_t ack_cum,
+                              std::uint32_t ack_bits) {
+  std::uint64_t h = 0x42474c6373756dULL;  // "BGLcsum"
+  const auto mix = [&h](std::uint64_t v) {
+    h += v;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+  };
+  mix((std::uint64_t{src} << 32) | dst);
+  mix(tag);
+  mix((std::uint64_t{payload} << 32) | seq);
+  mix((std::uint64_t{ack_cum} << 32) | ack_bits);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+std::uint32_t stamp_checksum(net::Rank src, const net::InjectDesc& desc) {
+  return header_checksum(static_cast<std::uint32_t>(src),
+                         static_cast<std::uint32_t>(desc.dst), desc.tag,
+                         desc.payload_bytes, desc.seq, desc.ack_cum,
+                         desc.ack_bits);
+}
+
+std::uint32_t expected_checksum(const net::Packet& packet) {
+  return header_checksum(static_cast<std::uint32_t>(packet.src),
+                         static_cast<std::uint32_t>(packet.dst), packet.tag,
+                         packet.payload_bytes, packet.seq, packet.ack_cum,
+                         packet.ack_bits);
+}
+
+}  // namespace
 
 ReliableClient::ReliableClient(const net::NetworkConfig& config, net::Client& inner)
     : inner_(&inner),
@@ -33,6 +72,7 @@ bool ReliableClient::next_packet(Rank node, net::InjectDesc& out) {
     out = queue.front();
     queue.pop_front();
     refresh_ack(node, out);
+    out.checksum = stamp_checksum(node, out);  // ack fields just changed
     return true;
   }
 
@@ -52,6 +92,7 @@ bool ReliableClient::next_packet(Rank node, net::InjectDesc& out) {
   // else: no live path exists; the fabric consumes the descriptor and counts
   // it unroutable, and tracking it would only retransmit into the void.
   refresh_ack(node, desc);
+  desc.checksum = stamp_checksum(node, desc);
   out = desc;
   return true;
 }
@@ -76,6 +117,27 @@ void ReliableClient::refresh_ack(Rank node, net::InjectDesc& desc) {
 }
 
 void ReliableClient::on_delivery(Rank node, const net::Packet& packet) {
+  // Integrity first: a packet that fails the end-to-end checksum crossed a
+  // Byzantine link, and nothing in it can be trusted — not the payload and
+  // not the piggybacked acks. Reject it before any protocol state is
+  // touched. Re-advertising the receiver state after the ack delay acts as
+  // a NACK (the sender sees the gap and its scan retransmits with backoff);
+  // a corrupted standalone ack is simply dropped and a later ack, or the
+  // sender's own timeout, covers for it.
+  if (packet.checksum != expected_checksum(packet)) {
+    ++stats_.corrupt_rejected;
+    if (packet.seq != 0) {
+      ReceiverFlow& flow = recv_[static_cast<std::size_t>(node)][packet.src];
+      flow.ack_pending = true;
+      if (!flow.flush_scheduled) {
+        flow.flush_scheduled = true;
+        fabric_->schedule_timer(node, ack_delay_,
+                                kCookieFlag | kAckFlushBit |
+                                    static_cast<std::uint32_t>(packet.src));
+      }
+    }
+    return;
+  }
   // Every packet — data, duplicate, or standalone ack — carries fresh ack
   // state for the reverse flow.
   process_ack(node, packet.src, packet.ack_cum, packet.ack_bits);

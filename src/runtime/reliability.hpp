@@ -44,6 +44,11 @@ struct ReliabilityStats {
   std::uint64_t acks_standalone = 0;     // dedicated ack packets injected
   std::uint64_t acks_piggybacked = 0;    // pending acks carried by data
   std::uint64_t duplicates_dropped = 0;  // retransmit copies suppressed
+  /// Deliveries rejected by the end-to-end payload checksum (Byzantine
+  /// links, FaultConfig::corrupt_prob). Every corruption the fabric injects
+  /// must land here — corrupt_rejected == FaultStats::corrupted_payloads on
+  /// a drained run, or silent garbage reached the application.
+  std::uint64_t corrupt_rejected = 0;
 };
 
 class ReliableClient final : public net::Client {

@@ -86,25 +86,46 @@ std::string summarize_faults(const net::FaultPlan& plan, const net::FaultStats& 
                 static_cast<unsigned long long>(faults.link_down_cycles));
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "drops: %llu in flight, %llu corrupted, %llu stuck; "
-                "%llu unroutable at injection, %llu reroute vetoes\n",
+                "drops: %llu in flight, %llu lost, %llu stuck; "
+                "%llu corrupted in flight, %llu unroutable at injection, "
+                "%llu reroute vetoes\n",
                 static_cast<unsigned long long>(faults.dropped_in_flight),
                 static_cast<unsigned long long>(faults.dropped_prob),
                 static_cast<unsigned long long>(faults.dropped_stuck),
+                static_cast<unsigned long long>(faults.corrupted_payloads),
                 static_cast<unsigned long long>(faults.unroutable_at_injection),
                 static_cast<unsigned long long>(faults.reroute_vetoes));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "reliability: %llu sequenced, %llu retransmits, %llu duplicates "
-                "dropped, %llu+%llu acks (standalone+piggybacked), %llu given up",
+                "dropped, %llu corrupt rejected, %llu+%llu acks "
+                "(standalone+piggybacked), %llu given up",
                 static_cast<unsigned long long>(reliability.data_sequenced),
                 static_cast<unsigned long long>(reliability.retransmits),
                 static_cast<unsigned long long>(reliability.duplicates_dropped),
+                static_cast<unsigned long long>(reliability.corrupt_rejected),
                 static_cast<unsigned long long>(reliability.acks_standalone),
                 static_cast<unsigned long long>(reliability.acks_piggybacked),
                 static_cast<unsigned long long>(reliability.gave_up));
   out += buf;
   return out;
+}
+
+std::string summarize_recovery(int epochs, int replans, net::Tick replan_cycles,
+                               std::uint64_t residual_pairs,
+                               std::uint64_t recovered_bytes,
+                               std::uint64_t corruption_retransmits) {
+  if (epochs <= 1 && corruption_retransmits == 0) return "";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "recovery: %d epochs (%d re-plans, %llu cycles), "
+                "%llu residual pairs, %llu bytes recovered, "
+                "%llu corruption retransmits",
+                epochs, replans, static_cast<unsigned long long>(replan_cycles),
+                static_cast<unsigned long long>(residual_pairs),
+                static_cast<unsigned long long>(recovered_bytes),
+                static_cast<unsigned long long>(corruption_retransmits));
+  return buf;
 }
 
 std::string LinkReport::to_string() const {

@@ -44,4 +44,12 @@ std::vector<int> utilization_histogram(const net::Fabric& fabric, net::Tick elap
 std::string summarize_faults(const net::FaultPlan& plan, const net::FaultStats& faults,
                              const rt::ReliabilityStats& reliability);
 
+/// One-line summary of a run's epoch recovery (scalars rather than the coll
+/// layer's EpochStats — trace sits below coll). Returns "" for an
+/// unremarkable run (single epoch, no corruption handled).
+std::string summarize_recovery(int epochs, int replans, net::Tick replan_cycles,
+                               std::uint64_t residual_pairs,
+                               std::uint64_t recovered_bytes,
+                               std::uint64_t corruption_retransmits);
+
 }  // namespace bgl::trace

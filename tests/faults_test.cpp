@@ -19,7 +19,7 @@ namespace {
 TEST(ParseFaultSpec, ParsesEveryKey) {
   const FaultConfig c = parse_fault_spec(
       "link:0.02,tlink=0.01,repair:1000,fail_at:5,degrade:0.1,degrade_mult:8,"
-      "node:3,drop:1e-5,seed:7,rto:2000,retries:4,stuck:9000");
+      "node:3,drop:1e-5,corrupt:2e-4,seed:7,rto:2000,retries:4,stuck:9000");
   EXPECT_DOUBLE_EQ(c.link_fail, 0.02);
   EXPECT_DOUBLE_EQ(c.link_transient, 0.01);
   EXPECT_EQ(c.repair_cycles, 1000);
@@ -28,6 +28,7 @@ TEST(ParseFaultSpec, ParsesEveryKey) {
   EXPECT_EQ(c.degrade_mult, 8u);
   EXPECT_EQ(c.node_fail, 3);
   EXPECT_DOUBLE_EQ(c.drop_prob, 1e-5);
+  EXPECT_DOUBLE_EQ(c.corrupt_prob, 2e-4);
   EXPECT_EQ(c.seed, 7u);
   EXPECT_EQ(c.retrans_timeout, 2000);
   EXPECT_EQ(c.max_retries, 4);
@@ -37,6 +38,39 @@ TEST(ParseFaultSpec, ParsesEveryKey) {
 
 TEST(ParseFaultSpec, EmptySpecIsDisabled) {
   EXPECT_FALSE(parse_fault_spec("").enabled());
+}
+
+TEST(ParseFaultSpec, ParsesCorruptProbability) {
+  const FaultConfig c = parse_fault_spec("corrupt:0.01");
+  EXPECT_DOUBLE_EQ(c.corrupt_prob, 0.01);
+  EXPECT_TRUE(c.enabled());
+  EXPECT_DOUBLE_EQ(parse_fault_spec("corrupt:0").corrupt_prob, 0.0);
+  EXPECT_DOUBLE_EQ(parse_fault_spec("drop:0.001,corrupt:1e-3").corrupt_prob, 1e-3);
+}
+
+TEST(ParseFaultSpec, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_fault_spec("link:0.1,link:0.2"), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("drop:0.1,corrupt:0.1,drop:0.1"),
+               std::runtime_error);
+  // Mixed key:value / key=value syntax is still the same key.
+  EXPECT_THROW(parse_fault_spec("node:1,node=2"), std::runtime_error);
+  try {
+    parse_fault_spec("corrupt:0.1,corrupt:0.1");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("corrupt"), std::string::npos);
+  }
+}
+
+TEST(ParseFaultSpec, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW(parse_fault_spec("corrupt:1.5"), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("corrupt:-0.1"), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("drop:1.0001"), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("tlink:2"), std::runtime_error);
+  // The bounds themselves are legal.
+  EXPECT_DOUBLE_EQ(parse_fault_spec("corrupt:1").corrupt_prob, 1.0);
+  EXPECT_DOUBLE_EQ(parse_fault_spec("drop:1,corrupt:0").drop_prob, 1.0);
 }
 
 TEST(ParseFaultSpec, RejectsMalformedInput) {

@@ -159,6 +159,9 @@ TEST(MidRunStrike, BlindPlanningQuiescesAndReportsStrandedRelayBytes) {
   // Strike one node a quarter of the way into the healthy run: phase-1
   // forwards are in flight and (for this seed) some sit in the victim's
   // custody at the strike instant. Deterministic — not timing-flaky.
+  // Recovery off: this test pins the raw struck-epoch contract (recovery
+  // semantics have their own suite in recovery_test.cpp).
+  options.recover = false;
   options.net.faults.node_fail = 1;
   options.net.faults.fail_at = healthy.elapsed_cycles / 4;
   const RunResult r = run_alltoall(StrategyKind::kTwoPhase, options);

@@ -12,8 +12,10 @@
 
 #include "bench/bench_util.hpp"
 #include "src/coll/tps.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/harness/runner.hpp"
 #include "src/network/fabric.hpp"
+#include "src/util/shape_arg.hpp"
 
 int main(int argc, char** argv) {
   using namespace bgl;
@@ -23,7 +25,7 @@ int main(int argc, char** argv) {
   cli.describe("bytes", "payload per destination (default 960)");
   cli.validate();
 
-  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto shape = util::shape_arg_or_exit(cli.get("shape", "8x8x16"), cli.program());
   const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 960));
   bench::print_header("Ablation — TPS credit-based flow control (paper Section 5)",
                       ("partition " + shape.to_string() + ", " + std::to_string(bytes) +
@@ -48,7 +50,8 @@ int main(int argc, char** argv) {
         coll::TpsTuning tuning;
         tuning.credit_window = window;
         tuning.credit_batch = window > 0 ? std::max(1, window / 2) : 10;
-        coll::TwoPhaseClient client(config, bytes, tuning, nullptr);
+        coll::ScheduleExecutor client(
+            config, coll::build_tps_schedule(config, bytes, tuning), nullptr);
         net::Fabric fabric(config, client);
         client.bind(fabric);
         const bool drained = fabric.run();

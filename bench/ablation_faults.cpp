@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "src/util/shape_arg.hpp"
 
 int main(int argc, char** argv) {
   using namespace bgl;
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   cli.describe("drop", "extra per-arrival packet drop probability (default 1e-5)");
   cli.validate();
   const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 240));
-  const auto shape = topo::parse_shape(cli.get("shape", "8x8x8"));
+  const auto shape = util::shape_arg_or_exit(cli.get("shape", "8x8x8"), cli.program());
   const double drop = cli.get_double("drop", 1e-5);
 
   bench::print_header("Ablation — graceful degradation under link faults",

@@ -13,6 +13,7 @@
 #include "bench/bench_util.hpp"
 #include "src/coll/many_to_many.hpp"
 #include "src/harness/runner.hpp"
+#include "src/util/shape_arg.hpp"
 
 int main(int argc, char** argv) {
   using namespace bgl;
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   cli.describe("bytes", "message bytes per destination (default 960)");
   cli.validate();
 
-  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto shape = util::shape_arg_or_exit(cli.get("shape", "8x8x16"), cli.program());
   const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 960));
   const auto nodes = static_cast<std::int32_t>(shape.nodes());
 

@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.hpp"
 #include "src/coll/alltoall.hpp"
+#include "src/util/shape_arg.hpp"
 
 int main(int argc, char** argv) {
   using namespace bgl;
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
                "(default 1; costs nodes^2 words of memory at large shapes)");
   cli.validate();
 
-  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto shape = util::shape_arg_or_exit(cli.get("shape", "8x8x16"), cli.program());
   const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 240));
   const std::string out_path = cli.get("out", "BENCH_simcore.json");
   const bool verify = cli.get_int("verify", 1) != 0;

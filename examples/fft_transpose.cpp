@@ -12,6 +12,7 @@
 
 #include "src/coll/alltoall.hpp"
 #include "src/coll/selector.hpp"
+#include "src/util/shape_arg.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
@@ -23,7 +24,7 @@ int main(int argc, char** argv) {
   cli.describe("seed", "simulation seed");
   cli.validate();
 
-  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto shape = util::shape_arg_or_exit(cli.get("shape", "8x8x16"), cli.program());
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 4096));
   const auto nodes = static_cast<std::uint64_t>(shape.nodes());
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "src/coll/many_to_many.hpp"
+#include "src/util/shape_arg.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
@@ -21,7 +22,7 @@ int main(int argc, char** argv) {
   cli.describe("seed", "simulation seed");
   cli.validate();
 
-  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto shape = util::shape_arg_or_exit(cli.get("shape", "8x8x16"), cli.program());
   const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 960));
   const auto fanouts = util::parse_int_list(cli.get("fanouts", "2,8,32,128"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

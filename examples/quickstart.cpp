@@ -13,6 +13,7 @@
 #include "src/network/faults.hpp"
 #include "src/trace/stats.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/shape_arg.hpp"
 
 namespace {
 
@@ -43,10 +44,11 @@ int main(int argc, char** argv) {
   cli.describe("cpulinks", "links the core can keep busy");
   cli.describe("faults", "fault spec, e.g. link:0.02,drop:1e-5 (see --faults "
                          "in any bench)");
+  cli.describe("verify", "check every pair's payload arrived exactly once");
   cli.validate();
 
   bgl::coll::AlltoallOptions options;
-  options.net.shape = bgl::topo::parse_shape(cli.get("shape", "8x8x8"));
+  options.net.shape = bgl::util::shape_arg_or_exit(cli.get("shape", "8x8x8"), "quickstart");
   options.net.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   options.net.vc_capacity_chunks =
       static_cast<std::uint16_t>(cli.get_int("vc", options.net.vc_capacity_chunks));
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
     options.net.faults = bgl::net::parse_fault_spec(fault_spec);
     options.verify = true;
   }
+  if (cli.get_bool("verify", false)) options.verify = true;
   const auto kind = parse_strategy(cli.get("strategy", "best"));
 
   if (kind == bgl::coll::StrategyKind::kBest) {

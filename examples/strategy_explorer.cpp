@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "src/coll/direct.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/coll/alltoall.hpp"
 #include "src/coll/registry.hpp"
 #include "src/network/fabric.hpp"
 #include "src/trace/heatmap.hpp"
+#include "src/util/shape_arg.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
@@ -25,7 +27,7 @@ int main(int argc, char** argv) {
   cli.describe("heatmap", "print an AR link-utilization heatmap first");
   cli.validate();
 
-  const auto shape = topo::parse_shape(cli.get("shape", "8x8x16"));
+  const auto shape = util::shape_arg_or_exit(cli.get("shape", "8x8x16"), cli.program());
   auto sizes = util::parse_int_list(cli.get("sizes", "8,64,240,960"));
   const bool show_links = cli.get_bool("links", false);
 
@@ -37,7 +39,9 @@ int main(int argc, char** argv) {
     bgl::net::NetworkConfig config;
     config.shape = shape;
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-    coll::DirectClient client(config, 240, coll::DirectTuning::ar(), nullptr);
+    coll::ScheduleExecutor client(
+        config, coll::build_direct_schedule(config, 240, coll::DirectTuning::ar()),
+        nullptr);
     bgl::net::Fabric fabric(config, client);
     client.bind(fabric);
     if (fabric.run()) {

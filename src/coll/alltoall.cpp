@@ -64,12 +64,12 @@ RunResult finish_run(net::NetworkConfig net, StrategyClient& client,
   if (net.sim_threads > 1) {
     // Eligibility gate for the slab-parallel core (see DESIGN.md "Threading
     // model"): configurations whose semantics depend on one global event
-    // order — fault runs with the reliability wrapper, the legacy clients,
-    // and schedules with cross-node dependency gates — stay on the reference
-    // single-threaded engine. The fabric applies its own equivalent gate;
-    // forcing it here keeps effective_sim_threads() honest in RunResult.
+    // order — fault runs with the reliability wrapper, and schedules with
+    // cross-node dependency gates — stay on the reference single-threaded
+    // engine. The fabric applies its own equivalent gate; forcing it here
+    // keeps effective_sim_threads() honest in RunResult.
     const auto* executor = dynamic_cast<const ScheduleExecutor*>(&client);
-    if (faults != nullptr || options.use_legacy_clients || executor == nullptr ||
+    if (faults != nullptr || executor == nullptr ||
         !executor->schedule().extra_deps.empty()) {
       net.sim_threads = 1;
     }
@@ -192,11 +192,8 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
     kind = select_strategy(net.shape, options.msg_bytes, planning_faults).kind;
   }
 
-  // Epoch recovery needs the per-pair ledger to compute its residual, and
-  // only engages on the schedule-IR path (the legacy clients keep the
-  // pre-recovery contract for the equivalence suite).
-  const bool recover = !options.use_legacy_clients &&
-                       recovery_armed(options, net, plan, blind_strike);
+  // Epoch recovery needs the per-pair ledger to compute its residual.
+  const bool recover = recovery_armed(options, net, plan, blind_strike);
 
   // Delivery recording: the caller's matrix, or an internal one when only
   // the RunResult summary is wanted (or recovery may trigger).
@@ -207,40 +204,15 @@ RunResult run_alltoall(StrategyKind kind, const AlltoallOptions& options) {
     matrix = &*local_matrix;
   }
 
-  std::unique_ptr<StrategyClient> client;
-  if (!options.use_legacy_clients) {
-    // Default path: build the strategy's declarative schedule and interpret
-    // it with the one executor (bit-identical to the legacy clients).
-    client = std::make_unique<ScheduleExecutor>(
-        net, build_schedule(kind, net, options.msg_bytes, options, planning_faults),
-        matrix, planning_faults);
-  } else {
-    switch (kind) {
-      case StrategyKind::kMpi:
-      case StrategyKind::kAdaptiveRandom:
-      case StrategyKind::kDeterministic:
-      case StrategyKind::kThrottled:
-        client = std::make_unique<DirectClient>(net, options.msg_bytes,
-                                                direct_tuning_for(kind, options), matrix,
-                                                planning_faults);
-        break;
-      case StrategyKind::kTwoPhase:
-        client = std::make_unique<TwoPhaseClient>(
-            net, options.msg_bytes, tps_tuning_for(options), matrix, planning_faults);
-        break;
-      case StrategyKind::kVirtualMesh:
-        client = std::make_unique<VirtualMeshClient>(
-            net, options.msg_bytes, vmesh_tuning_for(options), matrix, planning_faults);
-        break;
-      case StrategyKind::kBest:
-        assert(false);
-        break;
-    }
-  }
+  // Build the strategy's declarative schedule and interpret it with the one
+  // executor (the equivalence suite pins its behavior to stored goldens).
+  ScheduleExecutor client(
+      net, build_schedule(kind, net, options.msg_bytes, options, planning_faults),
+      matrix, planning_faults);
 
   RunResult result =
-      finish_run(net, *client, options, plan, faults, matrix, strategy_name(kind));
-  if (recover) maybe_recover(result, *client, options, net, plan, matrix);
+      finish_run(net, client, options, plan, faults, matrix, strategy_name(kind));
+  if (recover) maybe_recover(result, client, options, net, plan, matrix);
   return result;
 }
 

@@ -92,17 +92,12 @@ struct AlltoallOptions {
   /// kept as an int to avoid pulling vmesh.hpp into this header.
   int vmesh_mapping = 0;
 
-  /// Run through the legacy per-strategy clients instead of the schedule
-  /// IR + ScheduleExecutor path. The two are bit-identical (enforced by the
-  /// equivalence suite); the flag exists for that suite and for bisecting.
-  bool use_legacy_clients = false;
-
   /// Epoch-based recovery from a delayed permanent strike (fail_at > 0):
   /// after the struck run quiesces, survivors agree on a liveness view,
   /// compute the undelivered residual from the delivery matrix and execute
   /// lint-checked repair schedules until every still-reachable pair is whole
-  /// (see src/coll/recovery.hpp). Only engages on the schedule-IR path; a
-  /// delivery matrix is allocated internally when recovery may trigger.
+  /// (see src/coll/recovery.hpp). A delivery matrix is allocated internally
+  /// when recovery may trigger.
   bool recover = true;
 
   /// Optional per-pair delivery verification (small partitions only).

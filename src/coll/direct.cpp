@@ -51,103 +51,4 @@ CommSchedule build_direct_schedule(const net::NetworkConfig& config,
   return sched;
 }
 
-DirectClient::DirectClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                           const DirectTuning& tuning, DeliveryMatrix* matrix,
-                           const net::FaultPlan* faults)
-    : config_(config),
-      msg_bytes_(msg_bytes),
-      tuning_(tuning),
-      packets_(rt::packetize(msg_bytes, rt::WireFormat::direct())) {
-  matrix_ = matrix;
-  faults_ = faults;
-  assert(tuning_.burst >= 1);
-  rounds_ = static_cast<std::uint32_t>(
-      (packets_.size() + static_cast<std::size_t>(tuning_.burst) - 1) /
-      static_cast<std::size_t>(tuning_.burst));
-
-  // Throttle surcharge: injecting at the Eq. 2 rate means one packet every
-  // pace_factor * C * wire_cycles; the surcharge is what the normal
-  // bandwidth-proportional cost leaves uncovered (per chunk, to handle mixed
-  // packet sizes).
-  pace_extra_per_chunk_ = 0.0;
-  if (tuning_.pace_factor > 0.0) {
-    const double pace =
-        tuning_.pace_factor * model::bottleneck_factor(config_.shape) * config_.chunk_cycles;
-    const double bandwidth = static_cast<double>(config_.chunk_cycles) / config_.cpu_links;
-    pace_extra_per_chunk_ = std::max(0.0, pace - bandwidth);
-  }
-
-  const auto nodes = static_cast<std::size_t>(config_.shape.nodes());
-  util::Xoshiro256StarStar master(config_.seed ^ 0xd1ec7ULL);
-  nodes_.resize(nodes);
-  for (std::size_t n = 0; n < nodes; ++n) {
-    auto rng = master.fork();
-    nodes_[n].order = DestOrder(static_cast<topo::Rank>(n),
-                                static_cast<std::int32_t>(nodes), rng, tuning_.order);
-  }
-}
-
-bool DirectClient::next_packet(topo::Rank node, net::InjectDesc& out) {
-  NodeState& s = nodes_[static_cast<std::size_t>(node)];
-  if (s.done) return false;
-
-  while (true) {
-    if (s.position >= s.order.positions()) {
-      s.position = 0;
-      s.burst_sent = 0;
-      if (++s.round >= rounds_) {
-        s.done = true;
-        return false;
-      }
-    }
-    const topo::Rank dst = s.order.at(s.position);
-    if (dst < 0) {  // affine-mode self slot
-      ++s.position;
-      continue;
-    }
-    if (faults_ != nullptr && !faults_->pair_routable(node, dst, tuning_.mode)) {
-      ++s.position;  // no live path will ever exist; skip the destination
-      continue;
-    }
-    const std::uint32_t pkt_index =
-        s.round * static_cast<std::uint32_t>(tuning_.burst) + s.burst_sent;
-    if (pkt_index >= packets_.size()) {  // message shorter than burst*rounds
-      ++s.position;
-      s.burst_sent = 0;
-      continue;
-    }
-
-    const rt::PacketSpec& spec = packets_[pkt_index];
-    out.dst = dst;
-    out.tag = 0;
-    out.payload_bytes = spec.payload_bytes;
-    out.wire_chunks = spec.wire_chunks;
-    out.mode = tuning_.mode;
-    out.fifo = static_cast<std::uint8_t>(s.fifo_rr % config_.injection_fifos);
-    ++s.fifo_rr;
-
-    double extra = tuning_.per_packet_cycles + pace_extra_per_chunk_ * spec.wire_chunks;
-    if (pkt_index == 0) extra += tuning_.alpha_cycles;
-    out.extra_cpu_cycles = static_cast<std::uint32_t>(std::lround(extra));
-
-    // Advance the schedule.
-    if (++s.burst_sent >= static_cast<std::uint32_t>(tuning_.burst) ||
-        pkt_index + 1 >= packets_.size()) {
-      s.burst_sent = 0;
-      ++s.position;
-    }
-    return true;
-  }
-}
-
-void DirectClient::on_delivery(topo::Rank node, const net::Packet& packet) {
-  note_final_delivery();
-  if (matrix_ != nullptr) matrix_->record(packet.src, node, packet.payload_bytes);
-}
-
-std::uint64_t DirectClient::expected_deliveries() const {
-  const auto nodes = static_cast<std::uint64_t>(config_.shape.nodes());
-  return nodes * (nodes - 1) * packets_.size();
-}
-
 }  // namespace bgl::coll

@@ -15,11 +15,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "src/coll/dest_order.hpp"
 #include "src/coll/schedule.hpp"
-#include "src/coll/strategy_client.hpp"
 #include "src/runtime/packetizer.hpp"
 
 namespace bgl::coll {
@@ -60,43 +58,9 @@ struct DirectTuning {
 
 /// The direct family as a schedule builder: a single pipelined phase over a
 /// per-node random destination order (no relays). Pure function of
-/// (config, msg_bytes, tuning); executing the result via ScheduleExecutor is
-/// bit-identical to DirectClient.
+/// (config, msg_bytes, tuning), executed via ScheduleExecutor.
 CommSchedule build_direct_schedule(const net::NetworkConfig& config,
                                    std::uint64_t msg_bytes,
                                    const DirectTuning& tuning);
-
-class DirectClient : public StrategyClient {
- public:
-  DirectClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-               const DirectTuning& tuning, DeliveryMatrix* matrix,
-               const net::FaultPlan* faults = nullptr);
-
-  bool next_packet(topo::Rank node, net::InjectDesc& out) override;
-  void on_delivery(topo::Rank node, const net::Packet& packet) override;
-
-  std::uint64_t expected_deliveries() const;
-
- protected:
-  net::RoutingMode reach_mode() const override { return tuning_.mode; }
-
- private:
-  struct NodeState {
-    DestOrder order;
-    std::uint32_t position = 0;   // index into order
-    std::uint32_t round = 0;      // which burst round
-    std::uint32_t burst_sent = 0; // packets sent to current dest this round
-    std::uint8_t fifo_rr = 0;
-    bool done = false;
-  };
-
-  net::NetworkConfig config_;
-  std::uint64_t msg_bytes_;
-  DirectTuning tuning_;
-  std::vector<rt::PacketSpec> packets_;
-  std::uint32_t rounds_;
-  double pace_extra_per_chunk_;  // precomputed throttle surcharge
-  std::vector<NodeState> nodes_;
-};
 
 }  // namespace bgl::coll

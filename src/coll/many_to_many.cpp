@@ -55,7 +55,7 @@ Pattern Pattern::halo(const topo::Shape& shape) {
   pattern.dests.resize(static_cast<std::size_t>(torus.nodes()));
   for (topo::Rank n = 0; n < torus.nodes(); ++n) {
     std::set<topo::Rank> neighbors;
-    for (int d = 0; d < topo::kDirections; ++d) {
+    for (int d = 0; d < torus.directions(); ++d) {
       const topo::Rank peer = torus.neighbor(n, topo::Direction::from_index(d));
       if (peer >= 0 && peer != n) neighbors.insert(peer);
     }

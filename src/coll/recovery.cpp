@@ -53,7 +53,7 @@ LivenessView exchange_liveness(const net::NetworkConfig& net,
   // Agreement cost model: survivors allgather one liveness chunk around the
   // ring of each axis in turn (the torus-native analogue of the membership
   // exchange); each axis costs (extent - 1) store-and-forward hops.
-  for (int a = 0; a < topo::kAxes; ++a) {
+  for (int a = 0; a < net.shape.axis_count(); ++a) {
     const int extent = net.shape.dim[static_cast<std::size_t>(a)];
     if (extent < 2) continue;
     view.agree_cycles += static_cast<Tick>(extent - 1) *

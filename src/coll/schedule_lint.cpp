@@ -117,7 +117,8 @@ bool check_structure(const CommSchedule& sched, LintReport& report) {
       }
     }
     if (sched.stream.relay == RelayRule::kLinearAxis &&
-        (sched.stream.relay_axis < 0 || sched.stream.relay_axis >= topo::kAxes)) {
+        (sched.stream.relay_axis < 0 ||
+         sched.stream.relay_axis >= sched.shape.axis_count())) {
       add(report, "structure", "relay axis out of range");
       safe = false;
     }

@@ -1,6 +1,7 @@
 #include "src/coll/selector.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "src/coll/registry.hpp"
 #include "src/model/predict.hpp"
@@ -45,10 +46,10 @@ double degraded_estimate_us(StrategyKind kind, const topo::Shape& shape,
       break;
   }
   const double total_links =
-      static_cast<double>(shape.nodes()) * topo::kDirections;
+      static_cast<double>(shape.nodes()) * shape.directions();
   const double dead_links =
       static_cast<double>(faults.dead_link_count()) +
-      static_cast<double>(faults.dead_node_count()) * topo::kDirections;
+      static_cast<double>(faults.dead_node_count()) * shape.directions();
   const double live_fraction =
       std::max(0.1, 1.0 - dead_links / std::max(1.0, total_links));
   return healthy_us / live_fraction;
@@ -65,17 +66,25 @@ CandidateScore score_candidate(StrategyKind kind, const topo::Shape& shape,
 
   // Coverage comes from the schedule IR — the same pair_covered logic the
   // linter certifies against the executor's transfer enumeration. Coverage
-  // is seed-independent, so a default config with this shape suffices.
+  // is seed-independent, so a default config with this shape suffices. A
+  // builder that rejects the configuration (e.g. an unsupported shape
+  // dimensionality) scores zero coverage instead of aborting selection.
   net::NetworkConfig net;
   net.shape = shape;
   AlltoallOptions options;
   options.msg_bytes = msg_bytes;
   options.net = net;
-  const CommSchedule sched = build_schedule(kind, net, msg_bytes, options, &faults);
-  for (topo::Rank s = 0; s < shape.nodes(); ++s) {
-    for (topo::Rank d = 0; d < shape.nodes(); ++d) {
-      if (s != d && sched.pair_covered(s, d, &faults)) ++score.covered_pairs;
+  try {
+    const CommSchedule sched = build_schedule(kind, net, msg_bytes, options, &faults);
+    for (topo::Rank s = 0; s < shape.nodes(); ++s) {
+      for (topo::Rank d = 0; d < shape.nodes(); ++d) {
+        if (s != d && sched.pair_covered(s, d, &faults)) ++score.covered_pairs;
+      }
     }
+  } catch (const std::exception& e) {
+    score.eligible = false;
+    score.ineligible_reason = e.what();
+    score.covered_pairs = 0;
   }
   return score;
 }

@@ -33,6 +33,12 @@ struct CandidateScore {
   std::uint64_t total_pairs = 0;
   /// Closed-form healthy-time estimate scaled by the live-link fraction, us.
   double degraded_est_us = 0.0;
+  /// False when the builder rejected the configuration (e.g. a shape
+  /// dimensionality it does not support); such candidates score zero
+  /// coverage and never win, but scoring itself does not throw.
+  bool eligible = true;
+  /// The builder's rejection message when !eligible.
+  std::string ineligible_reason;
 };
 
 struct Selection {

@@ -153,24 +153,22 @@ net::NetworkConfig salted(const net::NetworkConfig& net, std::uint64_t salt) {
   return cfg;
 }
 
-std::array<int, topo::kAxes> mapping_axes(int mapping) {
-  switch (mapping % 3) {
-    case 1: return {topo::kZ, topo::kY, topo::kX};
-    case 2: return {topo::kY, topo::kX, topo::kZ};
-    default: return {topo::kX, topo::kY, topo::kZ};
-  }
-}
-
 }  // namespace
 
 CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
                                       std::uint64_t msg_bytes, int mapping,
                                       const net::FaultPlan* faults) {
   const auto nodes = static_cast<std::int32_t>(config.shape.nodes());
-  const std::array<int, topo::kAxes> ax = mapping_axes(mapping);
-  const int v0 = config.shape.dim[static_cast<std::size_t>(ax[0])];
-  const int v1 = config.shape.dim[static_cast<std::size_t>(ax[1])];
-  const int v2 = config.shape.dim[static_cast<std::size_t>(ax[2])];
+  const int axes = config.shape.axis_count();
+  // Stage g moves blocks along physical axis ax[g]; the mapping permutes
+  // which axis each stage walks (same encoding as the 2-D virtual mesh).
+  const std::vector<int> ax =
+      mesh_axis_order(static_cast<MeshMapping>(mapping % 3), axes);
+  std::array<int, topo::kMaxAxes> v{1, 1, 1, 1};
+  for (int i = 0; i < axes; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        config.shape.dim[static_cast<std::size_t>(ax[static_cast<std::size_t>(i)])];
+  }
   // VMesh's cost constants (paper Section 4.2): the combining runtime pays
   // the message alpha per combined message and gamma per re-sorted byte.
   const VmeshTuning costs{};
@@ -197,35 +195,43 @@ CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
     c[ax[static_cast<std::size_t>(stage)]] = k;
     return sched.torus.rank_of(c);
   };
-  // The route of block (s -> d): s -> r1 (match d's ax0 coordinate) ->
-  // r2 (match d's ax1) -> d. The block finalizes at the first hop equal to
-  // d; chain_ok is the one predicate ops, finalize lists and the coverage
+  // The route of block (s -> d): relay i matches d's first i+1 mapped
+  // coordinates (r1 matches ax0, r2 additionally ax1, ...), ending at d
+  // after the last stage. The block finalizes at the first hop equal to d;
+  // chain_ok is the one predicate ops, finalize lists and the coverage
   // mask all derive from, so lint/execution/verification agree. The linter
   // sees only the finalizing op's sender as the relay, hence the extra
-  // leg_ok(s, r2) on three-leg chains.
+  // leg_ok(s, prev) on chains of three or more legs.
   const auto chain_ok = [&](topo::Rank s, topo::Rank d) {
     if (s == d) return false;
     if (!faulted) return true;
     if (!alive(s) || !alive(d)) return false;
-    topo::Coord cs = sched.torus.coord_of(s);
+    topo::Coord c = sched.torus.coord_of(s);
     const topo::Coord cd = sched.torus.coord_of(d);
-    cs[ax[0]] = cd[ax[0]];
-    const topo::Rank r1 = sched.torus.rank_of(cs);
-    cs[ax[1]] = cd[ax[1]];
-    const topo::Rank r2 = sched.torus.rank_of(cs);
-    if (r1 == d) return leg_ok(s, d);
-    if (r2 == d) return alive(r1) && leg_ok(s, r1) && leg_ok(r1, d);
-    return alive(r1) && alive(r2) && leg_ok(s, r1) && leg_ok(r1, r2) &&
-           leg_ok(r2, d) && leg_ok(s, r2);
+    topo::Rank prev = s;
+    for (int stage = 0; stage < axes; ++stage) {
+      const int a = ax[static_cast<std::size_t>(stage)];
+      c[a] = cd[a];
+      const topo::Rank next = sched.torus.rank_of(c);
+      if (next == d) {
+        if (prev != s && !leg_ok(s, prev)) return false;
+        return leg_ok(prev, d);
+      }
+      if (!alive(next) || !leg_ok(prev, next)) return false;
+      prev = next;
+    }
+    return false;  // unreachable: the last stage always lands on d
   };
 
   // Stage message shapes: stage 0 carries every block sharing the
-  // destination's ax0 coordinate (v1*v2 blocks), and so on.
-  const std::array<std::uint64_t, 3> stage_blocks = {
-      static_cast<std::uint64_t>(v1) * static_cast<std::uint64_t>(v2),
-      static_cast<std::uint64_t>(v0) * static_cast<std::uint64_t>(v2),
-      static_cast<std::uint64_t>(v0) * static_cast<std::uint64_t>(v1)};
-  for (int stage = 0; stage < 3; ++stage) {
+  // destination's ax0 coordinate (nodes / v0 blocks), and so on.
+  std::array<std::uint64_t, topo::kMaxAxes> stage_blocks{};
+  for (int stage = 0; stage < axes; ++stage) {
+    stage_blocks[static_cast<std::size_t>(stage)] =
+        static_cast<std::uint64_t>(nodes) /
+        static_cast<std::uint64_t>(v[static_cast<std::size_t>(stage)]);
+  }
+  for (int stage = 0; stage < axes; ++stage) {
     PhaseSpec phase;
     phase.gate = stage == 0 ? PhaseGate::kPipelined : PhaseGate::kLocalBarrier;
     phase.mode = net::RoutingMode::kAdaptive;
@@ -241,8 +247,8 @@ CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
   }
   sched.fifo_classes.push_back(FifoClass{0, 0, FifoPolicy::kPositional, false});
 
-  std::array<BarrierSpec, 2> barriers;
-  for (int g = 0; g < 2; ++g) {
+  std::vector<BarrierSpec> barriers(static_cast<std::size_t>(axes - 1));
+  for (int g = 0; g < axes - 1; ++g) {
     barriers[static_cast<std::size_t>(g)].phase = g + 1;
     barriers[static_cast<std::size_t>(g)].expected.resize(
         static_cast<std::size_t>(nodes));
@@ -263,9 +269,9 @@ CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
     // Barrier g is armed by stage-(g-1) arrivals: one op per live sender,
     // each a full stage-(g-1) message. Compute cost models the re-sort of
     // the received bytes before the next stage's combined messages go out.
-    for (int g = 1; g <= 2; ++g) {
+    for (int g = 1; g < axes; ++g) {
       const int stage = g - 1;
-      const int extent = stage == 0 ? v0 : v1;
+      const int extent = v[static_cast<std::size_t>(stage)];
       std::uint64_t senders = 0;
       for (int k = 0; k < extent; ++k) {
         const topo::Rank peer = peer_at(n, stage, k);
@@ -286,8 +292,8 @@ CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
                                   msg_bytes)));
     }
 
-    for (int stage = 0; stage < 3; ++stage) {
-      const int extent = stage == 0 ? v0 : (stage == 1 ? v1 : v2);
+    for (int stage = 0; stage < axes; ++stage) {
+      const int extent = v[static_cast<std::size_t>(stage)];
       peers.clear();
       for (int k = 0; k < extent; ++k) {
         const topo::Rank peer = peer_at(n, stage, k);
@@ -305,19 +311,25 @@ CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
           op.flags = SendOp::kFinalizeSelf;
         } else {
           // Blocks this combined message completes: originals whose route
-          // parks them at this node for exactly this hop. Stage 1: n's
-          // ax0-line; stage 2: n's ax0 x ax1 plane.
+          // parks them at this node for exactly this hop — the subcube
+          // spanned by the already-walked axes ax[0..stage-1] through n
+          // (stage 1: n's ax0-line; stage 2: n's ax0 x ax1 plane; ...).
           op.finalize_begin = static_cast<std::int32_t>(sched.finalize_pool.size());
           origs.clear();
-          if (stage == 1) {
-            for (int k = 0; k < v0; ++k) origs.push_back(peer_at(n, 0, k));
-          } else {
+          {
             topo::Coord c = cn;
-            for (int j = 0; j < v1; ++j) {
-              c[ax[1]] = j;
-              for (int k = 0; k < v0; ++k) {
-                c[ax[0]] = k;
-                origs.push_back(sched.torus.rank_of(c));
+            std::array<int, topo::kMaxAxes> idx{};
+            int total = 1;
+            for (int j = 0; j < stage; ++j) total *= v[static_cast<std::size_t>(j)];
+            for (int t = 0; t < total; ++t) {
+              for (int j = 0; j < stage; ++j) {
+                c[ax[static_cast<std::size_t>(j)]] = idx[static_cast<std::size_t>(j)];
+              }
+              origs.push_back(sched.torus.rank_of(c));
+              for (int j = 0; j < stage; ++j) {
+                auto& digit = idx[static_cast<std::size_t>(j)];
+                if (++digit < v[static_cast<std::size_t>(j)]) break;
+                digit = 0;
               }
             }
           }
@@ -333,8 +345,7 @@ CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
     }
     sched.op_begin.push_back(static_cast<std::uint32_t>(sched.ops.size()));
   }
-  sched.barriers.push_back(std::move(barriers[0]));
-  sched.barriers.push_back(std::move(barriers[1]));
+  for (auto& barrier : barriers) sched.barriers.push_back(std::move(barrier));
 
   if (faulted) {
     for (topo::Rank s = 0; s < nodes; ++s) {
@@ -458,7 +469,7 @@ std::vector<Genome> seed_genomes() {
 }
 
 Genome mutate(const Genome& base, util::Xoshiro256StarStar& rng,
-              int factor_choices) {
+              int factor_choices, int axes) {
   Genome g = base;
   switch (g.family) {
     case GenomeFamily::kDirect:
@@ -471,7 +482,9 @@ Genome mutate(const Genome& base, util::Xoshiro256StarStar& rng,
       break;
     case GenomeFamily::kRelay:
       switch (rng.below(4)) {
-        case 0: g.relay_axis = static_cast<int>(rng.below(topo::kAxes)); break;
+        case 0:
+          g.relay_axis = static_cast<int>(rng.below(static_cast<std::uint64_t>(axes)));
+          break;
         case 1: g.fifo_split = static_cast<int>(2 * rng.below(4)); break;
         case 2: g.credit_window = static_cast<int>(16 * rng.below(3)); break;
         default: g.salt = 1 + rng.below(0xFFFF); break;
@@ -540,6 +553,7 @@ SynthResult synthesize(const SynthOptions& opts) {
 
   const int factor_choices = std::min(
       6, static_cast<int>(mesh_factor_ladder(opts.net.shape.nodes()).size()));
+  const int axes = opts.net.shape.axis_count();
 
   // key -> score memo. Lint rejections are memoized too, so a rejected
   // genome never costs twice; only fresh keys are simulated.
@@ -589,7 +603,7 @@ SynthResult synthesize(const SynthOptions& opts) {
       util::Xoshiro256StarStar rng(harness::derive_seed(
           opts.seed, (static_cast<std::uint64_t>(gen) << 8) | i));
       for (int m = 0; m < opts.mutations_per_survivor; ++m) {
-        mutants.push_back(mutate(beam[i].genome, rng, factor_choices));
+        mutants.push_back(mutate(beam[i].genome, rng, factor_choices, axes));
       }
     }
     evaluate_batch(mutants);
@@ -617,7 +631,7 @@ SynthResult synthesize(const SynthOptions& opts) {
     Candidate best = current;
     const double t0 = std::max(1.0, static_cast<double>(current.cycles) * 0.05);
     for (int step = 0; step < opts.sa_steps; ++step) {
-      const Genome next = mutate(current.genome, rng, factor_choices);
+      const Genome next = mutate(current.genome, rng, factor_choices, axes);
       evaluate_batch({next});
       const Candidate cand = candidate_of(next);
       const double temp =

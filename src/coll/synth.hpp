@@ -7,10 +7,11 @@
 //               credit window, salt;
 //   kCombine2D  virtual-mesh combining: physical mapping, mesh factorization,
 //               salt;
-//   kCombine3D  a three-stage axis-aligned combining scheme the paper never
-//               measured: stage g sends combined messages along one physical
-//               axis, gated by one barrier per stage boundary (the
-//               multi-barrier BarrierSpec machinery exists for this).
+//   kCombine3D  a k-stage axis-aligned combining scheme the paper never
+//               measured (one stage per shape axis; historically three):
+//               stage g sends combined messages along one physical axis,
+//               gated by one barrier per stage boundary (the multi-barrier
+//               BarrierSpec machinery exists for this).
 //
 // Every genome expands to a CommSchedule via build_genome_schedule — a pure
 // function of (genome, network config, message size, fault plan) — so a
@@ -82,13 +83,15 @@ CommSchedule build_genome_schedule(const Genome& genome,
                                    std::uint64_t msg_bytes,
                                    const net::FaultPlan* faults);
 
-/// The new three-stage combining builder (kCombine3D): stage 0 combines all
-/// blocks sharing the destination's first-axis coordinate into one message
-/// per first-axis peer; stages 1 and 2 forward along the remaining axes,
-/// each gated by a BarrierSpec on the previous stage's arrivals plus a
-/// gamma-cost re-sort. Messages use the combining wire format. Under a
-/// fault plan, ops/finalize lists/coverage all derive from one chain
-/// predicate so lint, execution and verification agree.
+/// The k-stage combining builder (kCombine3D; the "C3" key is kept for
+/// cache compatibility): stage 0 combines all blocks sharing the
+/// destination's first-axis coordinate into one message per first-axis
+/// peer; each later stage forwards along the next mapped axis, gated by a
+/// BarrierSpec on the previous stage's arrivals plus a gamma-cost re-sort.
+/// One stage per shape axis (three on the classic 3-D torus, down to a
+/// single direct stage on a ring). Messages use the combining wire format.
+/// Under a fault plan, ops/finalize lists/coverage all derive from one
+/// chain predicate so lint, execution and verification agree.
 CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
                                       std::uint64_t msg_bytes, int mapping,
                                       const net::FaultPlan* faults);

@@ -2,24 +2,37 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 
 namespace bgl::coll {
 
 int choose_linear_axis(const topo::Shape& shape) {
-  // Planar-symmetric candidates: removing this axis leaves two equal extents.
+  const int axes = shape.axis_count();
+  // Below three dimensions there is no "plane left behind"; the bottleneck
+  // (longest) axis is the only sensible linear phase.
+  if (axes < 3) return shape.longest_axis();
+  // Symmetric candidates: removing this axis leaves all remaining extents
+  // mutually equal (the paper's "symmetric plane" generalized to n-1 axes).
   std::vector<int> candidates;
-  for (int a = 0; a < topo::kAxes; ++a) {
-    int other[2];
-    int k = 0;
-    for (int b = 0; b < topo::kAxes; ++b) {
-      if (b != a) other[k++] = shape.dim[static_cast<std::size_t>(b)];
+  for (int a = 0; a < axes; ++a) {
+    bool symmetric = true;
+    int other = -1;
+    for (int b = 0; b < axes; ++b) {
+      if (b == a) continue;
+      const int d = shape.dim[static_cast<std::size_t>(b)];
+      if (other < 0) {
+        other = d;
+      } else if (d != other) {
+        symmetric = false;
+        break;
+      }
     }
-    if (other[0] == other[1] && shape.dim[static_cast<std::size_t>(a)] > 1) {
+    if (symmetric && shape.dim[static_cast<std::size_t>(a)] > 1) {
       candidates.push_back(a);
     }
   }
-  if (candidates.size() == 3) return topo::kZ;  // cube: all equivalent
+  // Hypercube: every axis is equivalent; pick the last (Z for 3-D cubes,
+  // matching the paper's listing of Z for 8^3).
+  if (static_cast<int>(candidates.size()) == axes) return axes - 1;
   if (candidates.size() == 1) return candidates.front();
   // Otherwise the longest dimension (the bottleneck) is the linear phase.
   return shape.longest_axis();
@@ -85,240 +98,6 @@ CommSchedule build_tps_schedule(const net::NetworkConfig& config,
                               static_cast<std::int32_t>(nodes), rng);
   }
   return sched;
-}
-
-std::uint64_t TwoPhaseClient::make_tag(Kind kind, topo::Rank orig_src, topo::Rank final_dst,
-                                       std::uint32_t aux) {
-  return (static_cast<std::uint64_t>(kind) << 62) |
-         (static_cast<std::uint64_t>(aux & 0x3fffU) << 48) |
-         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(orig_src) & 0xffffffU) << 24) |
-         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(final_dst) & 0xffffffU));
-}
-
-TwoPhaseClient::TwoPhaseClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                               const TpsTuning& tuning, DeliveryMatrix* matrix,
-                               const net::FaultPlan* faults)
-    : config_(config),
-      torus_(config.shape),
-      msg_bytes_(msg_bytes),
-      tuning_(tuning),
-      packets_(rt::packetize(msg_bytes, rt::WireFormat::direct())) {
-  matrix_ = matrix;
-  faults_ = faults;
-  linear_axis_ = tuning_.linear_axis >= 0 ? tuning_.linear_axis : choose_linear_axis(config.shape);
-  linear_extent_ = config_.shape.dim[static_cast<std::size_t>(linear_axis_)];
-  if (tuning_.reserved_fifos) assert(config_.injection_fifos >= 2);
-  if (tuning_.credit_window > 0) {
-    // W >= B guarantees sources drain even though up to B-1 forwards stay
-    // permanently un-credited (see tps.hpp).
-    tuning_.credit_window = std::max(tuning_.credit_window, tuning_.credit_batch);
-  }
-
-  const auto nodes = static_cast<std::size_t>(config_.shape.nodes());
-  util::Xoshiro256StarStar master(config_.seed ^ 0x79511ULL);
-  nodes_.resize(nodes);
-  for (std::size_t n = 0; n < nodes; ++n) {
-    auto rng = master.fork();
-    nodes_[n].order =
-        DestOrder(static_cast<topo::Rank>(n), static_cast<std::int32_t>(nodes), rng);
-    if (tuning_.credit_window > 0) {
-      nodes_[n].outstanding.assign(static_cast<std::size_t>(linear_extent_), 0);
-      nodes_[n].to_credit.assign(static_cast<std::size_t>(linear_extent_), 0);
-    }
-  }
-}
-
-topo::Rank TwoPhaseClient::intermediate_for(topo::Rank src, topo::Rank dst) const {
-  topo::Coord c = torus_.coord_of(src);
-  c[linear_axis_] = torus_.coord_of(dst)[linear_axis_];
-  return torus_.rank_of(c);
-}
-
-bool TwoPhaseClient::leg_ok(topo::Rank from, topo::Rank to) const {
-  if (from == to) return true;
-  return faults_->pair_routable(from, to, net::RoutingMode::kAdaptive);
-}
-
-topo::Rank TwoPhaseClient::pick_intermediate(topo::Rank src, topo::Rank dst) const {
-  const topo::Rank canon = intermediate_for(src, dst);
-  if (faults_ == nullptr || !faults_->enabled()) return canon;
-  if (faults_->node_alive(canon) && leg_ok(src, canon) && leg_ok(canon, dst)) {
-    return canon;
-  }
-  // Degrade: any live node on src's linear-axis line can relay (phase 2 then
-  // also corrects the linear coordinate — adaptive routing handles that).
-  topo::Coord c = torus_.coord_of(src);
-  for (int k = 0; k < linear_extent_; ++k) {
-    c[linear_axis_] = k;
-    const topo::Rank inter = torus_.rank_of(c);
-    if (inter == canon) continue;
-    if (faults_->node_alive(inter) && leg_ok(src, inter) && leg_ok(inter, dst)) {
-      return inter;
-    }
-  }
-  return -1;
-}
-
-void TwoPhaseClient::mark_reachable(PairMask& mask) const {
-  if (faults_ == nullptr || !faults_->enabled()) return;
-  for (topo::Rank s = 0; s < mask.nodes(); ++s) {
-    for (topo::Rank d = 0; d < mask.nodes(); ++d) {
-      if (s != d && pick_intermediate(s, d) < 0) mask.set_unreachable(s, d);
-    }
-  }
-}
-
-std::uint8_t TwoPhaseClient::pick_phase_fifo(NodeState& s, bool phase1) {
-  const int fifos = config_.injection_fifos;
-  int begin = 0;
-  int count = fifos;
-  if (tuning_.reserved_fifos && fifos >= 2) {
-    const int half = fifos / 2;
-    begin = phase1 ? 0 : half;
-    count = phase1 ? half : fifos - half;
-  }
-  std::uint8_t& rr = phase1 ? s.fifo_rr1 : s.fifo_rr2;
-  const auto fifo = static_cast<std::uint8_t>(begin + (rr % count));
-  ++rr;
-  return fifo;
-}
-
-bool TwoPhaseClient::next_packet(topo::Rank node, net::InjectDesc& out) {
-  NodeState& s = nodes_[static_cast<std::size_t>(node)];
-
-  // 1) Credits unblock remote senders; they are tiny — send them first.
-  if (!s.credit_queue.empty()) {
-    const topo::Rank src = s.credit_queue.front();
-    s.credit_queue.pop_front();
-    out.dst = src;
-    out.tag = make_tag(kCredit, node, src, static_cast<std::uint32_t>(tuning_.credit_batch));
-    out.payload_bytes = 0;
-    out.wire_chunks = 1;
-    out.mode = net::RoutingMode::kAdaptive;
-    out.fifo = pick_phase_fifo(s, /*phase1=*/true);  // credits travel the linear axis
-    out.extra_cpu_cycles = tuning_.credit_cpu_cycles;
-    ++credit_packets_;
-    return true;
-  }
-
-  // 2) Forward arrived phase-1 packets across the plane.
-  if (!s.forwards.empty()) {
-    if (first_forward_ == 0 && fabric_ != nullptr) first_forward_ = fabric_->now();
-    const Forward f = s.forwards.front();
-    s.forwards.pop_front();
-    out.dst = f.final_dst;
-    out.tag = make_tag(kFinal, f.orig_src, f.final_dst);
-    out.payload_bytes = f.payload_bytes;
-    out.wire_chunks = f.chunks;
-    out.mode = net::RoutingMode::kAdaptive;
-    out.fifo = pick_phase_fifo(s, /*phase1=*/false);
-    out.extra_cpu_cycles = tuning_.forward_cpu_cycles;
-    return true;
-  }
-
-  // 3) Our own stream.
-  return emit_stream_packet(node, s, out);
-}
-
-bool TwoPhaseClient::emit_stream_packet(topo::Rank node, NodeState& s, net::InjectDesc& out) {
-  if (s.stream_done) return false;
-
-  int scanned = 0;
-  while (true) {
-    if (s.position >= s.order.positions()) {
-      s.position = 0;
-      if (++s.round >= packets_.size()) {
-        s.stream_done = true;
-        return false;
-      }
-    }
-    const topo::Rank dst = s.order.at(s.position);
-    if (dst < 0) {  // affine-mode self slot
-      ++s.position;
-      continue;
-    }
-
-    const topo::Rank inter = pick_intermediate(node, dst);
-    if (inter < 0) {  // unreachable under the fault plan: skip the pair
-      ++s.position;
-      continue;
-    }
-    const bool store_forward = (inter != node) && (inter != dst);
-
-    if (store_forward && tuning_.credit_window > 0) {
-      const int lin = torus_.coord_of(inter)[linear_axis_];
-      if (s.outstanding[static_cast<std::size_t>(lin)] >= tuning_.credit_window) {
-        // Blocked on credits: defer this destination if we can find another.
-        if (s.order.swappable() && scanned < 64 &&
-            s.position + 1 < s.order.positions()) {
-          const std::uint32_t probe =
-              s.position + 1 +
-              static_cast<std::uint32_t>(scanned) % (s.order.positions() - s.position - 1);
-          s.order.swap(s.position, probe);
-          ++scanned;
-          continue;
-        }
-        return false;  // fully blocked; a credit delivery wakes us
-      }
-      s.outstanding[static_cast<std::size_t>(lin)] += 1;
-    }
-
-    const rt::PacketSpec& spec = packets_[s.round];
-    const bool phase1 = (inter != node);
-    out.dst = phase1 ? inter : dst;
-    out.tag = make_tag(store_forward ? kStoreForward : kFinal, node, dst);
-    out.payload_bytes = spec.payload_bytes;
-    out.wire_chunks = spec.wire_chunks;
-    out.mode = net::RoutingMode::kAdaptive;
-    out.fifo = pick_phase_fifo(s, phase1);
-    double extra = 0.0;
-    if (s.round == 0) extra += tuning_.alpha_cycles;
-    out.extra_cpu_cycles = static_cast<std::uint32_t>(std::lround(extra));
-
-    if (fabric_ != nullptr) {
-      last_stream_packet_ = std::max(last_stream_packet_, fabric_->now());
-    }
-    ++s.position;
-    return true;
-  }
-}
-
-void TwoPhaseClient::on_delivery(topo::Rank node, const net::Packet& packet) {
-  const auto kind = static_cast<Kind>(packet.tag >> 62);
-  const auto orig_src = static_cast<topo::Rank>((packet.tag >> 24) & 0xffffffU);
-  const auto final_dst = static_cast<topo::Rank>(packet.tag & 0xffffffU);
-  NodeState& s = nodes_[static_cast<std::size_t>(node)];
-
-  switch (kind) {
-    case kFinal: {
-      assert(final_dst == node);
-      note_final_delivery();
-      if (matrix_ != nullptr) matrix_->record(orig_src, node, packet.payload_bytes);
-      return;
-    }
-    case kStoreForward: {
-      assert(final_dst != node);
-      s.forwards.push_back(Forward{final_dst, orig_src, packet.payload_bytes, packet.chunks});
-      max_forward_backlog_ = std::max(max_forward_backlog_, s.forwards.size());
-      if (tuning_.credit_window > 0) {
-        const int lin = torus_.coord_of(orig_src)[linear_axis_];
-        if (++s.to_credit[static_cast<std::size_t>(lin)] >= tuning_.credit_batch) {
-          s.to_credit[static_cast<std::size_t>(lin)] -= tuning_.credit_batch;
-          s.credit_queue.push_back(orig_src);
-        }
-      }
-      fabric_->wake_cpu(node);
-      return;
-    }
-    case kCredit: {
-      const int lin = torus_.coord_of(packet.src)[linear_axis_];
-      const auto released = static_cast<std::int32_t>((packet.tag >> 48) & 0x3fffU);
-      s.outstanding[static_cast<std::size_t>(lin)] -= released;
-      fabric_->wake_cpu(node);
-      return;
-    }
-  }
-  assert(false && "bad TPS tag");
 }
 
 }  // namespace bgl::coll

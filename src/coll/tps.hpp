@@ -3,7 +3,7 @@
 // Phase 1 sends every packet along a chosen "linear" dimension to the
 // intermediate node that shares the final destination's linear coordinate
 // (and the source's planar coordinates). Phase 2 forwards from the
-// intermediate across the remaining two "planar" dimensions. The phases are
+// intermediate across the remaining "planar" dimensions. The phases are
 // pipelined: forwarding starts as soon as phase-1 packets arrive, and each
 // phase has its own reserved injection-FIFO group so a linear packet is
 // never queued behind a planar packet (or vice versa). Both phases use
@@ -22,12 +22,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <vector>
 
 #include "src/coll/dest_order.hpp"
 #include "src/coll/schedule.hpp"
-#include "src/coll/strategy_client.hpp"
 #include "src/runtime/packetizer.hpp"
 
 namespace bgl::coll {
@@ -42,92 +39,16 @@ struct TpsTuning {
   std::uint32_t credit_cpu_cycles = 50;
 };
 
-/// The paper's linear-dimension selection rule for `shape`.
+/// The paper's linear-dimension selection rule generalized to n axes:
+/// the axis whose removal leaves all remaining extents mutually equal, if
+/// exactly one exists; for a hypercube (all candidates) the last axis; with
+/// fewer than three axes, or no symmetric candidate, the longest axis.
 int choose_linear_axis(const topo::Shape& shape);
 
 /// TPS as a schedule builder: two pipelined phases (linear legs, planar
 /// forwards) with reserved FIFO classes, a kLinearAxis relay rule and the
-/// optional credit flow control. Executing the result via ScheduleExecutor is
-/// bit-identical to TwoPhaseClient.
+/// optional credit flow control, executed via ScheduleExecutor.
 CommSchedule build_tps_schedule(const net::NetworkConfig& config,
                                 std::uint64_t msg_bytes, const TpsTuning& tuning);
-
-class TwoPhaseClient : public StrategyClient {
- public:
-  TwoPhaseClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                 const TpsTuning& tuning, DeliveryMatrix* matrix,
-                 const net::FaultPlan* faults = nullptr);
-
-  bool next_packet(topo::Rank node, net::InjectDesc& out) override;
-  void on_delivery(topo::Rank node, const net::Packet& packet) override;
-
-  /// A pair is reachable when some intermediate on the source's linear-axis
-  /// line (including the degenerate direct send) has both legs live.
-  void mark_reachable(PairMask& mask) const override;
-
-  int linear_axis() const { return linear_axis_; }
-
-  /// Peak packets queued for forwarding at any single intermediate node —
-  /// the memory cost the Section 5 credit flow control bounds.
-  std::size_t max_forward_backlog() const { return max_forward_backlog_; }
-  std::uint64_t credit_packets_sent() const { return credit_packets_; }
-
-  /// Pipelining evidence (paper Section 4.1: "this is done in a pipelined
-  /// fashion allowing Phase 1 and Phase 2 to overlap"): the first phase-2
-  /// forward is injected long before the last phase-1 packet is sent.
-  net::Tick first_forward_cycles() const { return first_forward_; }
-  net::Tick last_stream_packet_cycles() const { return last_stream_packet_; }
-
- private:
-  enum Kind : std::uint64_t { kStoreForward = 0, kFinal = 1, kCredit = 2 };
-  static std::uint64_t make_tag(Kind kind, topo::Rank orig_src, topo::Rank final_dst,
-                                std::uint32_t aux = 0);
-
-  struct Forward {
-    topo::Rank final_dst;
-    topo::Rank orig_src;
-    std::uint32_t payload_bytes;
-    std::uint16_t chunks;
-  };
-
-  struct NodeState {
-    DestOrder order;
-    std::uint32_t position = 0;
-    std::uint32_t round = 0;
-    bool stream_done = false;
-    std::deque<Forward> forwards;
-    std::uint8_t fifo_rr1 = 0;  // phase-1 group rotation
-    std::uint8_t fifo_rr2 = 0;  // phase-2 group rotation
-    // Credit flow control (indexed by the peer's linear coordinate).
-    std::vector<std::int32_t> outstanding;    // as source: un-credited sends
-    std::vector<std::int32_t> to_credit;      // as intermediate: forwards since credit
-    std::deque<topo::Rank> credit_queue;      // credit packets to send
-  };
-
-  topo::Rank intermediate_for(topo::Rank src, topo::Rank dst) const;
-  /// Both-endpoints-alive + live-minimal-path check (trivially true for a
-  /// degenerate leg from a node to itself, or without a fault plan).
-  bool leg_ok(topo::Rank from, topo::Rank to) const;
-  /// The canonical intermediate when its legs are live; otherwise the first
-  /// node on src's linear-axis line with both legs live (k = src's own
-  /// coordinate degenerates to a direct send); -1 when the pair is
-  /// unreachable. Deterministic, so mark_reachable matches the schedule.
-  topo::Rank pick_intermediate(topo::Rank src, topo::Rank dst) const;
-  std::uint8_t pick_phase_fifo(NodeState& s, bool phase1);
-  bool emit_stream_packet(topo::Rank node, NodeState& s, net::InjectDesc& out);
-
-  net::NetworkConfig config_;
-  topo::Torus torus_;
-  std::uint64_t msg_bytes_;
-  TpsTuning tuning_;
-  int linear_axis_;
-  int linear_extent_;
-  std::vector<rt::PacketSpec> packets_;
-  std::vector<NodeState> nodes_;
-  std::size_t max_forward_backlog_ = 0;
-  std::uint64_t credit_packets_ = 0;
-  net::Tick first_forward_ = 0;
-  net::Tick last_stream_packet_ = 0;
-};
 
 }  // namespace bgl::coll

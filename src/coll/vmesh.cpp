@@ -1,11 +1,28 @@
 #include "src/coll/vmesh.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cmath>
 #include <tuple>
 
 namespace bgl::coll {
+
+std::vector<int> mesh_axis_order(MeshMapping mapping, int axes) {
+  std::vector<int> order(static_cast<std::size_t>(axes));
+  for (int a = 0; a < axes; ++a) order[static_cast<std::size_t>(a)] = a;
+  switch (mapping) {
+    case MeshMapping::kXYZ:
+      break;  // natural order: first axis varies fastest
+    case MeshMapping::kZYX:
+      std::reverse(order.begin(), order.end());
+      break;
+    case MeshMapping::kYXZ:
+      if (axes >= 2) std::swap(order[0], order[1]);
+      break;
+  }
+  return order;
+}
 
 std::pair<int, int> vmesh_factorize(std::int32_t nodes) {
   const int root = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(nodes))));
@@ -38,29 +55,28 @@ CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
   sched.injection_fifos = config.injection_fifos;
   sched.form = StreamForm::kExplicit;
 
-  // Virtual rank order per `mapping` (first axis varies fastest).
+  // Virtual rank order per `mapping` (first axis varies fastest): an
+  // n-deep odometer over the axes in mapping order.
   std::vector<int> vrank_of_rank(static_cast<std::size_t>(nodes));
   std::vector<topo::Rank> rank_of_vrank(static_cast<std::size_t>(nodes));
   {
-    std::array<int, topo::kAxes> order{};
-    switch (tuning.mapping) {
-      case MeshMapping::kXYZ: order = {topo::kX, topo::kY, topo::kZ}; break;
-      case MeshMapping::kZYX: order = {topo::kZ, topo::kY, topo::kX}; break;
-      case MeshMapping::kYXZ: order = {topo::kY, topo::kX, topo::kZ}; break;
-    }
-    int vrank = 0;
+    const int axes = config.shape.axis_count();
+    const std::vector<int> order = mesh_axis_order(tuning.mapping, axes);
     topo::Coord c;
-    for (int k = 0; k < config.shape.dim[static_cast<std::size_t>(order[2])]; ++k) {
-      for (int j = 0; j < config.shape.dim[static_cast<std::size_t>(order[1])]; ++j) {
-        for (int i = 0; i < config.shape.dim[static_cast<std::size_t>(order[0])]; ++i) {
-          c[order[0]] = i;
-          c[order[1]] = j;
-          c[order[2]] = k;
-          const topo::Rank r = sched.torus.rank_of(c);
-          vrank_of_rank[static_cast<std::size_t>(r)] = vrank;
-          rank_of_vrank[static_cast<std::size_t>(vrank)] = r;
-          ++vrank;
-        }
+    std::array<int, topo::kMaxAxes> idx{};
+    for (int vrank = 0; vrank < nodes; ++vrank) {
+      for (int a = 0; a < axes; ++a) {
+        c[order[static_cast<std::size_t>(a)]] = idx[static_cast<std::size_t>(a)];
+      }
+      const topo::Rank r = sched.torus.rank_of(c);
+      vrank_of_rank[static_cast<std::size_t>(r)] = vrank;
+      rank_of_vrank[static_cast<std::size_t>(vrank)] = r;
+      for (int a = 0; a < axes; ++a) {
+        auto& digit = idx[static_cast<std::size_t>(a)];
+        const auto extent = config.shape.dim[static_cast<std::size_t>(
+            order[static_cast<std::size_t>(a)])];
+        if (++digit < extent) break;
+        digit = 0;
       }
     }
   }
@@ -188,222 +204,6 @@ CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
   }
   sched.barriers.push_back(std::move(barrier));
   return sched;
-}
-
-VirtualMeshClient::VirtualMeshClient(const net::NetworkConfig& config,
-                                     std::uint64_t msg_bytes, const VmeshTuning& tuning,
-                                     DeliveryMatrix* matrix, const net::FaultPlan* faults)
-    : config_(config), msg_bytes_(msg_bytes), tuning_(tuning) {
-  matrix_ = matrix;
-  faults_ = faults;
-  const std::int32_t nodes = static_cast<std::int32_t>(config.shape.nodes());
-  if (tuning_.pvx > 0 && tuning_.pvy > 0) {
-    assert(static_cast<std::int64_t>(tuning_.pvx) * tuning_.pvy == nodes);
-    pvx_ = tuning_.pvx;
-    pvy_ = tuning_.pvy;
-  } else {
-    std::tie(pvx_, pvy_) = vmesh_factorize(nodes);
-  }
-  gamma_cycles_per_byte_ = tuning_.gamma_ns_per_byte * tuning_.clock_ghz;
-  build_mapping(config_.shape);
-
-  row_packets_ = rt::packetize(static_cast<std::uint64_t>(pvy_) * msg_bytes_,
-                               rt::WireFormat::combining());
-  col_packets_ = rt::packetize(static_cast<std::uint64_t>(pvx_) * msg_bytes_,
-                               rt::WireFormat::combining());
-
-  util::Xoshiro256StarStar master(config_.seed ^ 0x3e5affULL);
-  nodes_.resize(static_cast<std::size_t>(nodes));
-  for (std::int32_t n = 0; n < nodes; ++n) {
-    NodeState& s = nodes_[static_cast<std::size_t>(n)];
-    auto rng = master.fork();
-    const int col = col_of(n);
-    const int row = row_of(n);
-    // Under a fault plan, peers we cannot reach are dropped from the send
-    // schedule, and phase 2 only waits for row peers that can reach *us* —
-    // a dead row peer must not gate the phase transition forever.
-    std::uint64_t p1_senders = 0;
-    s.row_peers.reserve(static_cast<std::size_t>(pvx_) - 1);
-    for (int j = 0; j < pvx_; ++j) {
-      if (j == col) continue;
-      const topo::Rank peer = rank_at(j, row);
-      if (leg_ok(n, peer)) s.row_peers.push_back(peer);
-      if (leg_ok(peer, n)) ++p1_senders;
-    }
-    s.col_peers.reserve(static_cast<std::size_t>(pvy_) - 1);
-    for (int k = 0; k < pvy_; ++k) {
-      if (k == row) continue;
-      const topo::Rank peer = rank_at(col, k);
-      if (leg_ok(n, peer)) s.col_peers.push_back(peer);
-    }
-    rng.shuffle(s.row_peers);
-    rng.shuffle(s.col_peers);
-
-    s.p1_packets_left = p1_senders * row_packets_.size();
-    s.p1_msg_left.assign(static_cast<std::size_t>(pvx_),
-                         static_cast<std::uint32_t>(row_packets_.size()));
-    s.p2_msg_left.assign(static_cast<std::size_t>(pvy_),
-                         static_cast<std::uint32_t>(col_packets_.size()));
-    // A single-row mesh has no phase-1 receives: phase 2 is ready at once
-    // (and has no messages either when pvy == 1).
-    if (s.p1_packets_left == 0) s.phase2_ready = true;
-  }
-}
-
-void VirtualMeshClient::build_mapping(const topo::Shape& shape) {
-  const topo::Torus torus{shape};
-  const std::size_t nodes = static_cast<std::size_t>(torus.nodes());
-  vrank_of_rank_.resize(nodes);
-  rank_of_vrank_.resize(nodes);
-
-  // Axis iteration order: first entry varies fastest in the virtual order.
-  std::array<int, topo::kAxes> order{};
-  switch (tuning_.mapping) {
-    case MeshMapping::kXYZ: order = {topo::kX, topo::kY, topo::kZ}; break;
-    case MeshMapping::kZYX: order = {topo::kZ, topo::kY, topo::kX}; break;
-    case MeshMapping::kYXZ: order = {topo::kY, topo::kX, topo::kZ}; break;
-  }
-
-  int vrank = 0;
-  topo::Coord c;
-  for (int k = 0; k < shape.dim[static_cast<std::size_t>(order[2])]; ++k) {
-    for (int j = 0; j < shape.dim[static_cast<std::size_t>(order[1])]; ++j) {
-      for (int i = 0; i < shape.dim[static_cast<std::size_t>(order[0])]; ++i) {
-        c[order[0]] = i;
-        c[order[1]] = j;
-        c[order[2]] = k;
-        const topo::Rank r = torus.rank_of(c);
-        vrank_of_rank_[static_cast<std::size_t>(r)] = vrank;
-        rank_of_vrank_[static_cast<std::size_t>(vrank)] = r;
-        ++vrank;
-      }
-    }
-  }
-}
-
-bool VirtualMeshClient::leg_ok(topo::Rank from, topo::Rank to) const {
-  if (faults_ == nullptr || !faults_->enabled() || from == to) return true;
-  return faults_->pair_routable(from, to, net::RoutingMode::kAdaptive);
-}
-
-void VirtualMeshClient::mark_reachable(PairMask& mask) const {
-  if (faults_ == nullptr || !faults_->enabled()) return;
-  for (topo::Rank s = 0; s < mask.nodes(); ++s) {
-    for (topo::Rank d = 0; d < mask.nodes(); ++d) {
-      if (s == d) continue;
-      // Data for (s, d) travels s -> relay (row message) -> d (column
-      // message); either leg degenerates when the relay is an endpoint.
-      const topo::Rank relay = rank_at(col_of(d), row_of(s));
-      const bool ok = faults_->node_alive(relay) && faults_->node_alive(s) &&
-                      faults_->node_alive(d) && leg_ok(s, relay) && leg_ok(relay, d);
-      if (!ok) mask.set_unreachable(s, d);
-    }
-  }
-}
-
-bool VirtualMeshClient::next_packet(topo::Rank node, net::InjectDesc& out) {
-  NodeState& s = nodes_[static_cast<std::size_t>(node)];
-  if (s.done) return false;
-
-  const bool in_phase2 = s.phase2_sending;
-  const auto& peers = in_phase2 ? s.col_peers : s.row_peers;
-  const auto& packets = in_phase2 ? col_packets_ : row_packets_;
-
-  if (s.send_peer >= peers.size()) {
-    if (!in_phase2) {
-      // Finished phase-1 sends; phase 2 must also wait for receives + copy.
-      s.phase2_sending = true;
-      s.send_peer = 0;
-      s.send_pkt = 0;
-      if (!s.phase2_ready) return false;  // timer will wake us
-      return next_packet(node, out);
-    }
-    s.done = true;
-    return false;
-  }
-  if (in_phase2 && !s.phase2_ready) return false;
-
-  const rt::PacketSpec& spec = packets[s.send_pkt];
-  out.dst = peers[s.send_peer];
-  out.tag = make_tag(in_phase2 ? 2 : 1, node);
-  out.payload_bytes = spec.payload_bytes;
-  out.wire_chunks = spec.wire_chunks;
-  out.mode = net::RoutingMode::kAdaptive;
-  out.fifo = static_cast<std::uint8_t>((s.send_peer + s.send_pkt) % config_.injection_fifos);
-
-  double extra = 0.0;
-  if (s.send_pkt == 0) {
-    extra += tuning_.alpha_msg_cycles;
-    if (!in_phase2) {
-      // Send-side combining: gather the Pvy destination blocks into one
-      // contiguous message.
-      extra += gamma_cycles_per_byte_ * static_cast<double>(pvy_) *
-               static_cast<double>(msg_bytes_);
-    }
-  }
-  out.extra_cpu_cycles = static_cast<std::uint32_t>(std::lround(extra));
-
-  if (++s.send_pkt >= packets.size()) {
-    s.send_pkt = 0;
-    ++s.send_peer;
-  }
-  return true;
-}
-
-void VirtualMeshClient::on_delivery(topo::Rank node, const net::Packet& packet) {
-  NodeState& s = nodes_[static_cast<std::size_t>(node)];
-  const int phase = static_cast<int>(packet.tag >> 62);
-  const auto sender = static_cast<topo::Rank>(packet.tag & 0xffffffffU);
-  note_final_delivery();
-
-  if (phase == 1) {
-    assert(row_of(sender) == row_of(node));
-    if (matrix_ != nullptr) {
-      auto& left = s.p1_msg_left[static_cast<std::size_t>(col_of(sender))];
-      assert(left > 0);
-      if (--left == 0) {
-        // The block destined to this node itself arrived with this message.
-        matrix_->record(sender, node, msg_bytes_);
-      }
-    }
-    assert(s.p1_packets_left > 0);
-    if (--s.p1_packets_left == 0) {
-      // Re-sort the received blocks into column messages: a memory copy of
-      // everything received, at gamma cost, before phase 2 may start.
-      const double bytes = static_cast<double>(s.row_peers.size()) *
-                           static_cast<double>(pvy_) * static_cast<double>(msg_bytes_);
-      const auto delay =
-          static_cast<net::Tick>(std::llround(gamma_cycles_per_byte_ * bytes));
-      fabric_->schedule_timer(node, delay, /*cookie=*/1);
-    }
-    return;
-  }
-
-  assert(phase == 2);
-  assert(col_of(sender) == col_of(node));
-  if (matrix_ != nullptr) {
-    auto& left = s.p2_msg_left[static_cast<std::size_t>(row_of(sender))];
-    assert(left > 0);
-    if (--left == 0) {
-      // This combined message carried one block from every node of the
-      // sender's row (including the sender itself) — under faults, only
-      // from row members whose phase-1 message could reach the sender.
-      const int sender_row = row_of(sender);
-      for (int j = 0; j < pvx_; ++j) {
-        const topo::Rank orig = rank_at(j, sender_row);
-        if (orig != sender && !leg_ok(orig, sender)) continue;
-        matrix_->record(orig, node, msg_bytes_);
-      }
-    }
-  }
-}
-
-void VirtualMeshClient::on_timer(topo::Rank node, std::uint64_t cookie) {
-  assert(cookie == 1);
-  (void)cookie;
-  NodeState& s = nodes_[static_cast<std::size_t>(node)];
-  s.phase2_ready = true;
-  fabric_->wake_cpu(node);
 }
 
 }  // namespace bgl::coll

@@ -19,11 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/coll/dest_order.hpp"
 #include "src/coll/schedule.hpp"
-#include "src/coll/strategy_client.hpp"
 #include "src/runtime/packetizer.hpp"
 
 namespace bgl::coll {
@@ -47,79 +47,18 @@ struct VmeshTuning {
 /// smallest divisor of P at or above sqrt(P).
 std::pair<int, int> vmesh_factorize(std::int32_t nodes);
 
+/// Axis iteration order for `mapping` over an `axes`-dimensional shape
+/// (first entry varies fastest): kXYZ is the natural axis order, kZYX
+/// reverses it, kYXZ swaps the first two axes.
+std::vector<int> mesh_axis_order(MeshMapping mapping, int axes);
+
 /// VMesh as a schedule builder: an explicit two-phase op list (combined row
 /// messages, then barrier-gated combined column messages) with per-node
 /// barrier counts, finalize lists and the fault-plan coverage mask all
-/// precomputed. Executing the result via ScheduleExecutor is bit-identical
-/// to VirtualMeshClient.
+/// precomputed, executed via ScheduleExecutor.
 CommSchedule build_vmesh_schedule(const net::NetworkConfig& config,
                                   std::uint64_t msg_bytes,
                                   const VmeshTuning& tuning,
                                   const net::FaultPlan* faults = nullptr);
-
-class VirtualMeshClient : public StrategyClient {
- public:
-  VirtualMeshClient(const net::NetworkConfig& config, std::uint64_t msg_bytes,
-                    const VmeshTuning& tuning, DeliveryMatrix* matrix,
-                    const net::FaultPlan* faults = nullptr);
-
-  bool next_packet(topo::Rank node, net::InjectDesc& out) override;
-  void on_delivery(topo::Rank node, const net::Packet& packet) override;
-  void on_timer(topo::Rank node, std::uint64_t cookie) override;
-
-  /// A pair is reachable when its relay (the node in the source's row and
-  /// the destination's column) is alive and both mesh legs have live paths.
-  void mark_reachable(PairMask& mask) const override;
-
-  int pvx() const { return pvx_; }
-  int pvy() const { return pvy_; }
-
- private:
-  // tag: [63:62] phase (1 or 2), [31:0] sending rank.
-  static std::uint64_t make_tag(int phase, topo::Rank sender) {
-    return (static_cast<std::uint64_t>(phase) << 62) |
-           static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender));
-  }
-
-  struct NodeState {
-    std::vector<topo::Rank> row_peers;  // shuffled, size pvx-1
-    std::vector<topo::Rank> col_peers;  // shuffled, size pvy-1
-    std::uint32_t send_peer = 0;        // index into the active peer list
-    std::uint32_t send_pkt = 0;         // packet index within current message
-    bool phase2_sending = false;        // phase-1 sends finished
-    bool phase2_ready = false;          // receives + copy done
-    bool done = false;
-    std::uint64_t p1_packets_left = 0;  // phase-1 packets still expected
-    std::vector<std::uint32_t> p1_msg_left;  // per row-peer column, for verify
-    std::vector<std::uint32_t> p2_msg_left;  // per col-peer row, for verify
-  };
-
-  // The virtual mesh is laid over a *virtual* rank order (a relinearization
-  // of the torus coordinates per `mapping`); vrank_of/rank_of translate.
-  int col_of(topo::Rank r) const { return vrank_of(r) % pvx_; }
-  int row_of(topo::Rank r) const { return vrank_of(r) / pvx_; }
-  topo::Rank rank_at(int col, int row) const {
-    return rank_of_vrank_[static_cast<std::size_t>(row * pvx_ + col)];
-  }
-  int vrank_of(topo::Rank r) const {
-    return vrank_of_rank_[static_cast<std::size_t>(r)];
-  }
-  void build_mapping(const topo::Shape& shape);
-  /// Alive endpoints + a live adaptive path (trivially true for from == to
-  /// or without a fault plan).
-  bool leg_ok(topo::Rank from, topo::Rank to) const;
-
-  net::NetworkConfig config_;
-  std::uint64_t msg_bytes_;
-  VmeshTuning tuning_;
-  int pvx_ = 1;
-  int pvy_ = 1;
-  double gamma_cycles_per_byte_;
-  std::vector<rt::PacketSpec> row_packets_;  // phase-1 message shape
-  std::vector<rt::PacketSpec> col_packets_;  // phase-2 message shape
-  std::vector<NodeState> nodes_;
-  std::vector<int> vrank_of_rank_;
-  std::vector<topo::Rank> rank_of_vrank_;
-};
 
 }  // namespace bgl::coll

@@ -117,19 +117,19 @@ topo::Shape BenchContext::runnable(const topo::Shape& paper_shape) const {
   // rather than overshooting to 1/8th of the budget.
   while (shape.nodes() > node_budget + node_budget / 4) {
     bool all_halvable = true;
-    for (int a = 0; a < topo::kAxes; ++a) {
+    for (int a = 0; a < paper_shape.axis_count(); ++a) {
       const int extent = shape.dim[static_cast<std::size_t>(a)];
       if (extent > 1 && (extent < 4 || extent % 2 != 0)) all_halvable = false;
     }
     if (all_halvable) {
-      for (int a = 0; a < topo::kAxes; ++a) {
+      for (int a = 0; a < paper_shape.axis_count(); ++a) {
         auto& extent = shape.dim[static_cast<std::size_t>(a)];
         if (extent > 1) extent /= 2;
       }
       continue;
     }
     int axis = -1;
-    for (int a = 0; a < topo::kAxes; ++a) {
+    for (int a = 0; a < paper_shape.axis_count(); ++a) {
       const int extent = shape.dim[static_cast<std::size_t>(a)];
       if (extent >= 4 && extent % 2 == 0 &&
           (axis < 0 || extent > shape.dim[static_cast<std::size_t>(axis)])) {

@@ -23,14 +23,14 @@ double axis_load_factor(const topo::Shape& shape, int axis) {
 
 double bottleneck_factor(const topo::Shape& shape) {
   double worst = 0.0;
-  for (int a = 0; a < topo::kAxes; ++a) worst = std::max(worst, axis_load_factor(shape, a));
+  for (int a = 0; a < shape.axis_count(); ++a) worst = std::max(worst, axis_load_factor(shape, a));
   return worst;
 }
 
 int bottleneck_axis(const topo::Shape& shape) {
   int best = 0;
   double worst = -1.0;
-  for (int a = 0; a < topo::kAxes; ++a) {
+  for (int a = 0; a < shape.axis_count(); ++a) {
     const double f = axis_load_factor(shape, a);
     if (f > worst) {
       worst = f;

@@ -12,6 +12,7 @@
 //     (`cpu_links`), the limit the paper measures in Section 2.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "src/sim/event_queue.hpp"
@@ -21,6 +22,11 @@ namespace bgl::net {
 
 using sim::Tick;
 using topo::Rank;
+
+/// Remaining signed hops per axis (packet route state and the fault layer's
+/// routability queries). Fixed capacity kMaxAxes; entries at axes beyond the
+/// shape's dimensionality are always 0. int16 covers rings up to 2^15 nodes.
+using HopVec = std::array<std::int16_t, topo::kMaxAxes>;
 
 inline constexpr int kChunkBytes = 32;
 

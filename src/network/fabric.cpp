@@ -4,6 +4,7 @@
 #include <barrier>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -30,10 +31,15 @@ Fabric::Fabric(const NetworkConfig& config, Client& client)
       client_(&client),
       engine_(*this),
       rng_(config.seed) {
-  for (int a = 0; a < topo::kAxes; ++a) {
-    if (config_.shape.dim[static_cast<std::size_t>(a)] > 128) {
-      throw std::invalid_argument("dimension extent > 128 not supported");
+  for (int a = 0; a < config_.shape.axis_count(); ++a) {
+    // Route state is int16 signed hops per axis; a ring of 32768 peaks at
+    // 16384 hops.
+    if (config_.shape.dim[static_cast<std::size_t>(a)] > 32768) {
+      throw std::invalid_argument("dimension extent > 32768 not supported");
     }
+  }
+  if (config_.shape.nodes() > std::numeric_limits<std::int32_t>::max()) {
+    throw std::invalid_argument("node count overflows int32");
   }
   if (config_.injection_fifos == 0) throw std::invalid_argument("need >= 1 injection FIFO");
   if (config_.max_packet_chunks == 0 ||
@@ -46,8 +52,9 @@ Fabric::Fabric(const NetworkConfig& config, Client& client)
   }
 
   const int nodes = torus_.nodes();
+  dirs_ = torus_.directions();
   fifo_count_ = config_.injection_fifos;
-  inputs_per_link_ = topo::kDirections + fifo_count_;
+  inputs_per_link_ = dirs_ + fifo_count_;
   vcs_ = config_.dynamic_vcs + 1;
   vc_bubble_ = config_.dynamic_vcs;
 
@@ -59,10 +66,11 @@ Fabric::Fabric(const NetworkConfig& config, Client& client)
   if (bubble_slots_ < 2) {
     throw std::invalid_argument("VC buffer must hold >= 2 max packets (bubble rule)");
   }
-  buffers_.resize(static_cast<std::size_t>(nodes) * topo::kDirections * vcs_);
+  buffers_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(dirs_) *
+                  static_cast<std::size_t>(vcs_));
   buffer_free_.assign(buffers_.size(), config_.vc_capacity_chunks);
   for (Rank n = 0; n < nodes; ++n) {
-    for (int p = 0; p < topo::kDirections; ++p) {
+    for (int p = 0; p < dirs_; ++p) {
       buffer_free_[static_cast<std::size_t>(buf_id(n, p, vc_bubble_))] = bubble_slots_;
     }
   }
@@ -73,14 +81,15 @@ Fabric::Fabric(const NetworkConfig& config, Client& client)
   fifo_free_.assign(fifos_.size(), config_.injection_fifo_chunks);
   fifo_want_.assign(fifos_.size(), 0);
 
-  const std::size_t links = static_cast<std::size_t>(nodes) * topo::kDirections;
+  const std::size_t links =
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(dirs_);
   link_busy_until_.assign(links, 0);
   arb_scheduled_.assign(links, 0);
   rr_next_.assign(links, 0);
   link_peer_.resize(links);
   link_busy_.assign(links, 0);
   for (Rank n = 0; n < nodes; ++n) {
-    for (int d = 0; d < topo::kDirections; ++d) {
+    for (int d = 0; d < dirs_; ++d) {
       link_peer_[static_cast<std::size_t>(link_id(n, d))] =
           torus_.neighbor(n, topo::Direction::from_index(d));
     }
@@ -167,7 +176,7 @@ int Fabric::plan_threads() const noexcept {
 
 int Fabric::slab_axis() const noexcept {
   int best = 0;
-  for (int a = 1; a < topo::kAxes; ++a) {
+  for (int a = 1; a < config_.shape.axis_count(); ++a) {
     if (config_.shape.dim[static_cast<std::size_t>(a)] >=
         config_.shape.dim[static_cast<std::size_t>(best)]) {
       best = a;
@@ -522,7 +531,7 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   } else {
     const topo::Coord from = torus_.coord_of(node);
     const topo::Coord to = torus_.coord_of(desc.dst);
-    for (int a = 0; a < topo::kAxes; ++a) {
+    for (int a = 0; a < torus_.axis_count(); ++a) {
       int signed_hops = torus_.hops_signed(from[a], to[a], a);
       // A half-way destination on an even torus ring is reachable both ways;
       // random choice balances the two directions across the all-to-all.
@@ -530,7 +539,7 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
           live_rng().coin()) {
         signed_hops = -signed_hops;
       }
-      packet.hops[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(signed_hops);
+      packet.hops[static_cast<std::size_t>(a)] = static_cast<std::int16_t>(signed_hops);
     }
   }
   assert(!packet.at_destination());
@@ -567,7 +576,8 @@ void Fabric::schedule_arb_if_idle(Rank node, int dir, Tick at) {
   const std::uint8_t dir_bit = static_cast<std::uint8_t>(1u << dir);
   bool wanted = false;
   const std::size_t base = static_cast<std::size_t>(buf_id(node, 0, 0));
-  const std::size_t nbufs = static_cast<std::size_t>(topo::kDirections) * vcs_;
+  const std::size_t nbufs =
+      static_cast<std::size_t>(dirs_) * static_cast<std::size_t>(vcs_);
   for (std::size_t b = 0; b < nbufs; ++b) {
     if (buffer_want_[base + b] & dir_bit) {
       wanted = true;
@@ -596,14 +606,14 @@ void Fabric::schedule_profitable_arbs(Rank node, const Packet& packet) {
     schedule_arb_if_idle(node, dir_index(axis, sign));
     return;
   }
-  for (int a = 0; a < topo::kAxes; ++a) {
-    const std::int8_t h = packet.hops[static_cast<std::size_t>(a)];
+  for (int a = 0; a < topo::kMaxAxes; ++a) {
+    const std::int16_t h = packet.hops[static_cast<std::size_t>(a)];
     if (h != 0) schedule_arb_if_idle(node, dir_index(a, h > 0 ? +1 : -1));
   }
 }
 
 bool Fabric::wants_output(const Packet& packet, int axis, int sign) noexcept {
-  const std::int8_t h = packet.hops[static_cast<std::size_t>(axis)];
+  const std::int16_t h = packet.hops[static_cast<std::size_t>(axis)];
   if (packet.mode == RoutingMode::kAdaptive) {
     return static_cast<int>(h) * sign > 0;
   }
@@ -618,8 +628,8 @@ std::uint8_t Fabric::want_mask(const Packet& packet) noexcept {
     return static_cast<std::uint8_t>(1u << dir_index(axis, sign));
   }
   std::uint8_t mask = 0;
-  for (int a = 0; a < topo::kAxes; ++a) {
-    const std::int8_t h = packet.hops[static_cast<std::size_t>(a)];
+  for (int a = 0; a < topo::kMaxAxes; ++a) {
+    const std::int16_t h = packet.hops[static_cast<std::size_t>(a)];
     if (h != 0) mask |= static_cast<std::uint8_t>(1u << dir_index(a, h > 0 ? +1 : -1));
   }
   return mask;
@@ -631,7 +641,7 @@ int Fabric::select_downstream(const Packet& packet, Rank node, int dir, bool ent
   // Delivery: this hop is the packet's last.
   if (packet.hops[static_cast<std::size_t>(axis)] == sign) {
     bool others_zero = true;
-    for (int a = 0; a < topo::kAxes; ++a) {
+    for (int a = 0; a < topo::kMaxAxes; ++a) {
       if (a != axis && packet.hops[static_cast<std::size_t>(a)] != 0) others_zero = false;
     }
     if (others_zero) return kDeliverHere;
@@ -681,8 +691,8 @@ void Fabric::arbitrate(int link) {
   const Rank peer = link_peer_[lk];
   if (peer < 0) return;
 
-  const Rank node = static_cast<Rank>(link / topo::kDirections);
-  const int dir = link % topo::kDirections;
+  const Rank node = static_cast<Rank>(link / dirs_);
+  const int dir = link % dirs_;
   const int axis = axis_of(dir);
   const std::uint8_t dir_bit = static_cast<std::uint8_t>(1u << dir);
 
@@ -695,8 +705,8 @@ void Fabric::arbitrate(int link) {
   bool saw_candidate = false;
   const int start = rr_next_[lk];
 
-  for (int i = 0; i < topo::kDirections; ++i) {
-    const int input = (start + i) % topo::kDirections;
+  for (int i = 0; i < dirs_; ++i) {
+    const int input = (start + i) % dirs_;
     const int base = buf_id(node, input, 0);
     for (int vc = 0; vc < vcs_; ++vc) {
       if ((buffer_want_[static_cast<std::size_t>(base + vc)] & dir_bit) == 0) continue;
@@ -749,7 +759,7 @@ void Fabric::arbitrate(int link) {
       }
       if (!queue.empty()) schedule_profitable_arbs(node, queue.front());
 
-      rr_next_[lk] = static_cast<std::uint8_t>((input + 1) % topo::kDirections);
+      rr_next_[lk] = static_cast<std::uint8_t>((input + 1) % dirs_);
       commit_grant(lk, node, dir, peer, granted, target);
       return;
     }
@@ -802,7 +812,7 @@ void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
   const int axis = axis_of(dir);
   const int sign = sign_of(dir);
   granted.hops[static_cast<std::size_t>(axis)] =
-      static_cast<std::int8_t>(granted.hops[static_cast<std::size_t>(axis)] - sign);
+      static_cast<std::int16_t>(granted.hops[static_cast<std::size_t>(axis)] - sign);
   if (hop_observer_) hop_observer_(granted, node, dir, target);
   Tick busy = static_cast<Tick>(granted.chunks) * config_.chunk_cycles;
   if (faults_active_ && link_degraded_[lk]) busy *= config_.faults.degrade_mult;
@@ -950,7 +960,7 @@ void Fabric::on_fault_event(std::uint32_t a, std::uint64_t b) {
   // `outage.link` is the + direction port, so the paired reverse link is the
   // matching - direction port on the peer.
   const Rank peer = link_peer_[static_cast<std::size_t>(outage.link)];
-  const int dir = outage.link % topo::kDirections;
+  const int dir = outage.link % dirs_;
   const int reverse = link_id(peer, dir ^ 1);
   const bool repaired = b != 0;
   if (repaired) {
@@ -973,8 +983,7 @@ void Fabric::set_link_state(int link, bool down) {
     drop_in_flight_on_link(static_cast<std::uint32_t>(link));
   } else {
     // Restart flow: whichever heads queued up behind the outage want out.
-    schedule_arb_if_idle(static_cast<Rank>(link / topo::kDirections),
-                         link % topo::kDirections);
+    schedule_arb_if_idle(static_cast<Rank>(link / dirs_), link % dirs_);
   }
 }
 
@@ -989,7 +998,7 @@ void Fabric::drop_in_flight_on_link(std::uint32_t link) {
 bool Fabric::continuation_live(const Packet& head, Rank peer, int dir) const {
   auto hops = head.hops;
   const int axis = axis_of(dir);
-  hops[static_cast<std::size_t>(axis)] = static_cast<std::int8_t>(
+  hops[static_cast<std::size_t>(axis)] = static_cast<std::int16_t>(
       hops[static_cast<std::size_t>(axis)] - sign_of(dir));
   return fault_plan_.route_live(peer, hops, head.mode);
 }
@@ -1033,9 +1042,10 @@ void Fabric::drop_buffer_head(std::size_t buf) {
   buffer_want_[buf] = queue.empty() ? 0 : want_mask(queue.front());
   --in_network_;
   ++fault_stats_.dropped_stuck;
-  const Rank node = static_cast<Rank>(buf / (topo::kDirections * vcs_));
-  const int port = static_cast<int>(buf / static_cast<std::size_t>(vcs_)) %
-                   topo::kDirections;
+  const Rank node =
+      static_cast<Rank>(buf / (static_cast<std::size_t>(dirs_) *
+                               static_cast<std::size_t>(vcs_)));
+  const int port = static_cast<int>(buf / static_cast<std::size_t>(vcs_)) % dirs_;
   const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(port ^ 1));
   if (upstream >= 0) schedule_arb_if_idle(upstream, port);
   if (!queue.empty()) {
@@ -1070,7 +1080,7 @@ std::string Fabric::check_invariants(bool quiescent) const {
   auto fail = [](const std::string& what) { return what; };
 
   for (Rank n = 0; n < nodes; ++n) {
-    for (int p = 0; p < topo::kDirections; ++p) {
+    for (int p = 0; p < dirs_; ++p) {
       for (int vc = 0; vc < vcs_; ++vc) {
         const std::size_t b = static_cast<std::size_t>(buf_id(n, p, vc));
         const auto& queue = buffers_[b];
@@ -1150,24 +1160,24 @@ void Fabric::dump_state() const {
       if (q.empty()) continue;
       const Packet& h = q.front();
       std::fprintf(stderr,
-                   "node %d fifo %d: %zu pkts, head dst=%d hops=(%d,%d,%d) mode=%d\n", n, f,
-                   q.size(), h.dst, h.hops[0], h.hops[1], h.hops[2],
+                   "node %d fifo %d: %zu pkts, head dst=%d hops=(%d,%d,%d,%d) mode=%d\n",
+                   n, f, q.size(), h.dst, h.hops[0], h.hops[1], h.hops[2], h.hops[3],
                    static_cast<int>(h.mode));
     }
-    for (int p = 0; p < topo::kDirections; ++p) {
+    for (int p = 0; p < dirs_; ++p) {
       for (int vc = 0; vc < vcs_; ++vc) {
         const auto& q = buffers_[static_cast<std::size_t>(buf_id(n, p, vc))];
         if (q.empty()) continue;
         const Packet& h = q.front();
         std::fprintf(stderr,
-                     "node %d port %d vc %d: %zu pkts free=%d, head dst=%d hops=(%d,%d,%d) "
-                     "mode=%d\n",
+                     "node %d port %d vc %d: %zu pkts free=%d, head dst=%d "
+                     "hops=(%d,%d,%d,%d) mode=%d\n",
                      n, p, vc, q.size(),
                      buffer_free_[static_cast<std::size_t>(buf_id(n, p, vc))], h.dst,
-                     h.hops[0], h.hops[1], h.hops[2], static_cast<int>(h.mode));
+                     h.hops[0], h.hops[1], h.hops[2], h.hops[3], static_cast<int>(h.mode));
       }
     }
-    for (int d = 0; d < topo::kDirections; ++d) {
+    for (int d = 0; d < dirs_; ++d) {
       const auto link = static_cast<std::size_t>(link_id(n, d));
       if (link_busy_until_[link] > now() || arb_scheduled_[link]) {
         std::fprintf(stderr, "node %d link %d: busy_until=%llu arb_scheduled=%d\n", n, d,
@@ -1180,7 +1190,7 @@ void Fabric::dump_state() const {
 
 void Fabric::kick() {
   for (Rank n = 0; n < torus_.nodes(); ++n) {
-    for (int d = 0; d < topo::kDirections; ++d) schedule_arb_if_idle(n, d);
+    for (int d = 0; d < dirs_; ++d) schedule_arb_if_idle(n, d);
     CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
     if (!cpu.pump_scheduled && node_alive_now(n)) {
       cpu.pump_scheduled = true;
@@ -1205,15 +1215,15 @@ void Fabric::trace_wait_cycle() const {
   std::vector<char> visited(buffers_.size(), 0);
   int buf = start_buf;
   for (int step = 0; step < 200; ++step) {
-    const Rank node = static_cast<Rank>(buf / (topo::kDirections * vcs_));
-    const int port = (buf / vcs_) % topo::kDirections;
+    const Rank node = static_cast<Rank>(buf / (dirs_ * vcs_));
+    const int port = (buf / vcs_) % dirs_;
     const int vc = buf % vcs_;
     const Packet& head = buffers_[static_cast<std::size_t>(buf)].front();
     std::fprintf(stderr,
-                 "step %d: node %d port %d vc %d head: dst=%d hops=(%d,%d,%d) chunks=%d "
-                 "(buffer free=%d, %zu pkts)\n",
+                 "step %d: node %d port %d vc %d head: dst=%d hops=(%d,%d,%d,%d) "
+                 "chunks=%d (buffer free=%d, %zu pkts)\n",
                  step, node, port, vc, head.dst, head.hops[0], head.hops[1], head.hops[2],
-                 head.chunks, buffer_free_[static_cast<std::size_t>(buf)],
+                 head.hops[3], head.chunks, buffer_free_[static_cast<std::size_t>(buf)],
                  buffers_[static_cast<std::size_t>(buf)].size());
     if (visited[static_cast<std::size_t>(buf)]) {
       std::fprintf(stderr, "  -> CYCLE (revisited this buffer)\n");
@@ -1223,7 +1233,7 @@ void Fabric::trace_wait_cycle() const {
 
     // Which buffers could this head move into, and why is each blocked?
     int next_buf = -1;
-    for (int d = 0; d < topo::kDirections; ++d) {
+    for (int d = 0; d < dirs_; ++d) {
       const int axis = d / 2;
       const int sign = (d % 2 == 0) ? +1 : -1;
       if (!wants_output(head, axis, sign)) continue;

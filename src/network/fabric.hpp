@@ -281,10 +281,10 @@ class Fabric : public sim::EventHandler {
     std::vector<std::vector<BoundaryMsg>> outbox;
   };
 
-  // --- indexing helpers ---
-  int link_id(Rank node, int dir) const noexcept { return node * topo::kDirections + dir; }
+  // --- indexing helpers (dirs_ = 2n directions on an n-dimensional shape) ---
+  int link_id(Rank node, int dir) const noexcept { return node * dirs_ + dir; }
   int buf_id(Rank node, int port, int vc) const noexcept {
-    return (node * topo::kDirections + port) * vcs_ + vc;
+    return (node * dirs_ + port) * vcs_ + vc;
   }
   int fifo_id(Rank node, int fifo) const noexcept { return node * fifo_count_ + fifo; }
 
@@ -364,8 +364,9 @@ class Fabric : public sim::EventHandler {
   sim::Engine engine_;
   util::Xoshiro256StarStar rng_;
 
+  int dirs_;             // link directions per node (2n)
   int fifo_count_;
-  int inputs_per_link_;  // 6 transit ports + injection FIFOs
+  int inputs_per_link_;  // 2n transit ports + injection FIFOs
   int vcs_;              // dynamic VCs + 1 bubble escape
   int vc_bubble_;        // index of the bubble VC (== config.dynamic_vcs)
   int bubble_slots_;     // bubble VC capacity in max-packet slots

@@ -103,8 +103,8 @@ FaultPlan::FaultPlan(const NetworkConfig& config, const topo::Shape& shape)
   enabled_ = faults_.enabled();
   if (!enabled_) return;
 
-  const std::size_t links =
-      static_cast<std::size_t>(torus_.nodes()) * topo::kDirections;
+  const std::size_t links = static_cast<std::size_t>(torus_.nodes()) *
+                            static_cast<std::size_t>(torus_.directions());
   link_state_.assign(links, static_cast<std::uint8_t>(LinkHealth::kUp));
   node_dead_.assign(static_cast<std::size_t>(torus_.nodes()), 0);
 
@@ -120,7 +120,7 @@ FaultPlan::FaultPlan(const NetworkConfig& config, const topo::Shape& shape)
   // fails both directions.
   std::vector<std::pair<topo::Rank, int>> undirected;
   for (topo::Rank node = 0; node < torus_.nodes(); ++node) {
-    for (int axis = 0; axis < topo::kAxes; ++axis) {
+    for (int axis = 0; axis < torus_.axis_count(); ++axis) {
       const topo::Direction plus{axis, +1};
       if (torus_.neighbor(node, plus) >= 0) undirected.emplace_back(node, axis);
     }
@@ -182,7 +182,7 @@ FaultPlan::FaultPlan(const NetworkConfig& config, const topo::Shape& shape)
       const topo::Rank victim = nodes[i];
       node_dead_[static_cast<std::size_t>(victim)] = 1;
       ++dead_nodes_;
-      for (int d = 0; d < topo::kDirections; ++d) {
+      for (int d = 0; d < torus_.directions(); ++d) {
         const topo::Direction dir = topo::Direction::from_index(d);
         const topo::Rank peer = torus_.neighbor(victim, dir);
         if (peer < 0) continue;
@@ -207,24 +207,18 @@ FaultPlan::FaultPlan(const NetworkConfig& config, const topo::Shape& shape)
             });
 }
 
-bool FaultPlan::route_live(topo::Rank node,
-                           const std::array<std::int8_t, topo::kAxes>& hops,
+bool FaultPlan::route_live(topo::Rank node, const HopVec& hops,
                            RoutingMode mode) const {
   if (!node_alive(node)) return false;
-  if (hops[0] == 0 && hops[1] == 0 && hops[2] == 0) return true;
+  if (hops[0] == 0 && hops[1] == 0 && hops[2] == 0 && hops[3] == 0) return true;
 
-  const std::uint64_t key =
-      static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) |
-      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(hops[0] + 64)) << 32) |
-      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(hops[1] + 64)) << 40) |
-      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(hops[2] + 64)) << 48) |
-      (static_cast<std::uint64_t>(mode) << 56);
+  const RouteKey key{node, static_cast<std::uint8_t>(mode), hops};
   if (const auto it = route_memo_.find(key); it != route_memo_.end()) {
     return it->second;
   }
 
   bool live = false;
-  for (int axis = 0; axis < topo::kAxes && !live; ++axis) {
+  for (int axis = 0; axis < torus_.axis_count() && !live; ++axis) {
     if (hops[static_cast<std::size_t>(axis)] == 0) continue;
     const int sign = hops[static_cast<std::size_t>(axis)] > 0 ? +1 : -1;
     const topo::Direction dir{axis, sign};
@@ -232,7 +226,7 @@ bool FaultPlan::route_live(topo::Rank node,
         static_cast<std::uint8_t>(LinkHealth::kDead)) {
       auto next = hops;
       next[static_cast<std::size_t>(axis)] =
-          static_cast<std::int8_t>(next[static_cast<std::size_t>(axis)] - sign);
+          static_cast<std::int16_t>(next[static_cast<std::size_t>(axis)] - sign);
       live = route_live(torus_.neighbor(node, dir), next, mode);
     }
     // Dimension-ordered routing has no second choice: only the first
@@ -250,19 +244,20 @@ bool FaultPlan::pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode) 
 
   const topo::Coord a = torus_.coord_of(src);
   const topo::Coord b = torus_.coord_of(dst);
-  std::array<std::int8_t, topo::kAxes> hops{};
-  std::array<bool, topo::kAxes> tie{};
-  for (int axis = 0; axis < topo::kAxes; ++axis) {
+  const int axes = torus_.axis_count();
+  HopVec hops{};
+  std::array<bool, topo::kMaxAxes> tie{};
+  for (int axis = 0; axis < axes; ++axis) {
     hops[static_cast<std::size_t>(axis)] =
-        static_cast<std::int8_t>(torus_.hops_signed(a[axis], b[axis], axis));
+        static_cast<std::int16_t>(torus_.hops_signed(a[axis], b[axis], axis));
     tie[static_cast<std::size_t>(axis)] = torus_.is_halfway_tie(a[axis], b[axis], axis);
   }
   // Try every sign assignment of the half-way tie axes: a pair is routable
   // when any minimal path under any legal tie resolution survives.
-  for (int combo = 0; combo < 8; ++combo) {
+  for (int combo = 0; combo < (1 << axes); ++combo) {
     auto trial = hops;
     bool valid = true;
-    for (int axis = 0; axis < topo::kAxes; ++axis) {
+    for (int axis = 0; axis < axes; ++axis) {
       const bool flip = (combo >> axis) & 1;
       if (flip && !tie[static_cast<std::size_t>(axis)]) {
         valid = false;
@@ -270,7 +265,7 @@ bool FaultPlan::pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode) 
       }
       if (flip) {
         trial[static_cast<std::size_t>(axis)] =
-            static_cast<std::int8_t>(-trial[static_cast<std::size_t>(axis)]);
+            static_cast<std::int16_t>(-trial[static_cast<std::size_t>(axis)]);
       }
     }
     if (valid && route_live(src, trial, mode)) return true;
@@ -278,17 +273,17 @@ bool FaultPlan::pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode) 
   return false;
 }
 
-std::array<std::int8_t, topo::kAxes> FaultPlan::choose_hops(
-    topo::Rank src, topo::Rank dst, RoutingMode mode,
-    const std::function<bool()>& coin) const {
+HopVec FaultPlan::choose_hops(topo::Rank src, topo::Rank dst, RoutingMode mode,
+                              const std::function<bool()>& coin) const {
   const topo::Coord a = torus_.coord_of(src);
   const topo::Coord b = torus_.coord_of(dst);
-  std::array<std::int8_t, topo::kAxes> hops{};
-  std::array<bool, topo::kAxes> tie{};
+  const int axes = torus_.axis_count();
+  HopVec hops{};
+  std::array<bool, topo::kMaxAxes> tie{};
   bool any_tie = false;
-  for (int axis = 0; axis < topo::kAxes; ++axis) {
+  for (int axis = 0; axis < axes; ++axis) {
     hops[static_cast<std::size_t>(axis)] =
-        static_cast<std::int8_t>(torus_.hops_signed(a[axis], b[axis], axis));
+        static_cast<std::int16_t>(torus_.hops_signed(a[axis], b[axis], axis));
     tie[static_cast<std::size_t>(axis)] = torus_.is_halfway_tie(a[axis], b[axis], axis);
     any_tie = any_tie || tie[static_cast<std::size_t>(axis)];
   }
@@ -298,17 +293,17 @@ std::array<std::int8_t, topo::kAxes> FaultPlan::choose_hops(
   // the draw only if it leads somewhere; otherwise fall back to the first
   // live tie resolution in a fixed enumeration order.
   auto preferred = hops;
-  for (int axis = 0; axis < topo::kAxes; ++axis) {
+  for (int axis = 0; axis < axes; ++axis) {
     if (tie[static_cast<std::size_t>(axis)] && coin()) {
       preferred[static_cast<std::size_t>(axis)] =
-          static_cast<std::int8_t>(-preferred[static_cast<std::size_t>(axis)]);
+          static_cast<std::int16_t>(-preferred[static_cast<std::size_t>(axis)]);
     }
   }
   if (!enabled_ || route_live(src, preferred, mode)) return preferred;
-  for (int combo = 0; combo < 8; ++combo) {
+  for (int combo = 0; combo < (1 << axes); ++combo) {
     auto trial = hops;
     bool valid = true;
-    for (int axis = 0; axis < topo::kAxes; ++axis) {
+    for (int axis = 0; axis < axes; ++axis) {
       const bool flip = (combo >> axis) & 1;
       if (flip && !tie[static_cast<std::size_t>(axis)]) {
         valid = false;
@@ -316,7 +311,7 @@ std::array<std::int8_t, topo::kAxes> FaultPlan::choose_hops(
       }
       if (flip) {
         trial[static_cast<std::size_t>(axis)] =
-            static_cast<std::int8_t>(-trial[static_cast<std::size_t>(axis)]);
+            static_cast<std::int16_t>(-trial[static_cast<std::size_t>(axis)]);
       }
     }
     if (valid && route_live(src, trial, mode)) return trial;

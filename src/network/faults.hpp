@@ -80,9 +80,9 @@ class FaultPlan {
   /// randomness (the fabric's drop RNG) fork from this.
   std::uint64_t derived_seed() const noexcept { return derived_seed_; }
 
-  /// Directed link id, mirroring Fabric::link_id.
+  /// Directed link id, mirroring Fabric::link_id (2n directions per node).
   int link_id(topo::Rank node, int dir) const noexcept {
-    return node * topo::kDirections + dir;
+    return node * torus_.directions() + dir;
   }
 
   /// Permanent health of a directed link (kTransient links count as up).
@@ -106,8 +106,7 @@ class FaultPlan {
   /// still reach its destination over live links and nodes under `mode`
   /// (adaptive: any live path in the minimal DAG; deterministic: the single
   /// dimension-order path). Memoized; call only on plans with faults.
-  bool route_live(topo::Rank node, const std::array<std::int8_t, topo::kAxes>& hops,
-                  RoutingMode mode) const;
+  bool route_live(topo::Rank node, const HopVec& hops, RoutingMode mode) const;
 
   /// True when (src, dst) is deliverable under `mode`: both endpoints are
   /// alive and some choice of half-way tie directions yields a live minimal
@@ -116,15 +115,38 @@ class FaultPlan {
 
   /// Signed hop vector for (src, dst) with half-way ties resolved toward a
   /// live route when possible; ambiguous live ties are broken with `coin`.
-  std::array<std::int8_t, topo::kAxes> choose_hops(
-      topo::Rank src, topo::Rank dst, RoutingMode mode,
-      const std::function<bool()>& coin) const;
+  HopVec choose_hops(topo::Rank src, topo::Rank dst, RoutingMode mode,
+                     const std::function<bool()>& coin) const;
 
   /// Forget memoized routability (call after a permanent fault epoch
   /// change, i.e. when fail_at > 0 strikes).
   void invalidate_routes() const { route_memo_.clear(); }
 
  private:
+  /// Memo key for route_live: exact-match (node, mode, hop vector). A packed
+  /// uint64 no longer fits now that hops are 4 x int16, so the key hashes
+  /// FNV-1a over its bytes and compares exactly (no collision risk).
+  struct RouteKey {
+    topo::Rank node = 0;
+    std::uint8_t mode = 0;
+    HopVec hops{0, 0, 0, 0};
+    friend bool operator==(const RouteKey&, const RouteKey&) = default;
+  };
+  struct RouteKeyHash {
+    std::size_t operator()(const RouteKey& k) const noexcept {
+      std::uint64_t h = 1469598103934665603ULL;
+      const auto mix = [&h](std::uint64_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i) {
+          h = (h ^ ((v >> (8 * i)) & 0xffu)) * 1099511628211ULL;
+        }
+      };
+      mix(static_cast<std::uint32_t>(k.node), 4);
+      mix(k.mode, 1);
+      for (const auto hop : k.hops) mix(static_cast<std::uint16_t>(hop), 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   bool enabled_ = false;
   FaultConfig faults_{};
   std::uint64_t derived_seed_ = 0;
@@ -136,7 +158,7 @@ class FaultPlan {
   std::size_t degraded_links_ = 0;
   std::size_t dead_nodes_ = 0;
 
-  mutable std::unordered_map<std::uint64_t, bool> route_memo_;
+  mutable std::unordered_map<RouteKey, bool, RouteKeyHash> route_memo_;
 };
 
 }  // namespace bgl::net

@@ -18,7 +18,9 @@ struct Packet {
   std::uint64_t tag = 0;            // opaque client cookie
   std::uint32_t payload_bytes = 0;  // application bytes carried (stats only)
   std::uint16_t chunks = 1;         // wire size in 32 B chunks
-  std::array<std::int8_t, topo::kAxes> hops{0, 0, 0};
+  /// Remaining signed hops per axis; entries at axes beyond the shape's
+  /// dimensionality stay 0. int16 so a 1-D ring of up to 2^15 nodes routes.
+  HopVec hops{0, 0, 0, 0};
   RoutingMode mode = RoutingMode::kAdaptive;
   std::uint8_t vc = 0;  // VC the packet currently occupies
 
@@ -35,12 +37,13 @@ struct Packet {
   std::uint32_t checksum = 0;
 
   bool at_destination() const noexcept {
-    return hops[0] == 0 && hops[1] == 0 && hops[2] == 0;
+    return hops[0] == 0 && hops[1] == 0 && hops[2] == 0 && hops[3] == 0;
   }
 
-  /// First axis (in X, Y, Z order) with remaining hops, or -1 at destination.
+  /// First axis (in dimension order) with remaining hops, or -1 at
+  /// destination.
   int dim_order_axis() const noexcept {
-    for (int a = 0; a < topo::kAxes; ++a) {
+    for (int a = 0; a < topo::kMaxAxes; ++a) {
       if (hops[static_cast<std::size_t>(a)] != 0) return a;
     }
     return -1;

@@ -4,17 +4,20 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace bgl::topo {
 
 int Shape::longest() const noexcept {
-  return std::max(dim[0], std::max(dim[1], dim[2]));
+  int best = dim[0];
+  for (int a = 1; a < axes; ++a) best = std::max(best, dim[static_cast<std::size_t>(a)]);
+  return best;
 }
 
 int Shape::longest_axis() const noexcept {
   int best = 0;
-  for (int a = 1; a < kAxes; ++a) {
+  for (int a = 1; a < axes; ++a) {
     if (dim[static_cast<std::size_t>(a)] > dim[static_cast<std::size_t>(best)]) best = a;
   }
   return best;
@@ -24,7 +27,7 @@ bool Shape::symmetric() const noexcept {
   // The paper calls a partition symmetric when all dimensions of extent > 1
   // are equal: a 16x16 plane and an 8-node line count as symmetric.
   int ref = 0;
-  for (int a = 0; a < kAxes; ++a) {
+  for (int a = 0; a < axes; ++a) {
     const int d = dim[static_cast<std::size_t>(a)];
     if (d == 1) continue;
     if (ref == 0) {
@@ -37,7 +40,7 @@ bool Shape::symmetric() const noexcept {
 }
 
 bool Shape::full_torus() const noexcept {
-  for (int a = 0; a < kAxes; ++a) {
+  for (int a = 0; a < axes; ++a) {
     if (dim[static_cast<std::size_t>(a)] > 1 && !wrap[static_cast<std::size_t>(a)]) return false;
   }
   return true;
@@ -45,7 +48,7 @@ bool Shape::full_torus() const noexcept {
 
 std::string Shape::to_string() const {
   std::string out;
-  for (int a = 0; a < kAxes; ++a) {
+  for (int a = 0; a < axes; ++a) {
     const auto i = static_cast<std::size_t>(a);
     if (a > 0) out += "x";
     out += std::to_string(dim[i]);
@@ -56,21 +59,36 @@ std::string Shape::to_string() const {
 
 Shape parse_shape(const std::string& text) {
   Shape shape;
+  shape.dim.fill(1);
+  shape.wrap.fill(false);
   int axis = 0;
   std::size_t pos = 0;
   while (pos < text.size()) {
-    if (axis >= kAxes) throw std::invalid_argument("too many dimensions: " + text);
+    if (axis >= kMaxAxes) {
+      throw std::invalid_argument("too many dimensions (max " + std::to_string(kMaxAxes) +
+                                  "): " + text);
+    }
     std::size_t end = pos;
-    while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) ++end;
+    std::int64_t extent = 0;
+    bool overflow = false;
+    while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) {
+      extent = extent * 10 + (text[end] - '0');
+      if (extent > std::numeric_limits<std::int32_t>::max()) overflow = true;
+      ++end;
+    }
     if (end == pos) throw std::invalid_argument("bad partition spec: " + text);
-    const int extent = std::atoi(text.substr(pos, end - pos).c_str());
-    if (extent <= 0) throw std::invalid_argument("bad extent in: " + text);
+    if (extent <= 0) {
+      throw std::invalid_argument("extent must be positive in: " + text);
+    }
+    if (overflow) {
+      throw std::invalid_argument("extent overflows int32 in: " + text);
+    }
     bool wrap = true;
     if (end < text.size() && (text[end] == 'M' || text[end] == 'm')) {
       wrap = false;
       ++end;
     }
-    shape.dim[static_cast<std::size_t>(axis)] = extent;
+    shape.dim[static_cast<std::size_t>(axis)] = static_cast<int>(extent);
     shape.wrap[static_cast<std::size_t>(axis)] = wrap && extent > 1;
     ++axis;
     if (end < text.size()) {
@@ -83,8 +101,13 @@ Shape parse_shape(const std::string& text) {
     pos = end;
   }
   if (axis == 0) throw std::invalid_argument("empty partition spec");
-  for (int a = 0; a < kAxes; ++a) {
-    if (shape.dim[static_cast<std::size_t>(a)] <= 1) shape.wrap[static_cast<std::size_t>(a)] = false;
+  shape.axes = axis;
+  std::int64_t total = 1;
+  for (int a = 0; a < shape.axes; ++a) {
+    total *= shape.dim[static_cast<std::size_t>(a)];
+    if (total > std::numeric_limits<std::int32_t>::max()) {
+      throw std::invalid_argument("node count overflows int32: " + text);
+    }
   }
   return shape;
 }
@@ -95,15 +118,21 @@ Torus::Torus(Shape shape) : shape_(shape) {
 }
 
 Rank Torus::rank_of(const Coord& c) const noexcept {
-  return static_cast<Rank>(c[0] + shape_.dim[0] * (c[1] + static_cast<std::int64_t>(shape_.dim[1]) * c[2]));
+  std::int64_t r = 0;
+  for (int a = shape_.axes - 1; a >= 0; --a) {
+    r = r * shape_.dim[static_cast<std::size_t>(a)] + c[a];
+  }
+  return static_cast<Rank>(r);
 }
 
 Coord Torus::coord_of(Rank r) const noexcept {
   Coord c;
-  c[0] = static_cast<int>(r % shape_.dim[0]);
-  const auto rest = r / shape_.dim[0];
-  c[1] = static_cast<int>(rest % shape_.dim[1]);
-  c[2] = static_cast<int>(rest / shape_.dim[1]);
+  std::int64_t rest = r;
+  for (int a = 0; a < shape_.axes; ++a) {
+    const int extent = shape_.dim[static_cast<std::size_t>(a)];
+    c[a] = static_cast<int>(rest % extent);
+    rest /= extent;
+  }
   return c;
 }
 
@@ -140,7 +169,7 @@ int Torus::distance(Rank a, Rank b) const noexcept {
   const Coord ca = coord_of(a);
   const Coord cb = coord_of(b);
   int total = 0;
-  for (int axis = 0; axis < kAxes; ++axis) total += hops(ca[axis], cb[axis], axis);
+  for (int axis = 0; axis < shape_.axes; ++axis) total += hops(ca[axis], cb[axis], axis);
   return total;
 }
 

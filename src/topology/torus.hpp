@@ -1,9 +1,12 @@
-// Three-dimensional torus / mesh topology for the Blue Gene/L network.
+// k-ary n-dimensional torus / mesh topology (n in [1, kMaxAxes]).
 //
-// A partition is a box of Dx x Dy x Dz nodes; each dimension independently is
-// either a torus (wraparound links present) or a mesh. The paper's partition
-// notation "8 x 8 x 2M" means the Z dimension is a mesh. Node ranks are
-// X-major: rank = x + Dx * (y + Dy * z), matching BG/L's natural ordering.
+// A partition is a box of D0 x D1 x ... x D(n-1) nodes; each dimension
+// independently is either a torus (wraparound links present) or a mesh. The
+// paper's partition notation "8 x 8 x 2M" means the last dimension is a
+// mesh. Node ranks are axis-0-major: rank = c0 + D0 * (c1 + D1 * (c2 + ...)),
+// matching BG/L's natural X-major ordering on 3-D shapes. The dimensionality
+// is a runtime property of Shape; storage is fixed-capacity arrays so Coord
+// and Shape stay cheap value types (no heap, trivially copyable).
 #pragma once
 
 #include <array>
@@ -14,42 +17,61 @@ namespace bgl::topo {
 
 using Rank = std::int32_t;
 
-/// Dimension indices; BG/L routes dimension order X, then Y, then Z.
-enum Axis : int { kX = 0, kY = 1, kZ = 2 };
-inline constexpr int kAxes = 3;
+/// Axis indices for code that names specific axes; BG/L routes dimension
+/// order along axis 0, then 1, then 2 (X, Y, Z on a 3-D shape).
+enum Axis : int { kX = 0, kY = 1, kZ = 2, kW = 3 };
 
-/// One of the six torus directions: axis + sign.
+/// Maximum supported dimensionality. Fixed-capacity so Coord/Shape stay
+/// trivially copyable; 2 * kMaxAxes directions fit the fabric's 8-bit
+/// direction want-masks exactly.
+inline constexpr int kMaxAxes = 4;
+inline constexpr int kMaxDirections = 2 * kMaxAxes;
+
+/// One torus direction: axis + sign. On an n-dimensional shape the valid
+/// dense indices are [0, 2n): A0+, A0-, A1+, A1-, ... The reverse of
+/// direction index i is i ^ 1.
 struct Direction {
-  int axis = 0;   // 0..2
+  int axis = 0;   // 0 .. axes-1
   int sign = +1;  // +1 or -1
 
-  /// Dense index in [0, 6): X+,X-,Y+,Y-,Z+,Z-.
+  /// Dense index in [0, 2n).
   constexpr int index() const noexcept { return axis * 2 + (sign > 0 ? 0 : 1); }
   static constexpr Direction from_index(int i) noexcept {
     return Direction{i / 2, (i % 2 == 0) ? +1 : -1};
   }
   friend constexpr bool operator==(const Direction&, const Direction&) = default;
 };
-inline constexpr int kDirections = 6;
 
+/// A node coordinate. Entries at axes >= the shape's axis count are always 0.
 struct Coord {
-  std::array<int, kAxes> v{0, 0, 0};
+  std::array<int, kMaxAxes> v{0, 0, 0, 0};
   int& operator[](int axis) { return v[static_cast<std::size_t>(axis)]; }
   int operator[](int axis) const { return v[static_cast<std::size_t>(axis)]; }
   friend bool operator==(const Coord&, const Coord&) = default;
 };
 
-/// Shape of a partition: per-dimension extent and wrap (torus) flag.
+/// Shape of a partition: runtime dimensionality, per-dimension extent and
+/// wrap (torus) flag. Entries at axes >= `axes` are extent 1 and never
+/// consulted. Default-constructed shapes are 3-D (1x1x1) for compatibility
+/// with the original fixed-3-D API.
 struct Shape {
-  std::array<int, kAxes> dim{1, 1, 1};
-  std::array<bool, kAxes> wrap{true, true, true};
+  std::array<int, kMaxAxes> dim{1, 1, 1, 1};
+  std::array<bool, kMaxAxes> wrap{true, true, true, true};
+  int axes = 3;
+
+  /// Runtime dimensionality n.
+  int axis_count() const noexcept { return axes; }
+  /// Number of link directions, 2n.
+  int directions() const noexcept { return 2 * axes; }
 
   std::int64_t nodes() const noexcept {
-    return static_cast<std::int64_t>(dim[0]) * dim[1] * dim[2];
+    std::int64_t n = 1;
+    for (int a = 0; a < axes; ++a) n *= dim[static_cast<std::size_t>(a)];
+    return n;
   }
   /// Longest dimension extent (the paper's M).
   int longest() const noexcept;
-  /// Axis of the longest dimension (ties broken toward X).
+  /// Axis of the longest dimension (ties broken toward axis 0).
   int longest_axis() const noexcept;
   bool symmetric() const noexcept;
   /// True if every dimension wraps.
@@ -59,9 +81,12 @@ struct Shape {
   friend bool operator==(const Shape&, const Shape&) = default;
 };
 
-/// Parses the paper's partition notation: "8", "8x8", "40x32x16", with an
-/// optional "M" suffix per dimension marking it as a mesh ("8x8x2M").
-/// Dimensions of extent 1 are treated as meshes (wrap is meaningless).
+/// Parses the paper's partition notation with 1 to kMaxAxes dimensions:
+/// "64", "8x8", "40x32x16", "4x4x4x4", with an optional "M" suffix per
+/// dimension marking it as a mesh ("8x8x2M"). Dimensions of extent 1 are
+/// treated as meshes (wrap is meaningless). The parsed dimensionality is the
+/// number of dimensions written: "8x8" is 2-D, "8x8x1" is 3-D. Rejects zero
+/// or negative extents and node counts that overflow int32.
 /// Throws std::invalid_argument on malformed input.
 Shape parse_shape(const std::string& text);
 
@@ -73,6 +98,8 @@ class Torus {
 
   const Shape& shape() const noexcept { return shape_; }
   std::int32_t nodes() const noexcept { return nodes_; }
+  int axis_count() const noexcept { return shape_.axes; }
+  int directions() const noexcept { return 2 * shape_.axes; }
 
   Rank rank_of(const Coord& c) const noexcept;
   Coord coord_of(Rank r) const noexcept;

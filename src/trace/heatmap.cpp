@@ -10,10 +10,11 @@ constexpr char kShades[] = " .:-=+*#%@";
 constexpr int kShadeCount = 10;
 
 double link_util(const net::Fabric& fabric, net::Tick elapsed, topo::Rank node, int dir) {
-  if (elapsed == 0) return 0.0;
+  const int dirs = fabric.torus().directions();
+  if (elapsed == 0 || dir >= dirs) return 0.0;  // axis absent from this shape
   const auto& busy = fabric.link_busy_cycles();
   return static_cast<double>(
-             busy[static_cast<std::size_t>(node) * topo::kDirections +
+             busy[static_cast<std::size_t>(node) * static_cast<std::size_t>(dirs) +
                   static_cast<std::size_t>(dir)]) /
          static_cast<double>(elapsed);
 }
@@ -45,32 +46,42 @@ std::string plane_heatmap(const net::Fabric& fabric, net::Tick elapsed, int z) {
 std::string axis_summary(const net::Fabric& fabric, net::Tick elapsed) {
   const topo::Torus& torus = fabric.torus();
   const auto& shape = torus.shape();
-  static constexpr const char* kNames[topo::kAxes] = {"X", "Y", "Z"};
+  const int axes = shape.axis_count();
+  static constexpr const char* kNames[topo::kMaxAxes] = {"X", "Y", "Z", "W"};
   std::string out;
-  for (int axis = 0; axis < topo::kAxes; ++axis) {
+  for (int axis = 0; axis < axes; ++axis) {
     out += kNames[axis];
     out += " lines: ";
-    // One character per line along `axis`: iterate over the other two dims.
-    const int a1 = (axis + 1) % topo::kAxes;
-    const int a2 = (axis + 2) % topo::kAxes;
-    for (int i = 0; i < shape.dim[static_cast<std::size_t>(a1)]; ++i) {
-      for (int j = 0; j < shape.dim[static_cast<std::size_t>(a2)]; ++j) {
-        double total = 0.0;
-        int links = 0;
-        for (int k = 0; k < shape.dim[static_cast<std::size_t>(axis)]; ++k) {
-          topo::Coord c;
-          c[axis] = k;
-          c[a1] = i;
-          c[a2] = j;
-          const topo::Rank node = torus.rank_of(c);
-          for (int sign = 0; sign < 2; ++sign) {
-            const int dir = axis * 2 + sign;
-            if (torus.neighbor(node, topo::Direction::from_index(dir)) < 0) continue;
-            total += link_util(fabric, elapsed, node, dir);
-            ++links;
-          }
+    // One character per line along `axis`: odometer over the remaining axes
+    // in (axis+1, axis+2, ...) order, the last one varying fastest.
+    std::vector<int> others;
+    for (int o = 1; o < axes; ++o) others.push_back((axis + o) % axes);
+    std::size_t lines = 1;
+    for (const int o : others) {
+      lines *= static_cast<std::size_t>(shape.dim[static_cast<std::size_t>(o)]);
+    }
+    std::array<int, topo::kMaxAxes> idx{};
+    for (std::size_t t = 0; t < lines; ++t) {
+      topo::Coord c;
+      for (std::size_t oi = 0; oi < others.size(); ++oi) {
+        c[others[oi]] = idx[oi];
+      }
+      double total = 0.0;
+      int links = 0;
+      for (int k = 0; k < shape.dim[static_cast<std::size_t>(axis)]; ++k) {
+        c[axis] = k;
+        const topo::Rank node = torus.rank_of(c);
+        for (int sign = 0; sign < 2; ++sign) {
+          const int dir = axis * 2 + sign;
+          if (torus.neighbor(node, topo::Direction::from_index(dir)) < 0) continue;
+          total += link_util(fabric, elapsed, node, dir);
+          ++links;
         }
-        out += shade(links > 0 ? total / links : 0.0);
+      }
+      out += shade(links > 0 ? total / links : 0.0);
+      for (std::size_t oi = others.size(); oi-- > 0;) {
+        if (++idx[oi] < shape.dim[static_cast<std::size_t>(others[oi])]) break;
+        idx[oi] = 0;
       }
     }
     out += '\n';

@@ -3,9 +3,9 @@
 namespace bgl::trace {
 
 std::string dir_name(int dir) {
-  static constexpr const char* kNames[topo::kDirections] = {"X+", "X-", "Y+",
-                                                            "Y-", "Z+", "Z-"};
-  if (dir < 0 || dir >= topo::kDirections) return "?";
+  static constexpr const char* kNames[topo::kMaxDirections] = {
+      "X+", "X-", "Y+", "Y-", "Z+", "Z-", "W+", "W-"};
+  if (dir < 0 || dir >= topo::kMaxDirections) return "?";
   return kNames[dir];
 }
 

@@ -7,21 +7,23 @@ namespace bgl::trace {
 
 LinkReport summarize_links(const net::Fabric& fabric, net::Tick elapsed) {
   LinkReport report;
+  const auto& torus = fabric.torus();
+  const int dirs = torus.directions();
+  report.axes = torus.axis_count();
   if (elapsed == 0) return report;
   const auto& busy = fabric.link_busy_cycles();
-  const auto& torus = fabric.torus();
 
-  std::array<double, topo::kAxes> sum{};
-  std::array<int, topo::kAxes> count{};
+  std::array<double, topo::kMaxAxes> sum{};
+  std::array<int, topo::kMaxAxes> count{};
   for (auto& a : report.axis) {
     a.min = 1.0;
   }
 
   for (topo::Rank n = 0; n < torus.nodes(); ++n) {
-    for (int d = 0; d < topo::kDirections; ++d) {
+    for (int d = 0; d < dirs; ++d) {
       if (torus.neighbor(n, topo::Direction::from_index(d)) < 0) continue;  // mesh edge
       const double util =
-          static_cast<double>(busy[static_cast<std::size_t>(n * topo::kDirections + d)]) /
+          static_cast<double>(busy[static_cast<std::size_t>(n * dirs + d)]) /
           static_cast<double>(elapsed);
       const int axis = d / 2;
       const auto ax = static_cast<std::size_t>(axis);
@@ -35,7 +37,7 @@ LinkReport summarize_links(const net::Fabric& fabric, net::Tick elapsed) {
 
   double total = 0.0;
   int links = 0;
-  for (int a = 0; a < topo::kAxes; ++a) {
+  for (int a = 0; a < topo::kMaxAxes; ++a) {
     const auto ax = static_cast<std::size_t>(a);
     if (count[ax] == 0) {
       report.axis[ax].min = 0.0;
@@ -55,11 +57,12 @@ std::vector<int> utilization_histogram(const net::Fabric& fabric, net::Tick elap
   if (elapsed == 0 || buckets <= 0) return histogram;
   const auto& busy = fabric.link_busy_cycles();
   const auto& torus = fabric.torus();
+  const int dirs = torus.directions();
   for (topo::Rank n = 0; n < torus.nodes(); ++n) {
-    for (int d = 0; d < topo::kDirections; ++d) {
+    for (int d = 0; d < dirs; ++d) {
       if (torus.neighbor(n, topo::Direction::from_index(d)) < 0) continue;
       const double util =
-          static_cast<double>(busy[static_cast<std::size_t>(n * topo::kDirections + d)]) /
+          static_cast<double>(busy[static_cast<std::size_t>(n * dirs + d)]) /
           static_cast<double>(elapsed);
       int bucket = static_cast<int>(util * buckets);
       bucket = std::clamp(bucket, 0, buckets - 1);
@@ -131,8 +134,8 @@ std::string summarize_recovery(int epochs, int replans, net::Tick replan_cycles,
 std::string LinkReport::to_string() const {
   char buf[256];
   std::string out;
-  static constexpr const char* kNames[topo::kAxes] = {"X", "Y", "Z"};
-  for (int a = 0; a < topo::kAxes; ++a) {
+  static constexpr const char* kNames[topo::kMaxAxes] = {"X", "Y", "Z", "W"};
+  for (int a = 0; a < axes; ++a) {
     const auto& ax = axis[static_cast<std::size_t>(a)];
     std::snprintf(buf, sizeof(buf), "%s: mean %.1f%% max %.1f%%  ", kNames[a],
                   100.0 * ax.mean, 100.0 * ax.max);

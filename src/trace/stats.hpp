@@ -22,7 +22,9 @@ struct AxisUtilization {
 };
 
 struct LinkReport {
-  std::array<AxisUtilization, topo::kAxes> axis{};
+  std::array<AxisUtilization, topo::kMaxAxes> axis{};
+  /// Axes of the summarized fabric (entries beyond it are all-zero).
+  int axes = topo::kMaxAxes;
   double overall_mean = 0.0;
   double overall_max = 0.0;
 

@@ -1,0 +1,27 @@
+// Shared CLI handling of --shape style arguments. A malformed partition
+// spec (zero/negative extent, too many dimensions, int32 overflow, stray
+// characters) is a user error, not a programming error: report the parser's
+// message on stderr and exit 2, the same convention the bench harness uses
+// for every other bad option.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "src/topology/torus.hpp"
+
+namespace bgl::util {
+
+inline topo::Shape shape_arg_or_exit(const std::string& spec,
+                                     const std::string& program) {
+  try {
+    return topo::parse_shape(spec);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: error: %s\n", program.c_str(), error.what());
+    std::exit(2);
+  }
+}
+
+}  // namespace bgl::util

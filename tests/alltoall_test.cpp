@@ -134,7 +134,7 @@ TEST(Alltoall, TpsCreditWindowBoundsForwardBacklog) {
     TpsTuning tuning;
     tuning.credit_window = window;
     tuning.credit_batch = window > 0 ? std::max(1, window / 2) : 10;
-    TwoPhaseClient client(config, 480, tuning, nullptr);
+    ScheduleExecutor client(config, build_tps_schedule(config, 480, tuning), nullptr);
     net::Fabric fabric(config, client);
     client.bind(fabric);
     EXPECT_TRUE(fabric.run());

@@ -13,19 +13,22 @@ namespace bgl {
 namespace {
 
 TEST(Direction, IndexRoundTrip) {
-  for (int i = 0; i < topo::kDirections; ++i) {
+  for (int i = 0; i < topo::kMaxDirections; ++i) {
     const auto dir = topo::Direction::from_index(i);
     EXPECT_EQ(dir.index(), i);
     EXPECT_TRUE(dir.sign == 1 || dir.sign == -1);
     EXPECT_GE(dir.axis, 0);
-    EXPECT_LT(dir.axis, topo::kAxes);
+    EXPECT_LT(dir.axis, topo::kMaxAxes);
   }
   EXPECT_EQ((topo::Direction{topo::kX, +1}).index(), 0);
   EXPECT_EQ((topo::Direction{topo::kZ, -1}).index(), 5);
+  EXPECT_EQ((topo::Direction{topo::kW, -1}).index(), 7);
 }
 
 TEST(ShapeToString, RoundTripsThroughParse) {
-  for (const char* spec : {"8x8x8", "8x8x2M", "4Mx4x2M", "16", "8x32", "40x32x16"}) {
+  for (const char* spec :
+       {"8x8x8", "8x8x2M", "4Mx4x2M", "16", "8x32", "40x32x16", "2M", "4x4x4x4",
+        "8x8x1", "2x3Mx4x5M"}) {
     const auto shape = topo::parse_shape(spec);
     EXPECT_EQ(topo::parse_shape(shape.to_string()), shape) << spec;
   }

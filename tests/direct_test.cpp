@@ -1,4 +1,5 @@
-// Unit tests for the direct strategy family's scheduling and tuning knobs.
+// Unit tests for the direct strategy family's schedule builder and tuning
+// knobs, driven through the ScheduleExecutor.
 #include "src/coll/direct.hpp"
 
 #include <gtest/gtest.h>
@@ -6,6 +7,7 @@
 #include <map>
 
 #include "src/coll/alltoall.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/network/fabric.hpp"
 
 namespace bgl::coll {
@@ -18,15 +20,15 @@ net::NetworkConfig make_config(const char* shape, std::uint64_t seed = 1) {
   return config;
 }
 
-/// Drains a DirectClient's schedule for one node without a fabric,
-/// collecting the emitted (dst, payload, first-packet) sequence.
+/// Drains an executor's schedule for one node without a fabric, collecting
+/// the emitted (dst, payload, first-packet) sequence.
 struct Emitted {
   topo::Rank dst;
   std::uint32_t payload;
   bool has_alpha;
 };
 
-std::vector<Emitted> drain_node(DirectClient& client, topo::Rank node) {
+std::vector<Emitted> drain_node(ScheduleExecutor& client, topo::Rank node) {
   std::vector<Emitted> out;
   net::InjectDesc desc;
   while (client.next_packet(node, desc)) {
@@ -39,7 +41,8 @@ std::vector<Emitted> drain_node(DirectClient& client, topo::Rank node) {
 
 TEST(DirectSchedule, CoversAllDestinationsOnce) {
   const auto config = make_config("4x4x4");
-  DirectClient client(config, 100, DirectTuning::ar(), nullptr);
+  ScheduleExecutor client(config, build_direct_schedule(config, 100, DirectTuning::ar()),
+                          nullptr);
   const auto emitted = drain_node(client, 0);
   ASSERT_EQ(emitted.size(), 63u);  // 100 B = 1 packet per destination
   std::map<topo::Rank, int> counts;
@@ -58,8 +61,8 @@ TEST(DirectSchedule, Burst1InterleavesPacketsAcrossDestinations) {
   // 700 B = 208 + 240 + 240 + 12 -> 4 packets; with burst 1 each round
   // visits every destination before any destination sees its next packet.
   const auto config = make_config("4x4x4");
-  DirectTuning tuning = DirectTuning::ar();
-  DirectClient client(config, 700, tuning, nullptr);
+  ScheduleExecutor client(config, build_direct_schedule(config, 700, DirectTuning::ar()),
+                          nullptr);
   const auto emitted = drain_node(client, 5);
   ASSERT_EQ(emitted.size(), 63u * 4u);
   // The first 63 sends are all distinct destinations (round 0).
@@ -74,8 +77,8 @@ TEST(DirectSchedule, Burst1InterleavesPacketsAcrossDestinations) {
 
 TEST(DirectSchedule, Burst2SendsPairsBeforeMovingOn) {
   const auto config = make_config("4x4x4");
-  DirectTuning tuning = DirectTuning::mpi();  // burst 2
-  DirectClient client(config, 700, tuning, nullptr);
+  ScheduleExecutor client(config, build_direct_schedule(config, 700, DirectTuning::mpi()),
+                          nullptr);  // burst 2
   const auto emitted = drain_node(client, 5);
   ASSERT_EQ(emitted.size(), 63u * 4u);
   // Round 0 sends packets 0 and 1 back-to-back per destination.
@@ -86,7 +89,8 @@ TEST(DirectSchedule, Burst2SendsPairsBeforeMovingOn) {
 
 TEST(DirectSchedule, RandomizedOrderDiffersAcrossNodes) {
   const auto config = make_config("4x4x4");
-  DirectClient client(config, 32, DirectTuning::ar(), nullptr);
+  ScheduleExecutor client(config, build_direct_schedule(config, 32, DirectTuning::ar()),
+                          nullptr);
   const auto a = drain_node(client, 1);
   const auto b = drain_node(client, 2);
   ASSERT_EQ(a.size(), b.size());
@@ -97,29 +101,35 @@ TEST(DirectSchedule, RandomizedOrderDiffersAcrossNodes) {
 
 TEST(DirectSchedule, ThrottleAddsPacingCost) {
   const auto config = make_config("8x8x8");
-  DirectClient paced(config, 240, DirectTuning::throttled(1.0), nullptr);
-  DirectClient unpaced(config, 240, DirectTuning::ar(), nullptr);
+  ScheduleExecutor paced(
+      config, build_direct_schedule(config, 240, DirectTuning::throttled(1.0)), nullptr);
+  ScheduleExecutor unpaced(config, build_direct_schedule(config, 240, DirectTuning::ar()),
+                           nullptr);
   net::InjectDesc a, b;
   ASSERT_TRUE(paced.next_packet(0, a));
   ASSERT_TRUE(unpaced.next_packet(0, b));
   EXPECT_GT(a.extra_cpu_cycles, b.extra_cpu_cycles);
 }
 
-TEST(DirectSchedule, ExpectedDeliveriesMatchesRun) {
+TEST(DirectSchedule, DeliveriesMatchScheduleShape) {
   const auto config = make_config("4x2x2");
-  DirectClient client(config, 700, DirectTuning::ar(), nullptr);
+  const CommSchedule sched = build_direct_schedule(config, 700, DirectTuning::ar());
+  const std::uint64_t packets_per_message = sched.phases[0].packets.size();
+  ScheduleExecutor client(config, sched, nullptr);
   net::NetworkConfig fabric_config = config;
   net::Fabric fabric(fabric_config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
-  EXPECT_EQ(fabric.stats().packets_delivered, client.expected_deliveries());
-  EXPECT_EQ(client.final_deliveries(), client.expected_deliveries());
+  const std::uint64_t expected = 16u * 15u * packets_per_message;
+  EXPECT_EQ(fabric.stats().packets_delivered, expected);
+  EXPECT_EQ(client.final_deliveries(), expected);
   EXPECT_EQ(client.completion_cycles(), fabric.stats().last_delivery);
 }
 
 TEST(DirectSchedule, DeterministicModeSetsRoutingMode) {
   const auto config = make_config("4x4x4");
-  DirectClient client(config, 64, DirectTuning::dr(), nullptr);
+  ScheduleExecutor client(config, build_direct_schedule(config, 64, DirectTuning::dr()),
+                          nullptr);
   net::InjectDesc desc;
   ASSERT_TRUE(client.next_packet(0, desc));
   EXPECT_EQ(desc.mode, net::RoutingMode::kDeterministic);

@@ -1,0 +1,102 @@
+// The 17 schedule-equivalence cases (x fault-free/faulted = 34 runs), shared
+// by the equivalence test and tools/equivalence_golden which regenerates the
+// pinned metrics under tests/golden/. The table pins the exact behavior the
+// legacy per-strategy clients had when they were retired: the IR executor
+// must keep reproducing these numbers bit-identically.
+#pragma once
+
+#include <cstdint>
+
+#include "src/coll/alltoall.hpp"
+
+namespace bgl::coll {
+
+struct EquivCase {
+  const char* name;
+  StrategyKind kind;
+  const char* shape;
+  std::uint64_t msg_bytes;
+  void (*tweak)(AlltoallOptions&);
+};
+
+inline void equiv_untweaked(AlltoallOptions&) {}
+
+inline const EquivCase kEquivCases[] = {
+    // The determinism-suite shape, every strategy.
+    {"mpi_4x4x8", StrategyKind::kMpi, "4x4x8", 300, &equiv_untweaked},
+    {"ar_4x4x8", StrategyKind::kAdaptiveRandom, "4x4x8", 300, &equiv_untweaked},
+    {"dr_4x4x8", StrategyKind::kDeterministic, "4x4x8", 300, &equiv_untweaked},
+    {"throttled_4x4x8", StrategyKind::kThrottled, "4x4x8", 300, &equiv_untweaked},
+    {"tps_4x4x8", StrategyKind::kTwoPhase, "4x4x8", 300, &equiv_untweaked},
+    {"vmesh_4x4x8", StrategyKind::kVirtualMesh, "4x4x8", 300, &equiv_untweaked},
+    // Tuning variants on the small cube.
+    {"mpi_burst2", StrategyKind::kMpi, "4x4x4", 520,
+     [](AlltoallOptions& o) { o.burst = 2; }},
+    {"ar_rotation", StrategyKind::kAdaptiveRandom, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.order = OrderPolicy::kRotation; }},
+    {"ar_identity", StrategyKind::kAdaptiveRandom, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.order = OrderPolicy::kIdentity; }},
+    {"ar_single_packet", StrategyKind::kAdaptiveRandom, "4x4x4", 32, &equiv_untweaked},
+    {"throttled_larger", StrategyKind::kThrottled, "4x4x4", 1024,
+     [](AlltoallOptions& o) { o.throttle = 0.7; }},
+    {"tps_no_reserved", StrategyKind::kTwoPhase, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.reserved_fifos = false; }},
+    {"tps_credits", StrategyKind::kTwoPhase, "4x4x4", 300,
+     [](AlltoallOptions& o) {
+       o.credit_window = 8;
+       o.credit_batch = 4;
+     }},
+    {"tps_linear_x", StrategyKind::kTwoPhase, "4x4x8", 300,
+     [](AlltoallOptions& o) { o.linear_axis = 0; }},
+    {"vmesh_zyx", StrategyKind::kVirtualMesh, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.vmesh_mapping = 1; }},
+    {"vmesh_yxz", StrategyKind::kVirtualMesh, "4x4x4", 300,
+     [](AlltoallOptions& o) { o.vmesh_mapping = 2; }},
+    {"vmesh_16x4", StrategyKind::kVirtualMesh, "4x4x4", 300,
+     [](AlltoallOptions& o) {
+       o.pvx = 16;
+       o.pvy = 4;
+     }},
+};
+
+/// Configures one equivalence run: seed 1234 and, for the faulted variant,
+/// the fault plan the suite has always used.
+inline AlltoallOptions equiv_options(const EquivCase& c, bool faulted) {
+  AlltoallOptions options;
+  options.net.shape = topo::parse_shape(c.shape);
+  options.net.seed = 1234;
+  options.msg_bytes = c.msg_bytes;
+  c.tweak(options);
+  if (faulted) {
+    options.net.faults.link_fail = 0.04;
+    options.net.faults.node_fail = 1;
+  }
+  return options;
+}
+
+/// FNV-1a over the full delivery matrix, row-major (src outer, dst inner).
+inline std::uint64_t equiv_matrix_fnv(const DeliveryMatrix& matrix) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (topo::Rank s = 0; s < matrix.nodes(); ++s) {
+    for (topo::Rank d = 0; d < matrix.nodes(); ++d) {
+      std::uint64_t v = matrix.bytes(s, d);
+      for (int byte = 0; byte < 8; ++byte) {
+        h = (h ^ ((v >> (8 * byte)) & 0xffu)) * 1099511628211ULL;
+      }
+    }
+  }
+  return h;
+}
+
+/// FNV-1a over the reachability mask, row-major, one byte per pair.
+inline std::uint64_t equiv_reachable_fnv(const PairMask& mask, std::int32_t nodes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (topo::Rank s = 0; s < nodes; ++s) {
+    for (topo::Rank d = 0; d < nodes; ++d) {
+      h = (h ^ (mask.reachable(s, d) ? 1u : 0u)) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace bgl::coll

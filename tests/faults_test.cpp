@@ -133,7 +133,7 @@ TEST(FaultPlan, PureFunctionOfConfigAndShape) {
     EXPECT_EQ(a.transients()[i].down_at, b.transients()[i].down_at);
     EXPECT_EQ(a.transients()[i].up_at, b.transients()[i].up_at);
   }
-  const int links = net.shape.nodes() * topo::kDirections;
+  const int links = static_cast<int>(net.shape.nodes()) * net.shape.directions();
   for (int link = 0; link < links; ++link) {
     EXPECT_EQ(a.link_health(link), b.link_health(link));
   }
@@ -149,7 +149,7 @@ TEST(FaultPlan, SeedZeroDerivesFromNetworkSeed) {
   const FaultPlan d(config_for("link:0.05,seed:9", 2), topo::parse_shape("4x4x4"));
   EXPECT_EQ(c.derived_seed(), 9u);
   EXPECT_EQ(c.dead_link_count(), d.dead_link_count());
-  const int links = 4 * 4 * 4 * topo::kDirections;
+  const int links = 4 * 4 * 4 * topo::parse_shape("4x4x4").directions();
   for (int link = 0; link < links; ++link) {
     EXPECT_EQ(c.link_health(link), d.link_health(link));
   }
@@ -162,7 +162,7 @@ TEST(FaultPlan, FailsBothDirectionsOfAnUndirectedLink) {
   ASSERT_GT(plan.dead_link_count(), 0u);
   std::size_t directed_dead = 0;
   for (topo::Rank n = 0; n < torus.nodes(); ++n) {
-    for (int d = 0; d < topo::kDirections; ++d) {
+    for (int d = 0; d < torus.directions(); ++d) {
       if (!plan.link_dead(plan.link_id(n, d))) continue;
       ++directed_dead;
       const topo::Rank peer = torus.neighbor(n, topo::Direction::from_index(d));

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/coll/direct.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/network/fabric.hpp"
 #include "src/trace/heatmap.hpp"
 #include "src/trace/journey.hpp"
@@ -24,14 +25,15 @@ class TrafficFixture : public ::testing::Test {
   void run(const char* shape) {
     config_.shape = topo::parse_shape(shape);
     config_.seed = 5;
-    client_ = std::make_unique<coll::DirectClient>(config_, 240,
-                                                   coll::DirectTuning::ar(), nullptr);
+    client_ = std::make_unique<coll::ScheduleExecutor>(
+        config_, coll::build_direct_schedule(config_, 240, coll::DirectTuning::ar()),
+        nullptr);
     fabric_ = std::make_unique<net::Fabric>(config_, *client_);
     client_->bind(*fabric_);
     ASSERT_TRUE(fabric_->run());
   }
   net::NetworkConfig config_;
-  std::unique_ptr<coll::DirectClient> client_;
+  std::unique_ptr<coll::ScheduleExecutor> client_;
   std::unique_ptr<net::Fabric> fabric_;
 };
 
@@ -53,6 +55,19 @@ TEST_F(TrafficFixture, AxisSummaryShadesBusyLines) {
   EXPECT_NE(text.find("Z lines: "), std::string::npos);
   // An all-to-all keeps links busy: some non-blank shades must appear.
   EXPECT_NE(text.find_first_of(".:-=+*#%@"), std::string::npos);
+}
+
+TEST_F(TrafficFixture, AxisSummaryCoversOnlyTheShapesAxes) {
+  run("6x4");
+  const auto text = axis_summary(*fabric_, fabric_->stats().last_delivery);
+  EXPECT_NE(text.find("X lines: "), std::string::npos);
+  EXPECT_NE(text.find("Y lines: "), std::string::npos);
+  EXPECT_EQ(text.find("Z lines: "), std::string::npos)
+      << "a 2-D shape has no Z axis to summarize";
+  // One character per orthogonal line: 4 for X (the Y extent), 6 for Y.
+  const auto x_at = text.find("X lines: ");
+  const auto x_end = text.find('\n', x_at);
+  EXPECT_EQ(x_end - (x_at + 9), 4u);
 }
 
 /// Single tagged packet whose journey we trace.
@@ -101,7 +116,10 @@ TEST(Journey, DirNames) {
   EXPECT_EQ(dir_name(0), "X+");
   EXPECT_EQ(dir_name(1), "X-");
   EXPECT_EQ(dir_name(5), "Z-");
+  EXPECT_EQ(dir_name(6), "W+");
+  EXPECT_EQ(dir_name(7), "W-");
   EXPECT_EQ(dir_name(9), "?");
+  EXPECT_EQ(dir_name(-1), "?");
 }
 
 }  // namespace

@@ -132,16 +132,17 @@ TEST(ParallelCore, FaultRunsFallBackToReferenceEngine) {
   EXPECT_EQ(r.sim_threads, 1);
 }
 
-TEST(ParallelCore, LegacyClientsFallBackToReferenceEngine) {
+TEST(ParallelCore, EveryRegistryStrategyRunsOnTheParallelEngine) {
+  // With the bespoke clients retired, every registry strategy expands to a
+  // CommSchedule and is slab-eligible on a fault-free run.
   AlltoallOptions options;
   options.net.shape = topo::parse_shape("4x4x8");
   options.net.seed = 7;
   options.net.sim_threads = 4;
   options.msg_bytes = 240;
-  options.use_legacy_clients = true;
   const RunResult r = run_alltoall(StrategyKind::kMpi, options);
   ASSERT_TRUE(r.drained);
-  EXPECT_EQ(r.sim_threads, 1);
+  EXPECT_EQ(r.sim_threads, 4);
 }
 
 // --- mid-collective fail-stop (fail_at > 0) --------------------------------

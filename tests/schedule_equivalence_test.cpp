@@ -1,114 +1,106 @@
-// The schedule IR refactor's contract: running a strategy through
-// build_*_schedule + ScheduleExecutor is BIT-IDENTICAL to the legacy
-// per-strategy client — same completion cycles, same fabric event count,
-// same delivery matrix, same reachability mask — fault-free and under a
-// fault plan, across the determinism-suite shape and the tuning variants.
+// The schedule IR's behavioral contract, re-pinned when the legacy
+// per-strategy clients were retired: every one of the 34 equivalence runs
+// (17 cases x fault-free/faulted) must keep reproducing — bit-identically —
+// the metrics captured from the build in which build_*_schedule +
+// ScheduleExecutor matched the legacy clients exactly. The pinned numbers
+// live in tests/golden/schedule_equivalence.txt; regenerate them only for an
+// intentional behavior change (tools/equivalence_golden) and say so in the
+// commit.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "src/coll/alltoall.hpp"
+#include "tests/equivalence_cases.hpp"
 
 namespace bgl::coll {
 namespace {
 
-struct EquivCase {
-  const char* name;
-  StrategyKind kind;
-  const char* shape;
-  std::uint64_t msg_bytes;
-  void (*tweak)(AlltoallOptions&);
+struct GoldenRecord {
+  std::uint64_t elapsed = 0;
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t payload = 0;
+  std::uint64_t unreachable = 0;
+  std::uint64_t pairs_complete = 0;
+  int reachable_complete = 0;
+  double links_mean = 0.0;
+  std::uint64_t matrix_fnv = 0;
+  std::uint64_t reachable_fnv = 0;
 };
 
-void untweaked(AlltoallOptions&) {}
-
-void check_equivalence(const EquivCase& c, bool faulted) {
-  AlltoallOptions options;
-  options.net.shape = topo::parse_shape(c.shape);
-  options.net.seed = 1234;
-  options.msg_bytes = c.msg_bytes;
-  c.tweak(options);
-  if (faulted) {
-    options.net.faults.link_fail = 0.04;
-    options.net.faults.node_fail = 1;
-  }
-  const auto nodes = static_cast<std::int32_t>(options.net.shape.nodes());
-  DeliveryMatrix legacy_matrix(nodes);
-  DeliveryMatrix ir_matrix(nodes);
-
-  AlltoallOptions legacy_options = options;
-  legacy_options.use_legacy_clients = true;
-  legacy_options.deliveries = &legacy_matrix;
-  const RunResult legacy = run_alltoall(c.kind, legacy_options);
-
-  AlltoallOptions ir_options = options;
-  ir_options.use_legacy_clients = false;
-  ir_options.deliveries = &ir_matrix;
-  const RunResult ir = run_alltoall(c.kind, ir_options);
-
-  SCOPED_TRACE(std::string(c.name) + (faulted ? " [faulted]" : " [fault-free]"));
-  EXPECT_EQ(legacy.elapsed_cycles, ir.elapsed_cycles);
-  EXPECT_EQ(legacy.events, ir.events);
-  EXPECT_EQ(legacy.packets_delivered, ir.packets_delivered);
-  EXPECT_EQ(legacy.payload_bytes, ir.payload_bytes);
-  EXPECT_EQ(legacy.drained, ir.drained);
-  EXPECT_TRUE(legacy.drained);
-  EXPECT_EQ(legacy.unreachable_pairs, ir.unreachable_pairs);
-  EXPECT_EQ(legacy.pairs_complete, ir.pairs_complete);
-  EXPECT_EQ(legacy.reachable_complete, ir.reachable_complete);
-  EXPECT_DOUBLE_EQ(legacy.links.overall_mean, ir.links.overall_mean);
-  for (topo::Rank s = 0; s < nodes; ++s) {
-    for (topo::Rank d = 0; d < nodes; ++d) {
-      ASSERT_EQ(legacy_matrix.bytes(s, d), ir_matrix.bytes(s, d))
-          << "delivery matrix diverges at (" << s << " -> " << d << ")";
-      ASSERT_EQ(legacy.reachable.reachable(s, d), ir.reachable.reachable(s, d))
-          << "reachability diverges at (" << s << " -> " << d << ")";
+const std::map<std::string, GoldenRecord>& golden() {
+  static const std::map<std::string, GoldenRecord> records = [] {
+    std::map<std::string, GoldenRecord> out;
+    const std::string path =
+        std::string(BGL_TEST_GOLDEN_DIR) + "/schedule_equivalence.txt";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream row(line);
+      std::string name;
+      std::string variant;
+      GoldenRecord r;
+      row >> name >> variant >> r.elapsed >> r.events >> r.packets >> r.payload >>
+          r.unreachable >> r.pairs_complete >> r.reachable_complete >> r.links_mean >>
+          std::hex >> r.matrix_fnv >> r.reachable_fnv;
+      EXPECT_FALSE(row.fail()) << "malformed golden line: " << line;
+      out[name + "/" + variant] = r;
     }
-  }
+    return out;
+  }();
+  return records;
+}
+
+void check_against_golden(const EquivCase& c, bool faulted) {
+  const std::string key =
+      std::string(c.name) + "/" + (faulted ? "faulted" : "fault_free");
+  SCOPED_TRACE(key);
+  const auto it = golden().find(key);
+  ASSERT_NE(it, golden().end()) << "no golden record for " << key;
+  const GoldenRecord& want = it->second;
+
+  AlltoallOptions options = equiv_options(c, faulted);
+  const auto nodes = static_cast<std::int32_t>(options.net.shape.nodes());
+  DeliveryMatrix matrix(nodes);
+  options.deliveries = &matrix;
+  const RunResult result = run_alltoall(c.kind, options);
+
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.elapsed_cycles, want.elapsed);
+  EXPECT_EQ(result.events, want.events);
+  EXPECT_EQ(result.packets_delivered, want.packets);
+  EXPECT_EQ(result.payload_bytes, want.payload);
+  EXPECT_EQ(result.unreachable_pairs, want.unreachable);
+  EXPECT_EQ(result.pairs_complete, want.pairs_complete);
+  EXPECT_EQ(result.reachable_complete ? 1 : 0, want.reachable_complete);
+  EXPECT_DOUBLE_EQ(result.links.overall_mean, want.links_mean);
+  EXPECT_EQ(equiv_matrix_fnv(matrix), want.matrix_fnv)
+      << "delivery matrix diverges from the pinned legacy behavior";
+  EXPECT_EQ(equiv_reachable_fnv(result.reachable, nodes), want.reachable_fnv)
+      << "reachability mask diverges from the pinned legacy behavior";
 }
 
 class ScheduleEquivalence : public ::testing::TestWithParam<EquivCase> {};
 
-TEST_P(ScheduleEquivalence, FaultFree) { check_equivalence(GetParam(), false); }
-TEST_P(ScheduleEquivalence, Faulted) { check_equivalence(GetParam(), true); }
-
-const EquivCase kCases[] = {
-    // The determinism-suite shape, every strategy.
-    {"mpi_4x4x8", StrategyKind::kMpi, "4x4x8", 300, &untweaked},
-    {"ar_4x4x8", StrategyKind::kAdaptiveRandom, "4x4x8", 300, &untweaked},
-    {"dr_4x4x8", StrategyKind::kDeterministic, "4x4x8", 300, &untweaked},
-    {"throttled_4x4x8", StrategyKind::kThrottled, "4x4x8", 300, &untweaked},
-    {"tps_4x4x8", StrategyKind::kTwoPhase, "4x4x8", 300, &untweaked},
-    {"vmesh_4x4x8", StrategyKind::kVirtualMesh, "4x4x8", 300, &untweaked},
-    // Tuning variants on the small cube.
-    {"mpi_burst2", StrategyKind::kMpi, "4x4x4", 520,
-     [](AlltoallOptions& o) { o.burst = 2; }},
-    {"ar_rotation", StrategyKind::kAdaptiveRandom, "4x4x4", 300,
-     [](AlltoallOptions& o) { o.order = OrderPolicy::kRotation; }},
-    {"ar_identity", StrategyKind::kAdaptiveRandom, "4x4x4", 300,
-     [](AlltoallOptions& o) { o.order = OrderPolicy::kIdentity; }},
-    {"ar_single_packet", StrategyKind::kAdaptiveRandom, "4x4x4", 32, &untweaked},
-    {"throttled_larger", StrategyKind::kThrottled, "4x4x4", 1024,
-     [](AlltoallOptions& o) { o.throttle = 0.7; }},
-    {"tps_no_reserved", StrategyKind::kTwoPhase, "4x4x4", 300,
-     [](AlltoallOptions& o) { o.reserved_fifos = false; }},
-    {"tps_credits", StrategyKind::kTwoPhase, "4x4x4", 300,
-     [](AlltoallOptions& o) { o.credit_window = 8; o.credit_batch = 4; }},
-    {"tps_linear_x", StrategyKind::kTwoPhase, "4x4x8", 300,
-     [](AlltoallOptions& o) { o.linear_axis = 0; }},
-    {"vmesh_zyx", StrategyKind::kVirtualMesh, "4x4x4", 300,
-     [](AlltoallOptions& o) { o.vmesh_mapping = 1; }},
-    {"vmesh_yxz", StrategyKind::kVirtualMesh, "4x4x4", 300,
-     [](AlltoallOptions& o) { o.vmesh_mapping = 2; }},
-    {"vmesh_16x4", StrategyKind::kVirtualMesh, "4x4x4", 300,
-     [](AlltoallOptions& o) { o.pvx = 16; o.pvy = 4; }},
-};
+TEST_P(ScheduleEquivalence, FaultFree) { check_against_golden(GetParam(), false); }
+TEST_P(ScheduleEquivalence, Faulted) { check_against_golden(GetParam(), true); }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllStrategies, ScheduleEquivalence, ::testing::ValuesIn(kCases),
+    AllStrategies, ScheduleEquivalence, ::testing::ValuesIn(kEquivCases),
     [](const ::testing::TestParamInfo<EquivCase>& param) {
       return std::string(param.param.name);
     });
+
+TEST(ScheduleEquivalenceGolden, CoversEveryCase) {
+  EXPECT_EQ(golden().size(), 2u * std::size(kEquivCases));
+}
 
 }  // namespace
 }  // namespace bgl::coll

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/network/config.hpp"
+#include "src/network/faults.hpp"
+
 namespace bgl::coll {
 namespace {
 
@@ -42,6 +45,48 @@ TEST(Selector, RationaleIsNonEmpty) {
   for (const char* spec : {"8x8x8", "8x8x16", "4x4x4"}) {
     for (const std::uint64_t m : {8u, 4096u}) {
       EXPECT_FALSE(select_strategy(parse_shape(spec), m).rationale.empty());
+    }
+  }
+}
+
+TEST(Selector, PaperRuleExtendsAcrossDimensionalities) {
+  // Symmetric full torus (any n) -> direct AR for long messages; an
+  // asymmetric shape -> TPS. 1-D lines are trivially symmetric.
+  EXPECT_EQ(select_strategy(parse_shape("4x4x4x4"), 4096).kind,
+            StrategyKind::kAdaptiveRandom);
+  EXPECT_EQ(select_strategy(parse_shape("4x4x4x8"), 4096).kind,
+            StrategyKind::kTwoPhase);
+  EXPECT_EQ(select_strategy(parse_shape("64"), 4096).kind,
+            StrategyKind::kAdaptiveRandom);
+}
+
+TEST(Selector, NdFaultModeScoringNeverThrows) {
+  // Regression for the n-D generalization: under a fault plan the selector
+  // scores every registry builder by building its schedule. A builder that
+  // cannot serve the dimensionality must be scored out as ineligible (zero
+  // coverage, reason recorded) — never propagate an exception.
+  for (const char* spec : {"16", "8x8", "4x2x2x4"}) {
+    SCOPED_TRACE(spec);
+    const auto shape = parse_shape(spec);
+    net::NetworkConfig net;
+    net.shape = shape;
+    net.seed = 5;
+    net.faults.link_fail = 0.05;
+    const net::FaultPlan plan(net, shape);
+    ASSERT_TRUE(plan.enabled());
+    Selection selection;
+    ASSERT_NO_THROW(selection = select_strategy(shape, 300, &plan));
+    EXPECT_FALSE(selection.rationale.empty());
+    ASSERT_FALSE(selection.candidates.empty());
+    // Candidates are ranked best-first; the winner must be an eligible
+    // schedule with real coverage.
+    EXPECT_TRUE(selection.candidates.front().eligible);
+    EXPECT_GT(selection.candidates.front().covered_pairs, 0u);
+    for (const auto& candidate : selection.candidates) {
+      if (!candidate.eligible) {
+        EXPECT_EQ(candidate.covered_pairs, 0u);
+        EXPECT_FALSE(candidate.ineligible_reason.empty());
+      }
     }
   }
 }

@@ -40,9 +40,37 @@ TEST(ParseShape, RejectsMalformed) {
   EXPECT_THROW(parse_shape(""), std::invalid_argument);
   EXPECT_THROW(parse_shape("8x"), std::invalid_argument);
   EXPECT_THROW(parse_shape("axb"), std::invalid_argument);
-  EXPECT_THROW(parse_shape("8x8x8x8"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("8x8x8x8x8"), std::invalid_argument);  // > kMaxAxes dims
   EXPECT_THROW(parse_shape("8-8"), std::invalid_argument);
   EXPECT_THROW(parse_shape("0x8"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("-4x8"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("8xM"), std::invalid_argument);
+  // Node counts must fit int32: 2048^4 overflows.
+  EXPECT_THROW(parse_shape("2048x2048x2048x2048"), std::invalid_argument);
+}
+
+TEST(ParseShape, DimensionalityIsWhatWasWritten) {
+  EXPECT_EQ(parse_shape("64").axis_count(), 1);
+  EXPECT_EQ(parse_shape("8x8").axis_count(), 2);
+  EXPECT_EQ(parse_shape("8x8x1").axis_count(), 3);
+  EXPECT_EQ(parse_shape("4x4x4x4").axis_count(), 4);
+  EXPECT_EQ(parse_shape("4x4x4x4").directions(), 8);
+  EXPECT_EQ(parse_shape("64").directions(), 2);
+  // 2-D and 3-D-with-trailing-1 are distinct shapes with distinct strings.
+  EXPECT_NE(parse_shape("8x8"), parse_shape("8x8x1"));
+  EXPECT_EQ(parse_shape("8x8").to_string(), "8x8");
+  EXPECT_EQ(parse_shape("8x8x1").to_string(), "8x8x1");
+  EXPECT_EQ(parse_shape("4x4x4x4M").to_string(), "4x4x4x4M");
+}
+
+TEST(ParseShape, FourDimensionalTorus) {
+  const Shape s = parse_shape("4x4x4x4");
+  EXPECT_EQ(s.nodes(), 256);
+  EXPECT_TRUE(s.full_torus());
+  EXPECT_TRUE(s.symmetric());
+  const Torus t{s};
+  EXPECT_EQ(t.rank_of(Coord{{0, 0, 0, 1}}), 64);
+  EXPECT_EQ(t.neighbor(0, Direction{kW, -1}), t.rank_of(Coord{{0, 0, 0, 3}}));
 }
 
 TEST(ShapeQueries, LongestAndSymmetry) {
@@ -146,7 +174,7 @@ class TorusPropertyTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(TorusPropertyTest, MinimalHopsNeverExceedHalfExtent) {
   const Torus t{parse_shape(GetParam())};
-  for (int a = 0; a < kAxes; ++a) {
+  for (int a = 0; a < t.axis_count(); ++a) {
     const int extent = t.shape().dim[static_cast<std::size_t>(a)];
     for (int i = 0; i < extent; ++i) {
       for (int j = 0; j < extent; ++j) {
@@ -174,7 +202,7 @@ TEST_P(TorusPropertyTest, MinimalHopsNeverExceedHalfExtent) {
 TEST_P(TorusPropertyTest, NeighborIsInverse) {
   const Torus t{parse_shape(GetParam())};
   for (Rank r = 0; r < t.nodes(); ++r) {
-    for (int d = 0; d < kDirections; ++d) {
+    for (int d = 0; d < t.directions(); ++d) {
       const Direction dir = Direction::from_index(d);
       const Rank n = t.neighbor(r, dir);
       if (n < 0) continue;
@@ -186,7 +214,8 @@ TEST_P(TorusPropertyTest, NeighborIsInverse) {
 
 INSTANTIATE_TEST_SUITE_P(Shapes, TorusPropertyTest,
                          ::testing::Values("8x8x8", "16x8x4", "8x2M", "5x3x7", "8Mx4x2M",
-                                           "2x2x2", "16x16", "9"));
+                                           "2x2x2", "16x16", "9", "12M", "6x4M",
+                                           "3x4x5x2", "4x4x4x4M"));
 
 }  // namespace
 }  // namespace bgl::topo

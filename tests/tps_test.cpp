@@ -1,9 +1,11 @@
-// Unit and behavioral tests for the Two Phase Schedule strategy.
+// Unit and behavioral tests for the Two Phase Schedule strategy, driven
+// through the schedule builder and the ScheduleExecutor.
 #include "src/coll/tps.hpp"
 
 #include <gtest/gtest.h>
 
 #include "src/coll/alltoall.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/network/fabric.hpp"
 #include "src/trace/stats.hpp"
 
@@ -22,8 +24,9 @@ TEST(TpsSchedule, StreamPacketsAreLinearOrPlanarOnly) {
   // axis (to an intermediate) or purely within the plane (direct planar).
   const auto config = make_config("4x4x8");
   TpsTuning tuning;  // linear axis Z by the rule
-  TwoPhaseClient client(config, 100, tuning, nullptr);
-  ASSERT_EQ(client.linear_axis(), topo::kZ);
+  const CommSchedule sched = build_tps_schedule(config, 100, tuning);
+  ASSERT_EQ(sched.stream.relay_axis, topo::kZ);
+  ScheduleExecutor client(config, sched, nullptr);
 
   const topo::Torus torus{config.shape};
   net::InjectDesc desc;
@@ -49,7 +52,7 @@ TEST(TpsSchedule, StreamPacketsAreLinearOrPlanarOnly) {
 TEST(TpsSchedule, ReservedFifoGroupsSeparatePhases) {
   const auto config = make_config("4x4x8");  // 8 injection FIFOs -> groups 0-3, 4-7
   TpsTuning tuning;
-  TwoPhaseClient client(config, 100, tuning, nullptr);
+  ScheduleExecutor client(config, build_tps_schedule(config, 100, tuning), nullptr);
   const topo::Torus torus{config.shape};
   net::InjectDesc desc;
   while (client.next_packet(0, desc)) {
@@ -67,7 +70,7 @@ TEST(TpsRun, CompletesAndForwardsOnAsymmetricTorus) {
   const auto config = make_config("4x4x8");
   TpsTuning tuning;
   DeliveryMatrix matrix(static_cast<std::int32_t>(config.shape.nodes()));
-  TwoPhaseClient client(config, 333, tuning, &matrix);
+  ScheduleExecutor client(config, build_tps_schedule(config, 333, tuning), &matrix);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
@@ -82,7 +85,7 @@ TEST(TpsRun, Phase1TrafficStaysOffPlanarLinks) {
   // phase separation shows as different X/Y vs Z utilization structure.
   const auto config = make_config("4x4x8", 7);
   TpsTuning tuning;
-  TwoPhaseClient client(config, 240, tuning, nullptr);
+  ScheduleExecutor client(config, build_tps_schedule(config, 240, tuning), nullptr);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   ASSERT_TRUE(fabric.run());
@@ -98,7 +101,7 @@ TEST(TpsRun, UnreservedFifosStillCorrect) {
   TpsTuning tuning;
   tuning.reserved_fifos = false;
   DeliveryMatrix matrix(static_cast<std::int32_t>(config.shape.nodes()));
-  TwoPhaseClient client(config, 100, tuning, &matrix);
+  ScheduleExecutor client(config, build_tps_schedule(config, 100, tuning), &matrix);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
@@ -111,7 +114,7 @@ TEST(TpsCredits, WindowClampsToBatch) {
   tuning.credit_window = 1;
   tuning.credit_batch = 10;  // window must rise to batch or sources stall
   DeliveryMatrix matrix(static_cast<std::int32_t>(config.shape.nodes()));
-  TwoPhaseClient client(config, 100, tuning, &matrix);
+  ScheduleExecutor client(config, build_tps_schedule(config, 100, tuning), &matrix);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
@@ -126,7 +129,8 @@ TEST(TpsCredits, OverheadMatchesPaperEstimate) {
   TpsTuning tuning;
   tuning.credit_window = 20;
   tuning.credit_batch = 10;
-  TwoPhaseClient client(config, 2400, tuning, nullptr);  // 10 packets/dest
+  ScheduleExecutor client(config, build_tps_schedule(config, 2400, tuning),
+                          nullptr);  // 10 packets/dest
   net::Fabric fabric(config, client);
   client.bind(fabric);
   ASSERT_TRUE(fabric.run());
@@ -137,17 +141,22 @@ TEST(TpsCredits, OverheadMatchesPaperEstimate) {
 }
 
 TEST(TpsRun, PhasesActuallyPipeline) {
-  // Paper Section 4.1: phase 2 overlaps phase 1 — forwarding must start
-  // long before the sources finish their own streams.
+  // Paper Section 4.1: phase 2 overlaps phase 1. In the IR this is a
+  // structural property — both phases are kPipelined with no barrier gate —
+  // and at run time the intermediates must actually queue forwards.
   const auto config = make_config("4x4x8");
   TpsTuning tuning;
-  TwoPhaseClient client(config, 960, tuning, nullptr);
+  const CommSchedule sched = build_tps_schedule(config, 960, tuning);
+  ASSERT_EQ(sched.phases.size(), 2u);
+  EXPECT_EQ(sched.phases[0].gate, PhaseGate::kPipelined);
+  EXPECT_EQ(sched.phases[1].gate, PhaseGate::kPipelined);
+  EXPECT_TRUE(sched.barriers.empty());
+  ScheduleExecutor client(config, sched, nullptr);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   ASSERT_TRUE(fabric.run());
-  ASSERT_GT(client.first_forward_cycles(), 0u);
-  EXPECT_LT(client.first_forward_cycles(), client.last_stream_packet_cycles() / 2)
-      << "forwarding should begin in the first half of the injection phase";
+  EXPECT_GT(client.max_forward_backlog(), 0u)
+      << "forwarding must overlap the injection phase";
 }
 
 TEST(TpsChoice, CubeUsesZ) {
@@ -158,6 +167,22 @@ TEST(TpsChoice, PlanarSymmetryBeatsLongest) {
   // 16x16x8: removing Z leaves the symmetric 16x16 plane even though Z is
   // the shortest dimension.
   EXPECT_EQ(choose_linear_axis(topo::parse_shape("16x16x8")), topo::kZ);
+}
+
+TEST(TpsChoice, LowDimensionalShapesUseLongestAxis) {
+  EXPECT_EQ(choose_linear_axis(topo::parse_shape("64")), 0);
+  EXPECT_EQ(choose_linear_axis(topo::parse_shape("8x16")), 1);
+  EXPECT_EQ(choose_linear_axis(topo::parse_shape("16x8")), 0);
+}
+
+TEST(TpsChoice, FourDimensionalRule) {
+  // Hypercube: every axis is a candidate, pick the last.
+  EXPECT_EQ(choose_linear_axis(topo::parse_shape("4x4x4x4")), 3);
+  // Exactly one axis whose removal leaves a symmetric remainder.
+  EXPECT_EQ(choose_linear_axis(topo::parse_shape("4x4x4x8")), 3);
+  EXPECT_EQ(choose_linear_axis(topo::parse_shape("8x4x4x4")), 0);
+  // No symmetric candidate: fall back to the longest axis.
+  EXPECT_EQ(choose_linear_axis(topo::parse_shape("2x4x8x16")), 3);
 }
 
 }  // namespace

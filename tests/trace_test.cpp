@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "src/coll/direct.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/network/fabric.hpp"
 
 namespace bgl::trace {
@@ -62,7 +63,9 @@ TEST(LinkStats, MeshEdgesExcluded) {
   net::NetworkConfig config;
   config.shape = topo::parse_shape("4Mx1x1");
   config.seed = 2;
-  coll::DirectClient client(config, 64, coll::DirectTuning::ar(), nullptr);
+  coll::ScheduleExecutor client(
+      config, coll::build_direct_schedule(config, 64, coll::DirectTuning::ar()),
+      nullptr);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   ASSERT_TRUE(fabric.run());
@@ -77,7 +80,9 @@ TEST(LinkStats, HistogramCountsExistingLinks) {
   net::NetworkConfig config;
   config.shape = topo::parse_shape("4x4x1");
   config.seed = 3;
-  coll::DirectClient client(config, 240, coll::DirectTuning::ar(), nullptr);
+  coll::ScheduleExecutor client(
+      config, coll::build_direct_schedule(config, 240, coll::DirectTuning::ar()),
+      nullptr);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   ASSERT_TRUE(fabric.run());

@@ -1,9 +1,11 @@
-// Unit and behavioral tests for the 2-D virtual mesh combining strategy.
+// Unit and behavioral tests for the 2-D virtual mesh combining strategy,
+// driven through the schedule builder and the ScheduleExecutor.
 #include "src/coll/vmesh.hpp"
 
 #include <gtest/gtest.h>
 
 #include "src/coll/alltoall.hpp"
+#include "src/coll/schedule.hpp"
 #include "src/network/fabric.hpp"
 #include "src/runtime/packetizer.hpp"
 
@@ -33,14 +35,25 @@ TEST(VmeshFactorize, NearSquareWithPvxLarger) {
   }
 }
 
+TEST(VmeshMapOrder, ThreeAxisOrdersMatchTheMappings) {
+  EXPECT_EQ(mesh_axis_order(MeshMapping::kXYZ, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(mesh_axis_order(MeshMapping::kZYX, 3), (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(mesh_axis_order(MeshMapping::kYXZ, 3), (std::vector<int>{1, 0, 2}));
+  // Degenerate counts still permute what exists.
+  EXPECT_EQ(mesh_axis_order(MeshMapping::kZYX, 1), (std::vector<int>{0}));
+  EXPECT_EQ(mesh_axis_order(MeshMapping::kYXZ, 2), (std::vector<int>{1, 0}));
+  EXPECT_EQ(mesh_axis_order(MeshMapping::kZYX, 4), (std::vector<int>{3, 2, 1, 0}));
+}
+
 TEST(VmeshRun, MessageSizesMatchTheTwoPhases) {
   // Phase 1 sends (pvx-1) messages of pvy*m bytes; phase 2 (pvy-1) of
   // pvx*m. Verify via the fabric's total payload accounting.
-  const auto config = make_config("4x4x4");  // 64 nodes, 16x4 auto mesh? 8x8.
+  const auto config = make_config("4x4x4");  // 64 nodes -> 8x8 auto mesh
+  const auto [pvx, pvy] = vmesh_factorize(64);
+  EXPECT_EQ(pvx, 8);
+  EXPECT_EQ(pvy, 8);
   VmeshTuning tuning;
-  VirtualMeshClient client(config, 10, tuning, nullptr);
-  EXPECT_EQ(client.pvx(), 8);
-  EXPECT_EQ(client.pvy(), 8);
+  ScheduleExecutor client(config, build_vmesh_schedule(config, 10, tuning), nullptr);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   ASSERT_TRUE(fabric.run());
@@ -55,7 +68,7 @@ TEST(VmeshRun, CorrectForUnevenMesh) {
   tuning.pvx = 8;
   tuning.pvy = 2;
   DeliveryMatrix matrix(16);
-  VirtualMeshClient client(config, 33, tuning, &matrix);
+  ScheduleExecutor client(config, build_vmesh_schedule(config, 33, tuning), &matrix);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
@@ -68,7 +81,7 @@ TEST(VmeshRun, SingleRowDegeneratesToDirectCombining) {
   tuning.pvx = 16;  // one row: no phase 2 at all
   tuning.pvy = 1;
   DeliveryMatrix matrix(16);
-  VirtualMeshClient client(config, 50, tuning, &matrix);
+  ScheduleExecutor client(config, build_vmesh_schedule(config, 50, tuning), &matrix);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
@@ -81,7 +94,7 @@ TEST(VmeshRun, SingleColumnDegenerates) {
   tuning.pvx = 1;
   tuning.pvy = 16;
   DeliveryMatrix matrix(16);
-  VirtualMeshClient client(config, 50, tuning, &matrix);
+  ScheduleExecutor client(config, build_vmesh_schedule(config, 50, tuning), &matrix);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
@@ -95,7 +108,7 @@ TEST_P(VmeshMapping, AllMappingsDeliverCorrectly) {
   VmeshTuning tuning;
   tuning.mapping = GetParam();
   DeliveryMatrix matrix(64);
-  VirtualMeshClient client(config, 25, tuning, &matrix);
+  ScheduleExecutor client(config, build_vmesh_schedule(config, 25, tuning), &matrix);
   net::Fabric fabric(config, client);
   client.bind(fabric);
   EXPECT_TRUE(fabric.run());
@@ -114,7 +127,7 @@ TEST(VmeshRun, GammaCopyDelaysPhase2) {
   for (const double gamma : {1.6, 50.0}) {
     VmeshTuning tuning;
     tuning.gamma_ns_per_byte = gamma;
-    VirtualMeshClient client(config, 64, tuning, nullptr);
+    ScheduleExecutor client(config, build_vmesh_schedule(config, 64, tuning), nullptr);
     net::Fabric fabric(config, client);
     client.bind(fabric);
     EXPECT_TRUE(fabric.run());

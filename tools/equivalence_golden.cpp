@@ -1,0 +1,50 @@
+// Regenerates tests/golden/schedule_equivalence.txt: the pinned per-case
+// metrics of the 34-run equivalence suite (17 cases x fault-free/faulted).
+//
+//   ./equivalence_golden > ../tests/golden/schedule_equivalence.txt
+//
+// The numbers were captured from the build in which the legacy per-strategy
+// clients were bit-identical to the schedule-IR executor; rerun this only
+// when an intentional behavior change re-pins the suite (and say so in the
+// commit). Format: one space-separated record per line,
+//   name variant elapsed events packets payload unreachable pairs_complete
+//   reachable_complete links_mean matrix_fnv reachable_fnv
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/coll/alltoall.hpp"
+#include "tests/equivalence_cases.hpp"
+
+int main() {
+  using namespace bgl::coll;
+  std::printf("# schedule-equivalence golden: 17 cases x {fault_free,faulted}\n");
+  std::printf(
+      "# name variant elapsed events packets payload unreachable "
+      "pairs_complete reachable_complete links_mean matrix_fnv reachable_fnv\n");
+  for (const EquivCase& c : kEquivCases) {
+    for (const bool faulted : {false, true}) {
+      AlltoallOptions options = equiv_options(c, faulted);
+      const auto nodes = static_cast<std::int32_t>(options.net.shape.nodes());
+      DeliveryMatrix matrix(nodes);
+      options.deliveries = &matrix;
+      const RunResult result = run_alltoall(c.kind, options);
+      if (!result.drained) {
+        std::fprintf(stderr, "case %s did not drain\n", c.name);
+        return 1;
+      }
+      std::printf("%s %s %llu %llu %llu %llu %llu %llu %d %.17g %llx %llx\n",
+                  c.name, faulted ? "faulted" : "fault_free",
+                  static_cast<unsigned long long>(result.elapsed_cycles),
+                  static_cast<unsigned long long>(result.events),
+                  static_cast<unsigned long long>(result.packets_delivered),
+                  static_cast<unsigned long long>(result.payload_bytes),
+                  static_cast<unsigned long long>(result.unreachable_pairs),
+                  static_cast<unsigned long long>(result.pairs_complete),
+                  result.reachable_complete ? 1 : 0, result.links.overall_mean,
+                  static_cast<unsigned long long>(equiv_matrix_fnv(matrix)),
+                  static_cast<unsigned long long>(
+                      equiv_reachable_fnv(result.reachable, nodes)));
+    }
+  }
+  return 0;
+}

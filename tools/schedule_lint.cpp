@@ -16,6 +16,7 @@
 
 #include "src/coll/registry.hpp"
 #include "src/coll/schedule_lint.hpp"
+#include "src/util/shape_arg.hpp"
 #include "src/util/cli.hpp"
 
 namespace {
@@ -56,7 +57,7 @@ int run(int argc, char** argv) {
   }
 
   coll::AlltoallOptions options;
-  options.net.shape = topo::parse_shape(cli.get("shape", "4x4x4"));
+  options.net.shape = util::shape_arg_or_exit(cli.get("shape", "4x4x4"), cli.program());
   options.net.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   options.msg_bytes = static_cast<std::uint64_t>(cli.get_int("size", 300));
 

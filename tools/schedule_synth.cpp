@@ -23,6 +23,7 @@
 
 #include "src/coll/schedule_lint.hpp"
 #include "src/coll/synth.hpp"
+#include "src/util/shape_arg.hpp"
 #include "src/util/cli.hpp"
 
 namespace {
@@ -49,7 +50,7 @@ int run(int argc, char** argv) {
   cli.validate();
 
   coll::synth::SynthOptions opts;
-  opts.net.shape = topo::parse_shape(cli.get("shape", "4x4x4"));
+  opts.net.shape = util::shape_arg_or_exit(cli.get("shape", "4x4x4"), cli.program());
   opts.net.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   opts.msg_bytes = static_cast<std::uint64_t>(cli.get_int("size", 240));
   opts.seed = static_cast<std::uint64_t>(cli.get_int("search-seed", 1));

@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
   using namespace bgl;
   util::Cli cli(argc, argv);
   cli.describe("jobs", "scoring worker threads (default 8)");
+  cli.describe("sim-threads",
+               "simulator slab workers per scoring run; the pool budget "
+               "shrinks so jobs x sim-threads fits the host (default 1)");
   cli.describe("seed", "search seed (default 2)");
   cli.describe("beam", "beam width (default 3)");
   cli.describe("generations", "beam generations (default 2)");
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   cli.validate();
 
   const int jobs = static_cast<int>(cli.get_int("jobs", 8));
+  const int sim_threads = static_cast<int>(cli.get_int("sim-threads", 1));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2));
   const int beam = static_cast<int>(cli.get_int("beam", 3));
   const int generations = static_cast<int>(cli.get_int("generations", 2));
@@ -74,6 +78,7 @@ int main(int argc, char** argv) {
     opts.mutations_per_survivor = mutations;
     opts.sa_steps = sa_steps;
     opts.jobs = jobs;
+    opts.sim_threads = sim_threads;
 
     coll::synth::SynthResult result;
     bool cached = false;

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   cli.describe("cpulinks", "links the core can keep busy");
   cli.describe("faults", "fault spec, e.g. link:0.02,drop:1e-5 (see --faults "
                          "in any bench)");
+  cli.describe("sim-threads", "simulator slab workers; results are "
+                              "deterministic per (seed, N) (default 1)");
   cli.describe("verify", "check every pair's payload arrived exactly once");
   cli.validate();
 
@@ -59,6 +61,12 @@ int main(int argc, char** argv) {
   options.net.injection_fifo_chunks =
       static_cast<std::uint16_t>(cli.get_int("fifosize", options.net.injection_fifo_chunks));
   options.net.cpu_links = cli.get_double("cpulinks", options.net.cpu_links);
+  options.net.sim_threads = static_cast<int>(cli.get_int("sim-threads", 1));
+  if (options.net.sim_threads < 1) {
+    std::fprintf(stderr, "%s: error: option --sim-threads: must be >= 1, got %d\n",
+                 cli.program().c_str(), options.net.sim_threads);
+    return 2;
+  }
   options.msg_bytes = static_cast<std::uint64_t>(cli.get_int("bytes", 4096));
   const std::string fault_spec = cli.get("faults", "");
   if (!fault_spec.empty()) {
@@ -92,6 +100,10 @@ int main(int argc, char** argv) {
   std::printf("packets         %llu delivered, %llu sim events\n",
               static_cast<unsigned long long>(result.packets_delivered),
               static_cast<unsigned long long>(result.events));
+  if (options.verify || options.net.sim_threads > 1) {
+    std::printf("sim threads     %d (%s)\n", result.sim_threads,
+                bgl::net::to_string(result.sim_threads_reason));
+  }
   std::printf("link util       %s\n", result.links.to_string().c_str());
   if (!fault_spec.empty()) {
     const bgl::net::FaultPlan plan(options.net, options.net.shape);

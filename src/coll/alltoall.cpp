@@ -61,18 +61,20 @@ RunResult finish_run(net::NetworkConfig net, StrategyClient& client,
                      const AlltoallOptions& options, const net::FaultPlan& plan,
                      const net::FaultPlan* faults, DeliveryMatrix* matrix,
                      const std::string& label) {
+  // Eligibility gate for the slab-parallel core (see DESIGN.md "Threading
+  // model"). Fault runs are parallel-eligible now that every stochastic
+  // fault decision is counter-based and fault state is slab-owned; what
+  // still needs one global event order is the legacy (non-executor) client
+  // path and schedules with cross-node dependency gates.
+  auto coll_fallback = net::ThreadFallbackReason::kNone;
   if (net.sim_threads > 1) {
-    // Eligibility gate for the slab-parallel core (see DESIGN.md "Threading
-    // model"): configurations whose semantics depend on one global event
-    // order — fault runs with the reliability wrapper, and schedules with
-    // cross-node dependency gates — stay on the reference single-threaded
-    // engine. The fabric applies its own equivalent gate; forcing it here
-    // keeps effective_sim_threads() honest in RunResult.
     const auto* executor = dynamic_cast<const ScheduleExecutor*>(&client);
-    if (faults != nullptr || executor == nullptr ||
-        !executor->schedule().extra_deps.empty()) {
-      net.sim_threads = 1;
+    if (executor == nullptr) {
+      coll_fallback = net::ThreadFallbackReason::kLegacyClient;
+    } else if (!executor->schedule().extra_deps.empty()) {
+      coll_fallback = net::ThreadFallbackReason::kCrossNodeDeps;
     }
+    if (coll_fallback != net::ThreadFallbackReason::kNone) net.sim_threads = 1;
   }
 
   // Under faults the strategy is wrapped in the end-to-end reliability
@@ -85,6 +87,7 @@ RunResult finish_run(net::NetworkConfig net, StrategyClient& client,
   net::Fabric fabric(net, top);
   client.bind(fabric);
   if (reliable.has_value()) reliable->attach(fabric);
+  if (options.hop_observer) fabric.set_hop_observer(options.hop_observer);
 
   const double peak = peak_cycles_for(net.shape, options.msg_bytes, net.chunk_cycles);
   // Generous watchdog: a healthy run finishes within a few peak times plus
@@ -120,6 +123,9 @@ RunResult finish_run(net::NetworkConfig net, StrategyClient& client,
   result.payload_bytes = fabric.stats().payload_bytes_delivered;
   result.events = fabric.events_processed();
   result.sim_threads = fabric.effective_sim_threads();
+  result.sim_threads_reason = coll_fallback != net::ThreadFallbackReason::kNone
+                                  ? coll_fallback
+                                  : fabric.sim_threads_reason();
   if (net.collect_link_stats) {
     result.links = trace::summarize_links(fabric, result.elapsed_cycles);
   }

@@ -100,6 +100,12 @@ struct AlltoallOptions {
   /// when recovery may trigger.
   bool recover = true;
 
+  /// Optional per-hop observer forwarded to Fabric::set_hop_observer
+  /// (link-level tracing). Observer runs stay parallel-eligible: on a
+  /// --sim-threads run grants are buffered per slab and replayed at each
+  /// window barrier in deterministic (tick, link id) order.
+  net::Fabric::HopObserver hop_observer;
+
   /// Optional per-pair delivery verification (small partitions only).
   DeliveryMatrix* deliveries = nullptr;
 
@@ -136,6 +142,9 @@ struct RunResult {
   /// Simulator worker threads actually used after eligibility gating (1 on
   /// the reference engine; see NetworkConfig::sim_threads).
   int sim_threads = 1;
+  /// Why sim_threads fell short of the request (kNone when the parallel
+  /// engine ran at the requested width).
+  net::ThreadFallbackReason sim_threads_reason = net::ThreadFallbackReason::kNone;
   bool drained = false;
   /// True when the run was killed by AlltoallOptions::wall_timeout_ms.
   bool timed_out = false;

@@ -218,13 +218,18 @@ struct CommSchedule {
   /// The relay an ordered stream routes (src -> dst) through: src itself for
   /// a direct send, or -1 when no live relay exists under `faults`.
   /// Deterministic, so coverage, lint and execution agree.
+  /// When called from inside a parallel fabric handler, pass the executing
+  /// slab's memo (Fabric::route_memo_scratch) — the plan's internal memo is
+  /// not thread-safe.
   topo::Rank relay_for(topo::Rank src, topo::Rank dst,
-                       const net::FaultPlan* faults) const;
+                       const net::FaultPlan* faults,
+                       net::FaultPlan::RouteMemo* memo = nullptr) const;
 
   /// Whether this schedule carries (src, dst) under `faults` — the IR-derived
   /// replacement for the per-strategy mark_reachable overrides.
   bool pair_covered(topo::Rank src, topo::Rank dst,
-                    const net::FaultPlan* faults) const;
+                    const net::FaultPlan* faults,
+                    net::FaultPlan::RouteMemo* memo = nullptr) const;
 
   /// Enumerates every logical transfer in deterministic id order (lint and
   /// dump view; O(P * positions) for ordered streams — do not call on the
@@ -245,7 +250,8 @@ struct CommSchedule {
                      std::vector<topo::Rank>& out) const;
 
  private:
-  bool leg_ok(topo::Rank from, topo::Rank to, const net::FaultPlan* faults) const;
+  bool leg_ok(topo::Rank from, topo::Rank to, const net::FaultPlan* faults,
+              net::FaultPlan::RouteMemo* memo) const;
 };
 
 /// Interprets any CommSchedule against the fabric: per-node stream cursors,

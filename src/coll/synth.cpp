@@ -10,6 +10,7 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "src/coll/direct.hpp"
@@ -419,11 +420,12 @@ struct EvalOut {
 
 /// Builds, lints and (when lint passes) simulates one genome. Pure function
 /// of (genome, opts) — the property the memo table and any `jobs` count rely
-/// on. sim_threads is pinned to 1: multi-slab runs are only deterministic
-/// per (seed, N), and the synthesized winner must not depend on N.
+/// on. Scoring honors opts.sim_threads: the parallel engine is deterministic
+/// per (seed, N), so the winner is reproducible from the recorded budget
+/// (which includes the thread count).
 EvalOut evaluate_genome(const Genome& genome, const SynthOptions& opts) {
   net::NetworkConfig net = opts.net;
-  net.sim_threads = 1;
+  net.sim_threads = std::max(1, opts.sim_threads);
   const net::FaultPlan plan(net, net.shape);
   const net::FaultPlan* faults = plan.enabled() ? &plan : nullptr;
   const bool blind_strike = faults != nullptr && net.faults.fail_at > 0;
@@ -528,16 +530,26 @@ SynthResult synthesize(const SynthOptions& opts) {
   }
 
   SynthResult result;
-  // Score the registry strategies for the baseline column. Same pinned
-  // evaluation config as the candidates, so the comparison is apples to
-  // apples.
+  // Nested-parallelism budget: each scoring run may itself spawn
+  // opts.sim_threads slab workers, so shrink the pool's job count until
+  // jobs x sim_threads fits the host. jobs never changes results, so this
+  // only trades wall clock.
+  const int sim_threads = std::max(1, opts.sim_threads);
+  int jobs = std::max(1, opts.jobs);
+  if (sim_threads > 1) {
+    const int hw =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    jobs = std::max(1, std::min(jobs, hw / sim_threads));
+  }
+  // Score the registry strategies for the baseline column. Same evaluation
+  // config as the candidates, so the comparison is apples to apples.
   if (opts.score_baselines) {
     const auto& registry = strategy_registry();
     const auto scores = harness::run_ordered(
-        registry.size(), opts.jobs, [&](std::size_t i) -> std::uint64_t {
+        registry.size(), jobs, [&](std::size_t i) -> std::uint64_t {
           AlltoallOptions run_opts;
           run_opts.net = opts.net;
-          run_opts.net.sim_threads = 1;
+          run_opts.net.sim_threads = sim_threads;
           run_opts.msg_bytes = opts.msg_bytes;
           run_opts.wall_timeout_ms = opts.wall_timeout_ms;
           const RunResult r = run_alltoall(registry[i].kind, run_opts);
@@ -568,7 +580,7 @@ SynthResult synthesize(const SynthOptions& opts) {
       }
     }
     const auto outs =
-        harness::run_ordered(fresh.size(), opts.jobs, [&](std::size_t i) {
+        harness::run_ordered(fresh.size(), jobs, [&](std::size_t i) {
           return evaluate_genome(fresh[i], opts);
         });
     for (std::size_t i = 0; i < fresh.size(); ++i) {
@@ -855,7 +867,8 @@ SynthResult synthesize_cached(const SynthOptions& opts, const SynthCache& cache)
   entry.budget = "bw" + std::to_string(opts.beam_width) + ":g" +
                  std::to_string(opts.generations) + ":m" +
                  std::to_string(opts.mutations_per_survivor) + ":sa" +
-                 std::to_string(opts.sa_steps);
+                 std::to_string(opts.sa_steps) + ":t" +
+                 std::to_string(std::max(1, opts.sim_threads));
   cache.store(entry);
   return result;
 }

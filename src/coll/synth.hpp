@@ -97,9 +97,7 @@ CommSchedule build_combine3d_schedule(const net::NetworkConfig& config,
                                       const net::FaultPlan* faults);
 
 struct SynthOptions {
-  /// Evaluation network (shape, seed, chunk timing, fault config). The
-  /// search forces sim_threads = 1: scoring must be bit-deterministic
-  /// independent of the simulator's thread count.
+  /// Evaluation network (shape, seed, chunk timing, fault config).
   net::NetworkConfig net{};
   std::uint64_t msg_bytes = 240;
 
@@ -109,6 +107,13 @@ struct SynthOptions {
   int mutations_per_survivor = 4;
   int sa_steps = 0;  // optional simulated-annealing refinement of the winner
   int jobs = 1;      // scoring parallelism; never changes the result
+  /// Simulator worker threads per scoring run. The parallel engine is
+  /// deterministic per (seed, N): the synthesized winner is reproducible
+  /// from (problem, seeds, budget, sim_threads) — record sim_threads next
+  /// to the seeds when reproducibility across machines matters. The pool's
+  /// `jobs` is shrunk so jobs x sim_threads never oversubscribes the host
+  /// (jobs itself never changes results; sim_threads can).
+  int sim_threads = 1;
   /// Per-candidate wall-clock kill switch, forwarded to the scoring runs.
   double wall_timeout_ms = 0.0;
   /// Also score the six registry strategies to fill SynthResult::baseline_*.
@@ -133,7 +138,8 @@ struct SynthResult {
 };
 
 /// Runs the beam search (plus optional SA pass). Deterministic per
-/// (opts.seed, budget knobs): identical results for any opts.jobs.
+/// (opts.seed, budget knobs, opts.sim_threads): identical results for any
+/// opts.jobs.
 SynthResult synthesize(const SynthOptions& opts);
 
 /// One cached winner. `genome` round-trips through Genome::key().

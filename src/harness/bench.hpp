@@ -37,8 +37,9 @@ struct BenchContext {
   /// Worker threads inside each simulation (--sim-threads; the slab-parallel
   /// fabric core). Orthogonal to --jobs, which parallelizes across sweep
   /// points: for many small points prefer --jobs, for one huge partition
-  /// prefer --sim-threads. Ineligible configurations (faults, legacy
-  /// clients, dependency-gated schedules) fall back to 1 per run.
+  /// prefer --sim-threads. Fault injection and hop observers run parallel
+  /// too; only zero-lookahead configs and dependency-gated schedules fall
+  /// back to 1 per run (RunResult::sim_threads_reason says why).
   int sim_threads = 1;
   /// Partial CSV/JSON output of an interrupted run (--resume): slots whose
   /// drained rows are already present are skipped, and the sinks write a

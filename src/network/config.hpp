@@ -140,8 +140,12 @@ struct NetworkConfig {
   /// (see DESIGN.md "Threading model"); results stay deterministic for a
   /// fixed (seed, sim_threads) pair, delivery matrices are preserved
   /// exactly, and completion times may differ from 1-thread runs only
-  /// through the relaxed cross-slab credit-return timing. Runs with faults,
-  /// hop observers, or extra_deps silently fall back to 1 thread.
+  /// through the relaxed cross-slab credit-return timing. Fault injection
+  /// and hop observers run parallel too (counter-based fault draws,
+  /// slab-owned fault state, barrier-drained observer buffers — see
+  /// DESIGN.md); only zero-cost-link configs (no lookahead window) and
+  /// schedules with cross-node extra_deps fall back to 1 thread, and the
+  /// fallback cause is reported in RunResult::sim_threads_reason.
   int sim_threads = 1;
 
   /// Fault injection; the default is a healthy network.

@@ -84,6 +84,7 @@ Fabric::Fabric(const NetworkConfig& config, Client& client)
   const std::size_t links =
       static_cast<std::size_t>(nodes) * static_cast<std::size_t>(dirs_);
   link_busy_until_.assign(links, 0);
+  node_dir_want_.assign(links, 0);
   arb_scheduled_.assign(links, 0);
   rr_next_.assign(links, 0);
   link_peer_.resize(links);
@@ -116,7 +117,8 @@ void Fabric::init_faults() {
   // strike — doomed nodes pump, traffic routes into them — and the plan's
   // permanent state only becomes consultable at kPermStrike.
   struck_ = (fc.fail_at == 0);
-  fault_rng_ = util::Xoshiro256StarStar(fault_plan_.derived_seed() ^ 0xd809f0ddULL);
+  drop_seed_ = fault_plan_.derived_seed() ^ 0x64726f70ULL;     // "drop"
+  corrupt_seed_ = fault_plan_.derived_seed() ^ 0x636f7272ULL;  // "corr"
   stuck_cycles_ =
       fc.stuck_drop_cycles != 0 ? fc.stuck_drop_cycles : 4 * fc.retrans_timeout;
   link_down_.assign(link_peer_.size(), 0);
@@ -128,14 +130,42 @@ void Fabric::init_faults() {
     if (health == LinkHealth::kDegraded) link_degraded_[l] = 1;
     if (health == LinkHealth::kDead && fc.fail_at == 0) link_down_[l] = 1;
   }
-  if (fc.fail_at > 0 &&
-      fault_plan_.dead_link_count() + fault_plan_.dead_node_count() > 0) {
-    engine_.schedule(fc.fail_at, kEvFault, kPermStrike, 0);
+}
+
+void Fabric::prime_fault_events() {
+  if (!faults_active_ || fault_events_scheduled_) return;
+  fault_events_scheduled_ = true;
+  const FaultConfig& fc = config_.faults;
+  const bool strike_pending =
+      fc.fail_at > 0 &&
+      fault_plan_.dead_link_count() + fault_plan_.dead_node_count() > 0;
+  if (shards_.empty()) {
+    if (strike_pending) engine_.schedule(fc.fail_at, kEvFault, kPermStrike, 0);
+    for (std::uint32_t i = 0; i < fault_plan_.transients().size(); ++i) {
+      const TransientOutage& outage = fault_plan_.transients()[i];
+      engine_.schedule(outage.down_at, kEvFault, i, 0);
+      engine_.schedule(outage.up_at, kEvFault, i, 1);
+    }
+    return;
+  }
+  // Parallel run: the strike goes to every slab (each applies its own slice
+  // of links, cores and in-flight packets); a transient outage goes to the
+  // owner slab(s) of its two directed ends.
+  if (strike_pending) {
+    for (Shard& shard : shards_) shard.wheel.push(fc.fail_at, kEvFault, kPermStrike, 0);
   }
   for (std::uint32_t i = 0; i < fault_plan_.transients().size(); ++i) {
     const TransientOutage& outage = fault_plan_.transients()[i];
-    engine_.schedule(outage.down_at, kEvFault, i, 0);
-    engine_.schedule(outage.up_at, kEvFault, i, 1);
+    const Rank node_a = static_cast<Rank>(outage.link / dirs_);
+    const Rank node_b = link_peer_[static_cast<std::size_t>(outage.link)];
+    const std::int32_t slab_a = node_slab_[static_cast<std::size_t>(node_a)];
+    const std::int32_t slab_b = node_slab_[static_cast<std::size_t>(node_b)];
+    shards_[static_cast<std::size_t>(slab_a)].wheel.push(outage.down_at, kEvFault, i, 0);
+    shards_[static_cast<std::size_t>(slab_a)].wheel.push(outage.up_at, kEvFault, i, 1);
+    if (slab_b != slab_a) {
+      shards_[static_cast<std::size_t>(slab_b)].wheel.push(outage.down_at, kEvFault, i, 0);
+      shards_[static_cast<std::size_t>(slab_b)].wheel.push(outage.up_at, kEvFault, i, 1);
+    }
   }
 }
 
@@ -144,6 +174,7 @@ bool Fabric::run(Tick deadline) {
   if (threads > 1) return run_parallel(threads, deadline);
   if (!primed_) {
     primed_ = true;
+    prime_fault_events();
     const int nodes = torus_.nodes();
     for (Rank n = 0; n < nodes; ++n) {
       CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
@@ -160,17 +191,35 @@ bool Fabric::run(Tick deadline) {
   return quiescent;
 }
 
-int Fabric::plan_threads() const noexcept {
+int Fabric::plan_threads(ThreadFallbackReason* reason) const noexcept {
+  const auto give = [reason](ThreadFallbackReason r) {
+    if (reason != nullptr) *reason = r;
+  };
   int threads = config_.sim_threads;
-  if (threads <= 1) return 1;
-  // Ineligible configurations fall back to the reference engine: the fault
-  // machinery and hop observers assume a global event order, and a zero
-  // lookahead window would serialize the slabs anyway.
-  if (faults_active_ || hop_observer_ || window_cycles_ == 0) return 1;
+  if (threads <= 1) {
+    give(ThreadFallbackReason::kNotRequested);
+    return 1;
+  }
+  // The only remaining hard fallback: a zero lookahead window (zero-cost
+  // links) would serialize the slabs anyway. Faults and hop observers are
+  // slab-eligible — counter-based fault draws and barrier-drained observer
+  // buffers need no global event order.
+  if (window_cycles_ == 0) {
+    give(ThreadFallbackReason::kZeroWindow);
+    return 1;
+  }
   // A run primed into the engine (an earlier single-threaded call) cannot
   // migrate mid-flight.
-  if (primed_ && !mt_primed_) return 1;
+  if (primed_ && !mt_primed_) {
+    give(ThreadFallbackReason::kPrimedEngine);
+    return 1;
+  }
   const int extent = config_.shape.dim[static_cast<std::size_t>(slab_axis())];
+  if (extent <= 1) {
+    give(ThreadFallbackReason::kNarrowShape);
+    return 1;
+  }
+  give(ThreadFallbackReason::kNone);
   return std::max(1, std::min(threads, extent));
 }
 
@@ -205,6 +254,7 @@ void Fabric::setup_shards(int threads) {
     shard.rng = util::Xoshiro256StarStar(
         config_.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
     shard.outbox.resize(static_cast<std::size_t>(threads));
+    shard.struck = struck_;
   }
 }
 
@@ -213,8 +263,14 @@ bool Fabric::run_parallel(int threads, Tick deadline) {
     setup_shards(threads);
     mt_primed_ = true;
     primed_ = true;
+    prime_fault_events();
     for (Rank n = 0; n < torus_.nodes(); ++n) {
-      cpu_[static_cast<std::size_t>(n)].pump_scheduled = true;
+      CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
+      if (faults_active_ && struck_ && !fault_plan_.node_alive(n)) {
+        cpu.idle = true;  // a dead node's core never pumps
+        continue;
+      }
+      cpu.pump_scheduled = true;
       shards_[static_cast<std::size_t>(node_slab_[static_cast<std::size_t>(n)])]
           .wheel.push(0, kEvCpu, static_cast<std::uint32_t>(n), 0);
     }
@@ -226,7 +282,6 @@ bool Fabric::run_parallel(int threads, Tick deadline) {
   advance_window(deadline);
   if (!mt_done_) {
     std::barrier sync(threads, [this, deadline]() noexcept { barrier_phase(deadline); });
-    std::mutex error_mutex;
     auto worker = [&](int index) {
       Shard& shard = shards_[static_cast<std::size_t>(index)];
       for (;;) {
@@ -235,7 +290,7 @@ bool Fabric::run_parallel(int threads, Tick deadline) {
         } catch (...) {
           shard_ctx_ = nullptr;
           {
-            const std::lock_guard<std::mutex> lock(error_mutex);
+            const std::lock_guard<std::mutex> lock(mt_error_mutex_);
             if (!mt_error_) mt_error_ = std::current_exception();
           }
           mt_abort_flag_.store(true, std::memory_order_relaxed);
@@ -282,7 +337,18 @@ void Fabric::barrier_phase(Tick deadline) noexcept {
   // Runs on exactly one thread, between the last arrive and the release:
   // every worker's window writes happen-before this and its reads
   // happen-after, so boundary application needs no further synchronization.
-  // Deterministic order: by source shard, then destination, then insertion.
+  // Hop-observer buffers drain first (they describe the window just
+  // finished), then boundary messages in deterministic order: by source
+  // shard, then destination, then insertion.
+  if (hop_observer_) {
+    try {
+      drain_hop_logs();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mt_error_mutex_);
+      if (!mt_error_) mt_error_ = std::current_exception();
+      mt_abort_flag_.store(true, std::memory_order_relaxed);
+    }
+  }
   for (Shard& src : shards_) {
     for (std::size_t d = 0; d < src.outbox.size(); ++d) {
       for (const BoundaryMsg& msg : src.outbox[d]) apply_boundary(shards_[d], msg);
@@ -343,7 +409,32 @@ void Fabric::apply_boundary(Shard& dst, const BoundaryMsg& msg) {
     flight.link = msg.link;
     flight.port = msg.port;
     flight.deliver = msg.deliver;
+    // A boundary packet whose link is down right now died on the wire: the
+    // outage event fired while the handoff sat in the outbox, so the
+    // receiving slab's arena scan could not mark it.
+    if (faults_active_ && link_down_[static_cast<std::size_t>(msg.link)] != 0) {
+      flight.dropped = true;
+    }
     dst.wheel.push(msg.at, kEvArrival, slot, 0);
+  }
+}
+
+void Fabric::drain_hop_logs() {
+  // Merge all slabs' buffered grants and replay them in (tick, link) order —
+  // total and deterministic, since a link grants at most once per tick.
+  hop_scratch_.clear();
+  for (Shard& shard : shards_) {
+    hop_scratch_.insert(hop_scratch_.end(), shard.hop_log.begin(), shard.hop_log.end());
+    shard.hop_log.clear();
+  }
+  std::sort(hop_scratch_.begin(), hop_scratch_.end(),
+            [](const HopRecord& a, const HopRecord& b) {
+              return a.at != b.at ? a.at < b.at : a.link < b.link;
+            });
+  for (const HopRecord& rec : hop_scratch_) {
+    hop_observer_(rec.packet, static_cast<Rank>(rec.link / static_cast<std::uint32_t>(dirs_)),
+                  static_cast<int>(rec.link % static_cast<std::uint32_t>(dirs_)),
+                  rec.target);
   }
 }
 
@@ -351,6 +442,12 @@ void Fabric::merge_shard_stats() {
   FabricStats total;
   std::int64_t net = 0;
   std::uint64_t events = 0;
+  bool struck = struck_;
+  FaultStats ftotal;
+  // stranded_relay_bytes is computed post-run by the strategy client and
+  // written into the global counter, never into a shard; preserve it across
+  // merges (the recovery loop re-runs the fabric after it is set).
+  ftotal.stranded_relay_bytes = fault_stats_.stranded_relay_bytes;
   for (const Shard& shard : shards_) {
     total.packets_injected += shard.stats.packets_injected;
     total.packets_delivered += shard.stats.packets_delivered;
@@ -363,10 +460,27 @@ void Fabric::merge_shard_stats() {
     total.arb_blocked += shard.stats.arb_blocked;
     net += shard.in_network;
     events += shard.processed;
+    struck = struck || shard.struck;
+    ftotal.dropped_in_flight += shard.fstats.dropped_in_flight;
+    ftotal.dropped_prob += shard.fstats.dropped_prob;
+    ftotal.dropped_stuck += shard.fstats.dropped_stuck;
+    ftotal.corrupted_payloads += shard.fstats.corrupted_payloads;
+    ftotal.unroutable_at_injection += shard.fstats.unroutable_at_injection;
+    ftotal.reroute_vetoes += shard.fstats.reroute_vetoes;
+    ftotal.transient_strikes += shard.fstats.transient_strikes;
+    ftotal.link_down_cycles += shard.fstats.link_down_cycles;
+    ftotal.stranded_relay_bytes += shard.fstats.stranded_relay_bytes;
   }
   stats_ = total;
   in_network_ = net;
   mt_events_ = events;
+  if (faults_active_) {
+    fault_stats_ = ftotal;
+    if (struck && !struck_) {
+      struck_ = true;  // post-run queries see the struck state
+      fault_plan_.invalidate_routes();
+    }
+  }
 }
 
 void Fabric::post(Tick at, std::uint32_t type, std::uint32_t a, std::uint64_t b) {
@@ -501,11 +615,12 @@ void Fabric::pump_cpu(Rank node) {
 }
 
 bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
-  if (faults_active_ && struck_ && !fault_plan_.pair_routable(node, desc.dst, desc.mode)) {
+  if (faults_active_ && struck_now() &&
+      !fault_plan_.pair_routable(node, desc.dst, desc.mode, live_route_memo())) {
     // No live minimal path can ever deliver this packet. Consume the
     // descriptor (the core still pays its injection cost) and count it,
     // rather than letting an undeliverable packet wedge a FIFO forever.
-    ++fault_stats_.unroutable_at_injection;
+    ++live_fault_stats().unroutable_at_injection;
     return true;
   }
   const std::size_t fid = static_cast<std::size_t>(fifo_id(node, desc.fifo));
@@ -522,12 +637,14 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   packet.ack_cum = desc.ack_cum;
   packet.ack_bits = desc.ack_bits;
   packet.checksum = desc.checksum;
+  packet.attempt = desc.attempt;
 
-  if (faults_active_ && struck_) {
+  if (faults_active_ && struck_now()) {
     // Same tie-coin draw as below, but steered away from tie resolutions
     // whose minimal DAG is severed by permanent faults.
     packet.hops = fault_plan_.choose_hops(node, desc.dst, desc.mode,
-                                          [this] { return live_rng().coin(); });
+                                          [this] { return live_rng().coin(); },
+                                          live_route_memo());
   } else {
     const topo::Coord from = torus_.coord_of(node);
     const topo::Coord to = torus_.coord_of(desc.dst);
@@ -552,7 +669,7 @@ bool Fabric::try_inject(Rank node, const InjectDesc& desc) {
   if (stats.first_injection == FabricStats::kNever) stats.first_injection = now();
   ++stats.packets_injected;
   if (becomes_head) {
-    fifo_want_[fid] = want_mask(packet);
+    set_fifo_want(fid, want_mask(packet));
     if (faults_active_) fifo_head_since_[fid] = now();
     schedule_profitable_arbs(node, packet);
   }
@@ -572,28 +689,11 @@ void Fabric::schedule_arb_if_idle(Rank node, int dir, Tick at) {
   if (link_busy_until_[link] > at) return;  // busy-end arb already pending
   // Skip the event when no current head wants this output; whichever future
   // head appears will trigger its own wakeup. This prunes the vast majority
-  // of would-be no-candidate arbitration events under congestion.
-  const std::uint8_t dir_bit = static_cast<std::uint8_t>(1u << dir);
-  bool wanted = false;
-  const std::size_t base = static_cast<std::size_t>(buf_id(node, 0, 0));
-  const std::size_t nbufs =
-      static_cast<std::size_t>(dirs_) * static_cast<std::size_t>(vcs_);
-  for (std::size_t b = 0; b < nbufs; ++b) {
-    if (buffer_want_[base + b] & dir_bit) {
-      wanted = true;
-      break;
-    }
-  }
-  if (!wanted) {
-    const std::size_t fbase = static_cast<std::size_t>(fifo_id(node, 0));
-    for (int f = 0; f < fifo_count_; ++f) {
-      if (fifo_want_[fbase + static_cast<std::size_t>(f)] & dir_bit) {
-        wanted = true;
-        break;
-      }
-    }
-  }
-  if (!wanted) return;
+  // of would-be no-candidate arbitration events under congestion. The
+  // per-(node, dir) head counter answers in one load (the predicate is
+  // identical to scanning every buffer/FIFO want mask, which the want
+  // setters keep it in lockstep with).
+  if (node_dir_want_[link] == 0) return;
   arb_scheduled_[link] = 1;
   post(at, kEvArb, static_cast<std::uint32_t>(link));
 }
@@ -722,9 +822,9 @@ void Fabric::arbitrate(int link) {
       // Never walk a packet into a region it could not leave: if the
       // remaining minimal DAG past `peer` is severed by permanent faults,
       // refuse this output (adaptive packets take another live direction).
-      if (faults_active_ && struck_ && target != kDeliverHere &&
+      if (faults_active_ && struck_now() && target != kDeliverHere &&
           !continuation_live(head, peer, dir)) {
-        ++fault_stats_.reroute_vetoes;
+        ++live_fault_stats().reroute_vetoes;
         continue;
       }
 
@@ -739,8 +839,8 @@ void Fabric::arbitrate(int link) {
           shard_ctx_ != nullptr && upstream >= 0 &&
           node_slab_[static_cast<std::size_t>(upstream)] != shard_ctx_->id;
       if (!credit_cross) buffer_free_[static_cast<std::size_t>(base + vc)] += credit;
-      buffer_want_[static_cast<std::size_t>(base + vc)] =
-          queue.empty() ? 0 : want_mask(queue.front());
+      set_buffer_want(static_cast<std::size_t>(base + vc),
+                      queue.empty() ? 0 : want_mask(queue.front()));
       if (faults_active_ && !queue.empty()) {
         head_since_[static_cast<std::size_t>(base + vc)] = now();
       }
@@ -774,16 +874,16 @@ void Fabric::arbitrate(int link) {
     saw_candidate = true;
     const int target = select_downstream(head, node, dir, /*entering=*/true);
     if (target == kBlocked) continue;
-    if (faults_active_ && struck_ && target != kDeliverHere &&
+    if (faults_active_ && struck_now() && target != kDeliverHere &&
         !continuation_live(head, peer, dir)) {
-      ++fault_stats_.reroute_vetoes;
+      ++live_fault_stats().reroute_vetoes;
       continue;
     }
 
     const Packet granted = head;
     queue.pop_front();
     fifo_free_[fid] += granted.chunks;
-    fifo_want_[fid] = queue.empty() ? 0 : want_mask(queue.front());
+    set_fifo_want(fid, queue.empty() ? 0 : want_mask(queue.front()));
     if (faults_active_ && !queue.empty()) fifo_head_since_[fid] = now();
     // The core may be stalled waiting for space in this FIFO.
     CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
@@ -813,7 +913,16 @@ void Fabric::commit_grant(std::size_t lk, Rank node, int dir, Rank peer,
   const int sign = sign_of(dir);
   granted.hops[static_cast<std::size_t>(axis)] =
       static_cast<std::int16_t>(granted.hops[static_cast<std::size_t>(axis)] - sign);
-  if (hop_observer_) hop_observer_(granted, node, dir, target);
+  if (hop_observer_) {
+    if (shard_ctx_ != nullptr) {
+      // Buffered, not invoked: observers may touch cross-slab state, so the
+      // replay happens single-threaded at the window barrier.
+      shard_ctx_->hop_log.push_back(
+          {now(), static_cast<std::uint32_t>(lk), target, granted});
+    } else {
+      hop_observer_(granted, node, dir, target);
+    }
+  }
   Tick busy = static_cast<Tick>(granted.chunks) * config_.chunk_cycles;
   if (faults_active_ && link_degraded_[lk]) busy *= config_.faults.degrade_mult;
   link_busy_until_[lk] = now() + busy;
@@ -870,24 +979,37 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
   (shard_ctx_ != nullptr ? shard_ctx_->free_flights : free_flights_).push_back(slot_index);
 
   if (faults_active_) {
+    // Counter-based per-packet fault draws: pure functions of the fault seed
+    // and the packet's identity — (src, dst) flow, sequence number, attempt
+    // and the remaining-hop count after this hop (minimal routing shrinks it
+    // by exactly 1 per hop regardless of the adaptive path taken, so it is a
+    // path- and timing-independent hop index). Any (seed, shape) therefore
+    // reproduces the same fault realization at any --sim-threads N. Only
+    // sequenced packets (reliability-layer data) are eligible: ack packets
+    // are unsequenced and their population depends on delivery timing, which
+    // would make the realization interleaving-dependent.
+    const std::uint64_t flow =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(packet.src)) << 32) |
+        static_cast<std::uint32_t>(packet.dst);
+    int remaining = 0;
+    for (const std::int16_t h : packet.hops) remaining += h < 0 ? -h : h;
+    const std::uint64_t life = (static_cast<std::uint64_t>(packet.seq) << 32) |
+                               (static_cast<std::uint64_t>(packet.attempt) << 16) |
+                               static_cast<std::uint64_t>(remaining & 0xffff);
     bool drop = link_died;
     if (drop) {
-      ++fault_stats_.dropped_in_flight;
-    } else if (config_.faults.drop_prob > 0.0 &&
-               fault_rng_.unit() < config_.faults.drop_prob) {
+      ++live_fault_stats().dropped_in_flight;
+    } else if (config_.faults.drop_prob > 0.0 && packet.seq != 0 &&
+               fault_unit(drop_seed_, flow, life) < config_.faults.drop_prob) {
       drop = true;
-      ++fault_stats_.dropped_prob;
+      ++live_fault_stats().dropped_prob;
     }
     if (drop) {
       --live_in_network();
       if (!deliver) {
         // Return the downstream credit reserved at grant time; the freed
         // space may unblock the link feeding this buffer.
-        buffer_free_[static_cast<std::size_t>(buf_id(node, port, packet.vc))] +=
-            (packet.vc == vc_bubble_ ? 1 : packet.chunks);
-        const Rank upstream =
-            torus_.neighbor(node, topo::Direction::from_index(port ^ 1));
-        if (upstream >= 0) schedule_arb_if_idle(upstream, port);
+        return_buffer_credit(node, port, packet);
       }
       return;
     }
@@ -897,14 +1019,13 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
     // receiver (ReliableClient) must reject it; silent acceptance would
     // deliver garbage. Only the final hop corrupts, mirroring drop_prob's
     // per-arrival accounting and keeping one counter per injected fault.
-    // The RNG draw is gated on corrupt_prob > 0 so existing faulted-run
-    // streams stay bit-identical when the mode is off.
-    if (deliver && config_.faults.corrupt_prob > 0.0 &&
-        fault_rng_.unit() < config_.faults.corrupt_prob) {
-      std::uint32_t mask = 0;
-      while (mask == 0) mask = static_cast<std::uint32_t>(fault_rng_());
+    if (deliver && config_.faults.corrupt_prob > 0.0 && packet.seq != 0 &&
+        fault_unit(corrupt_seed_, flow, life) < config_.faults.corrupt_prob) {
+      std::uint32_t mask =
+          static_cast<std::uint32_t>(fault_hash(corrupt_seed_ ^ 0x6d61736bULL, flow, life));
+      if (mask == 0) mask = 1;
       packet.checksum ^= mask;
-      ++fault_stats_.corrupted_payloads;
+      ++live_fault_stats().corrupted_payloads;
     }
   }
 
@@ -925,13 +1046,22 @@ void Fabric::on_arrival(std::uint32_t slot_index) {
   const bool becomes_head = queue.empty();
   queue.push_back(packet);
   if (becomes_head) {
-    buffer_want_[buf] = want_mask(packet);
-    if (faults_active_) head_since_[buf] = now();
+    set_buffer_want(buf, want_mask(packet));
+    if (faults_active_) {
+      head_since_[buf] = now();
+      // Parallel runs arm the sweep per slab: a slab that only relays (its
+      // own cores idle) would otherwise never arm its wedge backstop.
+      if (shard_ctx_ != nullptr) arm_sweep();
+    }
     schedule_profitable_arbs(node, packet);
   }
 }
 
 void Fabric::on_fault_event(std::uint32_t a, std::uint64_t b) {
+  if (shard_ctx_ != nullptr) {
+    mt_fault_event(a, b);
+    return;
+  }
   if (a == kPermStrike) {
     // The blind phase ends here: permanent state becomes consultable, links
     // die and fail-stopped cores halt (their queued descriptors die with
@@ -975,6 +1105,78 @@ void Fabric::on_fault_event(std::uint32_t a, std::uint64_t b) {
   if (config_.debug_checks) run_debug_checks(false);
 }
 
+void Fabric::mt_fault_event(std::uint32_t a, std::uint64_t b) {
+  // Parallel-run fault events are replicated to every slab they concern;
+  // each slab applies only the slice it owns, so no shared cell sees two
+  // writers: link down bits by the link's node owner, core state by the
+  // node owner, in-flight drops by an arena scan of the slab's own flights
+  // (a packet crossing a link can only sit in the arena of the granting or
+  // the receiving slab, both of which receive the event).
+  Shard& shard = *shard_ctx_;
+  if (a == kPermStrike) {
+    shard.struck = true;
+    shard.route_memo.clear();
+    for (std::size_t l = 0; l < link_peer_.size(); ++l) {
+      if (!fault_plan_.link_dead(static_cast<int>(l))) continue;
+      if (node_slab_[static_cast<std::size_t>(static_cast<Rank>(l) / dirs_)] == shard.id) {
+        link_down_[l] = 1;
+      }
+    }
+    for (FlightSlot& flight : shard.flights) {
+      if (flight.in_use && !flight.dropped &&
+          fault_plan_.link_dead(static_cast<int>(flight.link))) {
+        flight.dropped = true;
+      }
+    }
+    for (Rank n = 0; n < torus_.nodes(); ++n) {
+      if (node_slab_[static_cast<std::size_t>(n)] != shard.id) continue;
+      if (fault_plan_.node_alive(n)) continue;
+      CpuState& cpu = cpu_[static_cast<std::size_t>(n)];
+      cpu.idle = true;
+      cpu.stalled = false;
+    }
+    arm_sweep();
+    return;
+  }
+  const TransientOutage& outage =
+      fault_plan_.transients()[static_cast<std::size_t>(a)];
+  const Rank node_a = static_cast<Rank>(outage.link / dirs_);
+  const Rank node_b = link_peer_[static_cast<std::size_t>(outage.link)];
+  const int dir = outage.link % dirs_;
+  const int reverse = link_id(node_b, dir ^ 1);
+  const bool repaired = b != 0;
+  const bool own_a = node_slab_[static_cast<std::size_t>(node_a)] == shard.id;
+  const bool own_b = node_slab_[static_cast<std::size_t>(node_b)] == shard.id;
+  if (own_a) {
+    // One bookkeeper per outage: the + end's owner counts it.
+    if (repaired) {
+      shard.fstats.link_down_cycles += outage.up_at - outage.down_at;
+    } else {
+      ++shard.fstats.transient_strikes;
+    }
+  }
+  if (repaired) {
+    if (own_a) {
+      link_down_[static_cast<std::size_t>(outage.link)] = 0;
+      schedule_arb_if_idle(node_a, dir);
+    }
+    if (own_b) {
+      link_down_[static_cast<std::size_t>(reverse)] = 0;
+      schedule_arb_if_idle(node_b, dir ^ 1);
+    }
+  } else {
+    if (own_a) link_down_[static_cast<std::size_t>(outage.link)] = 1;
+    if (own_b) link_down_[static_cast<std::size_t>(reverse)] = 1;
+    for (FlightSlot& flight : shard.flights) {
+      if (flight.in_use && !flight.dropped &&
+          (flight.link == static_cast<std::uint32_t>(outage.link) ||
+           flight.link == static_cast<std::uint32_t>(reverse))) {
+        flight.dropped = true;
+      }
+    }
+  }
+}
+
 void Fabric::set_link_state(int link, bool down) {
   const std::size_t lk = static_cast<std::size_t>(link);
   if (link_down_[lk] == static_cast<std::uint8_t>(down ? 1 : 0)) return;
@@ -1000,16 +1202,68 @@ bool Fabric::continuation_live(const Packet& head, Rank peer, int dir) const {
   const int axis = axis_of(dir);
   hops[static_cast<std::size_t>(axis)] = static_cast<std::int16_t>(
       hops[static_cast<std::size_t>(axis)] - sign_of(dir));
-  return fault_plan_.route_live(peer, hops, head.mode);
+  return fault_plan_.route_live(peer, hops, head.mode, live_route_memo());
+}
+
+void Fabric::return_buffer_credit(Rank node, int port, const Packet& packet) {
+  const std::size_t buf = static_cast<std::size_t>(buf_id(node, port, packet.vc));
+  const std::int32_t credit = (packet.vc == vc_bubble_ ? 1 : packet.chunks);
+  const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(port ^ 1));
+  if (shard_ctx_ != nullptr && upstream >= 0 &&
+      node_slab_[static_cast<std::size_t>(upstream)] != shard_ctx_->id) {
+    BoundaryMsg msg;
+    msg.at = now();
+    msg.node = upstream;
+    msg.buf = static_cast<std::int32_t>(buf);
+    msg.chunks = credit;
+    msg.port = static_cast<std::uint8_t>(port);
+    msg.is_credit = true;
+    shard_ctx_->outbox[static_cast<std::size_t>(
+        node_slab_[static_cast<std::size_t>(upstream)])].push_back(msg);
+    return;
+  }
+  buffer_free_[buf] += credit;
+  if (upstream >= 0) schedule_arb_if_idle(upstream, port);
 }
 
 void Fabric::arm_sweep() {
-  if (sweep_scheduled_ || stuck_cycles_ == 0) return;
-  sweep_scheduled_ = true;
+  bool& armed = shard_ctx_ != nullptr ? shard_ctx_->sweep_scheduled : sweep_scheduled_;
+  if (armed || stuck_cycles_ == 0) return;
+  armed = true;
   post(now() + stuck_cycles_, kEvSweep);
 }
 
 void Fabric::stuck_sweep() {
+  if (shard_ctx_ != nullptr) {
+    // Parallel: sweep only the slab's own nodes. The shard's in_network is a
+    // delta (not a census), so occupancy of the owned queues drives re-arm.
+    Shard& shard = *shard_ctx_;
+    shard.sweep_scheduled = false;
+    const Tick cutoff = now() >= stuck_cycles_ ? now() - stuck_cycles_ : 0;
+    bool occupied = false;
+    for (Rank n = 0; n < torus_.nodes(); ++n) {
+      if (node_slab_[static_cast<std::size_t>(n)] != shard.id) continue;
+      for (int p = 0; p < dirs_; ++p) {
+        for (int vc = 0; vc < vcs_; ++vc) {
+          const std::size_t b = static_cast<std::size_t>(buf_id(n, p, vc));
+          while (!buffers_[b].empty() && head_since_[b] <= cutoff) drop_buffer_head(b);
+          occupied = occupied || !buffers_[b].empty();
+        }
+      }
+      for (int f = 0; f < fifo_count_; ++f) {
+        const std::size_t fid = static_cast<std::size_t>(fifo_id(n, f));
+        while (!fifos_[fid].empty() && fifo_head_since_[fid] <= cutoff) {
+          drop_fifo_head(n, f);
+        }
+        occupied = occupied || !fifos_[fid].empty();
+      }
+    }
+    if (occupied) {
+      shard.sweep_scheduled = true;
+      post(now() + stuck_cycles_, kEvSweep);
+    }
+    return;
+  }
   sweep_scheduled_ = false;
   if (in_network_ == 0) return;  // re-armed by the next injection
   const Tick cutoff = now() >= stuck_cycles_ ? now() - stuck_cycles_ : 0;
@@ -1037,17 +1291,14 @@ void Fabric::drop_buffer_head(std::size_t buf) {
   auto& queue = buffers_[buf];
   const Packet victim = queue.front();
   queue.pop_front();
-  const int vc = static_cast<int>(buf) % vcs_;
-  buffer_free_[buf] += (vc == vc_bubble_ ? 1 : victim.chunks);
-  buffer_want_[buf] = queue.empty() ? 0 : want_mask(queue.front());
-  --in_network_;
-  ++fault_stats_.dropped_stuck;
+  set_buffer_want(buf, queue.empty() ? 0 : want_mask(queue.front()));
+  --live_in_network();
+  ++live_fault_stats().dropped_stuck;
   const Rank node =
       static_cast<Rank>(buf / (static_cast<std::size_t>(dirs_) *
                                static_cast<std::size_t>(vcs_)));
   const int port = static_cast<int>(buf / static_cast<std::size_t>(vcs_)) % dirs_;
-  const Rank upstream = torus_.neighbor(node, topo::Direction::from_index(port ^ 1));
-  if (upstream >= 0) schedule_arb_if_idle(upstream, port);
+  return_buffer_credit(node, port, victim);
   if (!queue.empty()) {
     head_since_[buf] = now();
     schedule_profitable_arbs(node, queue.front());
@@ -1060,9 +1311,9 @@ void Fabric::drop_fifo_head(Rank node, int fifo) {
   const Packet victim = queue.front();
   queue.pop_front();
   fifo_free_[fid] += victim.chunks;
-  fifo_want_[fid] = queue.empty() ? 0 : want_mask(queue.front());
-  --in_network_;
-  ++fault_stats_.dropped_stuck;
+  set_fifo_want(fid, queue.empty() ? 0 : want_mask(queue.front()));
+  --live_in_network();
+  ++live_fault_stats().dropped_stuck;
   CpuState& cpu = cpu_[static_cast<std::size_t>(node)];
   if (cpu.stalled && cpu.pending.fifo == fifo && !cpu.pump_scheduled &&
       node_alive_now(node)) {
@@ -1131,6 +1382,24 @@ std::string Fabric::check_invariants(bool quiescent) const {
       }
       if (quiescent && !queue.empty()) {
         return fail("non-drained fifo at node " + std::to_string(n));
+      }
+    }
+  }
+  for (Rank n = 0; n < nodes; ++n) {
+    for (int d = 0; d < dirs_; ++d) {
+      std::uint16_t expect = 0;
+      const std::uint8_t bit = static_cast<std::uint8_t>(1u << d);
+      for (int p = 0; p < dirs_; ++p) {
+        for (int vc = 0; vc < vcs_; ++vc) {
+          if (buffer_want_[static_cast<std::size_t>(buf_id(n, p, vc))] & bit) ++expect;
+        }
+      }
+      for (int f = 0; f < fifo_count_; ++f) {
+        if (fifo_want_[static_cast<std::size_t>(fifo_id(n, f))] & bit) ++expect;
+      }
+      if (node_dir_want_[static_cast<std::size_t>(link_id(n, d))] != expect) {
+        return fail("want counter out of sync at node " + std::to_string(n) +
+                    " dir " + std::to_string(d));
       }
     }
   }

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,35 @@ struct FaultStats {
   }
 };
 
+/// Why a run that asked for --sim-threads N executed on fewer threads (or on
+/// the single-threaded reference engine). Surfaced through
+/// RunResult::sim_threads_reason so a silent fallback is always explainable.
+enum class ThreadFallbackReason : std::uint8_t {
+  kNone = 0,        // parallel engine in use at the requested width (or capped
+                    // only by the slab-axis extent)
+  kNotRequested,    // sim_threads <= 1: nobody asked
+  kZeroWindow,      // zero-cost links leave no conservative lookahead window
+  kPrimedEngine,    // an earlier single-threaded run() primed the reference
+                    // engine; a mid-flight migration is impossible
+  kNarrowShape,     // the widest axis has extent 1: nothing to partition
+  kLegacyClient,    // collective layer: the client is not slab-safe
+  kCrossNodeDeps,   // collective layer: schedule phases carry cross-node
+                    // dependencies that need a global event order
+};
+
+constexpr const char* to_string(ThreadFallbackReason reason) noexcept {
+  switch (reason) {
+    case ThreadFallbackReason::kNone: return "parallel";
+    case ThreadFallbackReason::kNotRequested: return "not requested";
+    case ThreadFallbackReason::kZeroWindow: return "zero lookahead window";
+    case ThreadFallbackReason::kPrimedEngine: return "engine already primed";
+    case ThreadFallbackReason::kNarrowShape: return "slab axis extent 1";
+    case ThreadFallbackReason::kLegacyClient: return "legacy client";
+    case ThreadFallbackReason::kCrossNodeDeps: return "cross-node schedule deps";
+  }
+  return "?";
+}
+
 class Fabric : public sim::EventHandler {
  public:
   Fabric(const NetworkConfig& config, Client& client);
@@ -147,8 +177,31 @@ class Fabric : public sim::EventHandler {
   /// semantics); with fail_at > 0 the network runs *blind* — healthy routing,
   /// no plan steering — until the strike lands mid-run. The reliability
   /// layer keys its give-up logic off this so pre-strike traffic is not
-  /// abandoned against a fault plan nobody is supposed to know yet.
-  bool perm_faults_struck() const noexcept { return struck_; }
+  /// abandoned against a fault plan nobody is supposed to know yet. On a
+  /// parallel run each slab observes its *own* strike flag (flipped by its
+  /// own kPermStrike event), so a handler never reads a neighbor's toggle
+  /// mid-window.
+  bool perm_faults_struck() const noexcept { return struck_now(); }
+
+  /// Thread-safe routability oracle for clients running inside handlers:
+  /// answers against the permanent fault state *as this node currently sees
+  /// it* (always routable while the network is still blind), memoized in the
+  /// executing slab's private memo on a parallel run. Strategy clients must
+  /// use this instead of fault_plan().pair_routable() — the plan's internal
+  /// memo is not thread-safe.
+  bool pair_routable_now(Rank src, Rank dst, RoutingMode mode) const {
+    if (!faults_active_ || !struck_now()) return true;
+    return fault_plan_.pair_routable(src, dst, mode, live_route_memo());
+  }
+
+  /// The executing slab's private routability memo — nullptr on a
+  /// single-threaded run, where the plan's internal memo is safe. Clients
+  /// that consult the plan's oracle directly inside handlers (the schedule
+  /// executor's relay re-picking) must pass this through so parallel slabs
+  /// never share the plan's unsynchronized cache.
+  FaultPlan::RouteMemo* route_memo_scratch() const noexcept {
+    return live_route_memo();
+  }
 
   /// Re-arms `node`'s core if idle (clients call this when new work arrives,
   /// e.g. a TPS forward enqueued by on_delivery).
@@ -188,9 +241,21 @@ class Fabric : public sim::EventHandler {
   /// gating (1 on single-thread runs; see NetworkConfig::sim_threads).
   int effective_sim_threads() const noexcept { return plan_threads(); }
 
+  /// Why the effective thread count fell short of the request (kNone when
+  /// the parallel engine runs).
+  ThreadFallbackReason sim_threads_reason() const noexcept {
+    ThreadFallbackReason reason = ThreadFallbackReason::kNone;
+    (void)plan_threads(&reason);
+    return reason;
+  }
+
   /// Observer invoked at every link grant: (packet after hop decrement,
   /// node granting, direction index, downstream VC or kDeliverHere).
-  /// For tests and tracing; adds a branch per grant when unset.
+  /// For tests and tracing; adds a branch per grant when unset. On a
+  /// parallel run grants are buffered per slab and the observer is invoked
+  /// at each window barrier in (tick, link id) order — a total, deterministic
+  /// order (a link grants at most once per tick), though generally different
+  /// from the single-threaded interleaving across links.
   using HopObserver = std::function<void(const Packet&, Rank, int, int)>;
   void set_hop_observer(HopObserver observer) { hop_observer_ = std::move(observer); }
 
@@ -263,10 +328,20 @@ class Fabric : public sim::EventHandler {
     bool is_credit = false;
   };
 
+  /// One buffered hop-observer grant (parallel runs only): replayed at the
+  /// window barrier in (at, link) order. node/dir are derived from `link`.
+  struct HopRecord {
+    Tick at = 0;
+    std::uint32_t link = 0;
+    std::int32_t target = 0;
+    Packet packet{};
+  };
+
   /// Per-worker slab state: its own event wheel, clock, flight-slot arena,
-  /// RNG and stat counters. Torus state arrays (buffers, credits, links,
-  /// cores) stay in the shared structure-of-arrays vectors; slab ownership
-  /// partitions their *indices*, so workers never write the same cell.
+  /// RNG, stat counters and fault-side state. Torus state arrays (buffers,
+  /// credits, links, cores) stay in the shared structure-of-arrays vectors;
+  /// slab ownership partitions their *indices*, so workers never write the
+  /// same cell.
   struct Shard {
     int id = 0;
     sim::TimingWheel wheel;
@@ -279,6 +354,16 @@ class Fabric : public sim::EventHandler {
     std::int64_t in_network = 0;
     /// Outgoing messages, indexed by destination shard.
     std::vector<std::vector<BoundaryMsg>> outbox;
+    // Shard-owned fault state: counters merged at merge_shard_stats, a
+    // private strike flag flipped by this slab's own kPermStrike event, a
+    // private routability memo (the plan's internal one is not thread-safe)
+    // and a private stuck-sweep arm flag.
+    FaultStats fstats;
+    bool struck = false;
+    bool sweep_scheduled = false;
+    FaultPlan::RouteMemo route_memo;
+    /// Buffered hop-observer grants, drained at the window barrier.
+    std::vector<HopRecord> hop_log;
   };
 
   // --- indexing helpers (dirs_ = 2n directions on an n-dimensional shape) ---
@@ -306,9 +391,20 @@ class Fabric : public sim::EventHandler {
   FlightSlot& flight_at(std::uint32_t slot) noexcept {
     return shard_ctx_ != nullptr ? shard_ctx_->flights[slot] : flights_[slot];
   }
+  FaultStats& live_fault_stats() noexcept {
+    return shard_ctx_ != nullptr ? shard_ctx_->fstats : fault_stats_;
+  }
+  /// Slab-private routability memo, or nullptr (= the plan's internal memo)
+  /// on a single-threaded run.
+  FaultPlan::RouteMemo* live_route_memo() const noexcept {
+    return shard_ctx_ != nullptr ? &shard_ctx_->route_memo : nullptr;
+  }
+  bool struck_now() const noexcept {
+    return shard_ctx_ != nullptr ? shard_ctx_->struck : struck_;
+  }
 
   // --- parallel (slab-partitioned) run ---
-  int plan_threads() const noexcept;
+  int plan_threads(ThreadFallbackReason* reason = nullptr) const noexcept;
   int slab_axis() const noexcept;
   bool run_parallel(int threads, Tick deadline);
   void setup_shards(int threads);
@@ -317,6 +413,7 @@ class Fabric : public sim::EventHandler {
   void barrier_phase(Tick deadline) noexcept;
   void advance_window(Tick deadline);
   void merge_shard_stats();
+  void drain_hop_logs();
 
   // --- core simulation steps ---
   void pump_cpu(Rank node);
@@ -331,9 +428,21 @@ class Fabric : public sim::EventHandler {
 
   // --- fault machinery (no-ops unless faults_active_) ---
   void init_faults();
+  /// Schedules the fault timeline (delayed permanent strike, transient
+  /// outages) into the engine (single-threaded) or the shard wheels
+  /// (parallel), exactly once per fabric, at prime time.
+  void prime_fault_events();
   void on_fault_event(std::uint32_t a, std::uint64_t b);
+  /// Parallel-run fault event: the executing slab applies only its own slice
+  /// (its links' down bits, its nodes' cores, its flight arena, its memo).
+  void mt_fault_event(std::uint32_t a, std::uint64_t b);
   void set_link_state(int link, bool down);
   void drop_in_flight_on_link(std::uint32_t link);
+  /// Returns the downstream credit a dropped packet reserved in buffer
+  /// (node, port, packet.vc) and re-arms the feeding link. The free counter
+  /// is owned by the feeder's slab, so on a parallel run with a foreign
+  /// feeder the return travels as a boundary credit message.
+  void return_buffer_credit(Rank node, int port, const Packet& packet);
   /// True when `head`, after crossing `dir` into `peer`, still has a live
   /// minimal continuation (permanent fault state).
   bool continuation_live(const Packet& head, Rank peer, int dir) const;
@@ -353,6 +462,36 @@ class Fabric : public sim::EventHandler {
 
   /// Bitmask over direction indices the packet may use as its next hop.
   static std::uint8_t want_mask(const Packet& packet) noexcept;
+
+  // Every want-mask write goes through these setters so the per-(node, dir)
+  // head counters (node_dir_want_) stay exact; the arbitration wakeup scan
+  // then tests one counter instead of walking every buffer and FIFO mask.
+  void update_want_counts(Rank node, std::uint8_t old_mask, std::uint8_t new_mask) {
+    const std::uint8_t gained = new_mask & static_cast<std::uint8_t>(~old_mask);
+    const std::uint8_t lost = old_mask & static_cast<std::uint8_t>(~new_mask);
+    if ((gained | lost) == 0) return;
+    const std::size_t base = static_cast<std::size_t>(node) * static_cast<std::size_t>(dirs_);
+    for (int d = 0; d < dirs_; ++d) {
+      const std::uint8_t bit = static_cast<std::uint8_t>(1u << d);
+      if (gained & bit) ++node_dir_want_[base + static_cast<std::size_t>(d)];
+      if (lost & bit) --node_dir_want_[base + static_cast<std::size_t>(d)];
+    }
+  }
+  void set_buffer_want(std::size_t buf, std::uint8_t mask) {
+    const std::uint8_t old = buffer_want_[buf];
+    if (old == mask) return;
+    buffer_want_[buf] = mask;
+    update_want_counts(static_cast<Rank>(buf / (static_cast<std::size_t>(dirs_) *
+                                                static_cast<std::size_t>(vcs_))),
+                       old, mask);
+  }
+  void set_fifo_want(std::size_t fid, std::uint8_t mask) {
+    const std::uint8_t old = fifo_want_[fid];
+    if (old == mask) return;
+    fifo_want_[fid] = mask;
+    update_want_counts(static_cast<Rank>(fid / static_cast<std::size_t>(fifo_count_)),
+                       old, mask);
+  }
 
   Tick cpu_inject_cycles(const InjectDesc& desc) const noexcept;
 
@@ -381,6 +520,11 @@ class Fabric : public sim::EventHandler {
   // Output-direction wish mask of each buffer's head packet (0 if empty);
   // contiguous so arbitration scans without touching the queues.
   std::vector<std::uint8_t> buffer_want_;
+  // Per (node, dir): how many heads (transit buffers + injection FIFOs of
+  // that node) currently want the direction. Kept exact by the want setters;
+  // lets schedule_arb_if_idle answer "does anybody want this output?" with
+  // one load instead of a scan over dirs_*vcs_ + fifo masks.
+  std::vector<std::uint16_t> node_dir_want_;
 
   // Per (node, fifo).
   std::vector<RingQueue<Packet>> fifos_;
@@ -420,7 +564,10 @@ class Fabric : public sim::EventHandler {
   bool mt_aborted_ = false;
   std::uint64_t mt_events_ = 0;
   std::atomic<bool> mt_abort_flag_{false};
+  std::mutex mt_error_mutex_;
   std::exception_ptr mt_error_;
+  /// Scratch for the barrier's hop-observer drain (capacity reused).
+  std::vector<HopRecord> hop_scratch_;
 
   // --- fault state (sized only when the fault plan is enabled) ---
   FaultPlan fault_plan_;
@@ -432,7 +579,7 @@ class Fabric : public sim::EventHandler {
   /// node liveness.
   bool struck_ = false;
   bool node_alive_now(Rank node) const noexcept {
-    return !faults_active_ || !struck_ || fault_plan_.node_alive(node);
+    return !faults_active_ || !struck_now() || fault_plan_.node_alive(node);
   }
   Tick stuck_cycles_ = 0;  // stuck-head drop budget (0 = sweep disabled)
   bool sweep_scheduled_ = false;
@@ -442,7 +589,16 @@ class Fabric : public sim::EventHandler {
   // stuck sweep drops heads older than stuck_cycles_.
   std::vector<Tick> head_since_;
   std::vector<Tick> fifo_head_since_;
-  util::Xoshiro256StarStar fault_rng_;  // probabilistic drops only
+  /// Seeds of the counter-based per-packet fault draws (see fault_hash in
+  /// faults.hpp): a drop/corruption decision is a pure function of
+  /// (seed, flow, seq, attempt, remaining hops), never a sequential RNG
+  /// draw, so the realization is identical at any thread count. Only
+  /// sequenced packets (seq != 0, i.e. reliability-layer data) are eligible:
+  /// ack packets are unsequenced and their population is timing-dependent,
+  /// which would make the fault realization depend on the interleaving.
+  std::uint64_t drop_seed_ = 0;
+  std::uint64_t corrupt_seed_ = 0;
+  bool fault_events_scheduled_ = false;
   FaultStats fault_stats_;
 };
 

@@ -207,13 +207,14 @@ FaultPlan::FaultPlan(const NetworkConfig& config, const topo::Shape& shape)
             });
 }
 
-bool FaultPlan::route_live(topo::Rank node, const HopVec& hops,
-                           RoutingMode mode) const {
+bool FaultPlan::route_live(topo::Rank node, const HopVec& hops, RoutingMode mode,
+                           RouteMemo* memo) const {
   if (!node_alive(node)) return false;
   if (hops[0] == 0 && hops[1] == 0 && hops[2] == 0 && hops[3] == 0) return true;
 
+  RouteMemo& cache = memo != nullptr ? *memo : route_memo_;
   const RouteKey key{node, static_cast<std::uint8_t>(mode), hops};
-  if (const auto it = route_memo_.find(key); it != route_memo_.end()) {
+  if (const auto it = cache.find(key); it != cache.end()) {
     return it->second;
   }
 
@@ -227,17 +228,18 @@ bool FaultPlan::route_live(topo::Rank node, const HopVec& hops,
       auto next = hops;
       next[static_cast<std::size_t>(axis)] =
           static_cast<std::int16_t>(next[static_cast<std::size_t>(axis)] - sign);
-      live = route_live(torus_.neighbor(node, dir), next, mode);
+      live = route_live(torus_.neighbor(node, dir), next, mode, memo);
     }
     // Dimension-ordered routing has no second choice: only the first
     // unfinished axis may move.
     if (mode == RoutingMode::kDeterministic) break;
   }
-  route_memo_.emplace(key, live);
+  cache.emplace(key, live);
   return live;
 }
 
-bool FaultPlan::pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode) const {
+bool FaultPlan::pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode,
+                              RouteMemo* memo) const {
   if (!enabled_) return true;
   if (!node_alive(src) || !node_alive(dst)) return false;
   if (src == dst) return true;
@@ -268,13 +270,14 @@ bool FaultPlan::pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode) 
             static_cast<std::int16_t>(-trial[static_cast<std::size_t>(axis)]);
       }
     }
-    if (valid && route_live(src, trial, mode)) return true;
+    if (valid && route_live(src, trial, mode, memo)) return true;
   }
   return false;
 }
 
 HopVec FaultPlan::choose_hops(topo::Rank src, topo::Rank dst, RoutingMode mode,
-                              const std::function<bool()>& coin) const {
+                              const std::function<bool()>& coin,
+                              RouteMemo* memo) const {
   const topo::Coord a = torus_.coord_of(src);
   const topo::Coord b = torus_.coord_of(dst);
   const int axes = torus_.axis_count();
@@ -299,7 +302,7 @@ HopVec FaultPlan::choose_hops(topo::Rank src, topo::Rank dst, RoutingMode mode,
           static_cast<std::int16_t>(-preferred[static_cast<std::size_t>(axis)]);
     }
   }
-  if (!enabled_ || route_live(src, preferred, mode)) return preferred;
+  if (!enabled_ || route_live(src, preferred, mode, memo)) return preferred;
   for (int combo = 0; combo < (1 << axes); ++combo) {
     auto trial = hops;
     bool valid = true;
@@ -314,7 +317,7 @@ HopVec FaultPlan::choose_hops(topo::Rank src, topo::Rank dst, RoutingMode mode,
             static_cast<std::int16_t>(-trial[static_cast<std::size_t>(axis)]);
       }
     }
-    if (valid && route_live(src, trial, mode)) return trial;
+    if (valid && route_live(src, trial, mode, memo)) return trial;
   }
   // No live resolution: return the coin draw; callers gate on pair_routable.
   return preferred;

@@ -31,6 +31,29 @@
 
 namespace bgl::net {
 
+/// Counter-based (stateless) fault randomness: a splitmix64-style mix of a
+/// seed and two key words. Every stochastic per-packet fault decision (drop,
+/// corruption) is a pure function of (fault seed, flow identity, attempt,
+/// hop) through this hash, never a draw from a sequential RNG stream — so
+/// the realization is independent of event-processing order and a run
+/// reproduces the same faults at any `--sim-threads N`.
+inline std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t a,
+                                std::uint64_t b) noexcept {
+  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The hash as a uniform draw in [0, 1) (53 mantissa bits).
+inline double fault_unit(std::uint64_t seed, std::uint64_t a,
+                         std::uint64_t b) noexcept {
+  return static_cast<double>(fault_hash(seed, a, b) >> 11) * 0x1.0p-53;
+}
+
 /// Parses the CLI fault spec: a comma-separated list of key:value (or
 /// key=value) entries, e.g. "link:0.02,drop:1e-5,seed=7".
 ///   link:F          fraction of undirected links failed permanently
@@ -65,6 +88,35 @@ struct TransientOutage {
 
 class FaultPlan {
  public:
+  // Memo key for route_live: exact-match (node, mode, hop vector). A packed
+  // uint64 no longer fits now that hops are 4 x int16, so the key hashes
+  // FNV-1a over its bytes and compares exactly (no collision risk).
+  struct RouteKey {
+    topo::Rank node = 0;
+    std::uint8_t mode = 0;
+    HopVec hops{0, 0, 0, 0};
+    friend bool operator==(const RouteKey&, const RouteKey&) = default;
+  };
+  struct RouteKeyHash {
+    std::size_t operator()(const RouteKey& k) const noexcept {
+      std::uint64_t h = 1469598103934665603ULL;
+      const auto mix = [&h](std::uint64_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i) {
+          h = (h ^ ((v >> (8 * i)) & 0xffu)) * 1099511628211ULL;
+        }
+      };
+      mix(static_cast<std::uint32_t>(k.node), 4);
+      mix(k.mode, 1);
+      for (const auto hop : k.hops) mix(static_cast<std::uint16_t>(hop), 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  /// Routability memo. The plan keeps an internal one for single-threaded
+  /// callers; parallel workers pass their own shard-owned memo instead (the
+  /// oracle itself is a pure function of immutable plan state, so per-shard
+  /// memos answer identically — only the caching is sharded).
+  using RouteMemo = std::unordered_map<RouteKey, bool, RouteKeyHash>;
+
   FaultPlan() = default;
 
   /// Expands `config.faults` over `shape`. A disabled config yields an
@@ -105,48 +157,28 @@ class FaultPlan {
   /// True when a packet at `node` with remaining signed hops `hops` can
   /// still reach its destination over live links and nodes under `mode`
   /// (adaptive: any live path in the minimal DAG; deterministic: the single
-  /// dimension-order path). Memoized; call only on plans with faults.
-  bool route_live(topo::Rank node, const HopVec& hops, RoutingMode mode) const;
+  /// dimension-order path). Memoized in `memo` when given, else in the
+  /// plan's internal (not thread-safe) memo; call only on plans with faults.
+  bool route_live(topo::Rank node, const HopVec& hops, RoutingMode mode,
+                  RouteMemo* memo = nullptr) const;
 
   /// True when (src, dst) is deliverable under `mode`: both endpoints are
   /// alive and some choice of half-way tie directions yields a live minimal
   /// path. Always true on a disabled plan (src != dst assumed).
-  bool pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode) const;
+  bool pair_routable(topo::Rank src, topo::Rank dst, RoutingMode mode,
+                     RouteMemo* memo = nullptr) const;
 
   /// Signed hop vector for (src, dst) with half-way ties resolved toward a
   /// live route when possible; ambiguous live ties are broken with `coin`.
   HopVec choose_hops(topo::Rank src, topo::Rank dst, RoutingMode mode,
-                     const std::function<bool()>& coin) const;
+                     const std::function<bool()>& coin,
+                     RouteMemo* memo = nullptr) const;
 
   /// Forget memoized routability (call after a permanent fault epoch
   /// change, i.e. when fail_at > 0 strikes).
   void invalidate_routes() const { route_memo_.clear(); }
 
  private:
-  /// Memo key for route_live: exact-match (node, mode, hop vector). A packed
-  /// uint64 no longer fits now that hops are 4 x int16, so the key hashes
-  /// FNV-1a over its bytes and compares exactly (no collision risk).
-  struct RouteKey {
-    topo::Rank node = 0;
-    std::uint8_t mode = 0;
-    HopVec hops{0, 0, 0, 0};
-    friend bool operator==(const RouteKey&, const RouteKey&) = default;
-  };
-  struct RouteKeyHash {
-    std::size_t operator()(const RouteKey& k) const noexcept {
-      std::uint64_t h = 1469598103934665603ULL;
-      const auto mix = [&h](std::uint64_t v, int bytes) {
-        for (int i = 0; i < bytes; ++i) {
-          h = (h ^ ((v >> (8 * i)) & 0xffu)) * 1099511628211ULL;
-        }
-      };
-      mix(static_cast<std::uint32_t>(k.node), 4);
-      mix(k.mode, 1);
-      for (const auto hop : k.hops) mix(static_cast<std::uint16_t>(hop), 2);
-      return static_cast<std::size_t>(h);
-    }
-  };
-
   bool enabled_ = false;
   FaultConfig faults_{};
   std::uint64_t derived_seed_ = 0;
@@ -158,7 +190,7 @@ class FaultPlan {
   std::size_t degraded_links_ = 0;
   std::size_t dead_nodes_ = 0;
 
-  mutable std::unordered_map<RouteKey, bool, RouteKeyHash> route_memo_;
+  mutable RouteMemo route_memo_;
 };
 
 }  // namespace bgl::net

@@ -30,6 +30,10 @@ struct Packet {
   std::uint32_t seq = 0;       // 1-based per-(src,dst) sequence; 0 = unsequenced
   std::uint32_t ack_cum = 0;   // all sequences <= ack_cum delivered back to src
   std::uint32_t ack_bits = 0;  // SACK bitmap for sequences in (ack_cum, ack_cum+32]
+  /// Transmission attempt (0 = first send, k = k-th retransmit, saturating).
+  /// Part of the counter-based fault key so a retransmission is not
+  /// deterministically re-dropped at the same hop as the original.
+  std::uint8_t attempt = 0;
   /// End-to-end payload checksum stamped by the sender over the header and
   /// payload identity; a Byzantine link (corrupt_prob) XORs it in flight and
   /// the receiver rejects the packet on mismatch. All-zero and ignored when
@@ -67,6 +71,7 @@ struct InjectDesc {
   std::uint32_t ack_cum = 0;
   std::uint32_t ack_bits = 0;
   std::uint32_t checksum = 0;
+  std::uint8_t attempt = 0;
 };
 
 }  // namespace bgl::net

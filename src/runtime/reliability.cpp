@@ -55,15 +55,17 @@ ReliableClient::ReliableClient(const net::NetworkConfig& config, net::Client& in
   ready_.resize(nodes);
   unacked_count_.assign(nodes, 0);
   scan_armed_.assign(nodes, 0);
+  stats_by_node_.resize(nodes);
+  abandoned_by_node_.resize(nodes);
 }
 
 bool ReliableClient::routable(Rank from, Rank to, net::RoutingMode mode) const {
   // Until a delayed permanent strike (fail_at > 0) actually lands, the
   // network is healthy and nobody may consult the plan's permanent state:
   // giving up on a pair the plan *will* sever would abandon traffic that is
-  // deliverable right now.
-  if (!fabric_->perm_faults_struck()) return true;
-  return fabric_->fault_plan().pair_routable(from, to, mode);
+  // deliverable right now. pair_routable_now encodes exactly that (and on a
+  // parallel run answers through the executing slab's private memo).
+  return fabric_->pair_routable_now(from, to, mode);
 }
 
 bool ReliableClient::next_packet(Rank node, net::InjectDesc& out) {
@@ -86,7 +88,7 @@ bool ReliableClient::next_packet(Rank node, net::InjectDesc& out) {
     pending.sent_at = fabric_->now();
     flow.unacked.emplace(desc.seq, pending);
     ++unacked_count_[static_cast<std::size_t>(node)];
-    ++stats_.data_sequenced;
+    ++stats_by_node_[static_cast<std::size_t>(node)].data_sequenced;
     arm_scan(node);
   }
   // else: no live path exists; the fabric consumes the descriptor and counts
@@ -112,7 +114,7 @@ void ReliableClient::refresh_ack(Rank node, net::InjectDesc& desc) {
   desc.ack_bits = bits;
   if (flow.ack_pending) {
     flow.ack_pending = false;
-    ++stats_.acks_piggybacked;
+    ++stats_by_node_[static_cast<std::size_t>(node)].acks_piggybacked;
   }
 }
 
@@ -125,7 +127,7 @@ void ReliableClient::on_delivery(Rank node, const net::Packet& packet) {
   // a corrupted standalone ack is simply dropped and a later ack, or the
   // sender's own timeout, covers for it.
   if (packet.checksum != expected_checksum(packet)) {
-    ++stats_.corrupt_rejected;
+    ++stats_by_node_[static_cast<std::size_t>(node)].corrupt_rejected;
     if (packet.seq != 0) {
       ReceiverFlow& flow = recv_[static_cast<std::size_t>(node)][packet.src];
       flow.ack_pending = true;
@@ -147,7 +149,7 @@ void ReliableClient::on_delivery(Rank node, const net::Packet& packet) {
   const std::uint32_t seq = packet.seq;
   const bool duplicate = seq <= flow.cum || flow.ooo.count(seq) != 0;
   if (duplicate) {
-    ++stats_.duplicates_dropped;
+    ++stats_by_node_[static_cast<std::size_t>(node)].duplicates_dropped;
   } else {
     flow.ooo.insert(seq);
     while (flow.ooo.erase(flow.cum + 1) != 0) ++flow.cum;
@@ -209,7 +211,7 @@ void ReliableClient::ack_flush(Rank node, Rank sender) {
   ack.mode = net::RoutingMode::kAdaptive;
   ack.fifo = 0;
   ready_[static_cast<std::size_t>(node)].push_back(ack);
-  ++stats_.acks_standalone;
+  ++stats_by_node_[static_cast<std::size_t>(node)].acks_standalone;
   fabric_->wake_cpu(node);
 }
 
@@ -234,16 +236,21 @@ void ReliableClient::scan(Rank node) {
       }
       if (pending.tries > max_retries_ ||
           !routable(node, peer, pending.desc.mode)) {
-        ++stats_.gave_up;
-        abandoned_.emplace_back(node, peer);
+        ++stats_by_node_[static_cast<std::size_t>(node)].gave_up;
+        abandoned_by_node_[static_cast<std::size_t>(node)].push_back(peer);
         --unacked_count_[static_cast<std::size_t>(node)];
         it = flow.unacked.erase(it);
         continue;
       }
       ++pending.tries;
       pending.sent_at = now;
+      // A retransmission is a new transmission attempt for the fault hash:
+      // stamp the attempt counter so the counter-based drop draw re-rolls
+      // instead of deterministically re-dropping the copy at the same hop.
+      pending.desc.attempt = static_cast<std::uint8_t>(
+          std::min(pending.tries - 1, 255));
       ready_[static_cast<std::size_t>(node)].push_back(pending.desc);
-      ++stats_.retransmits;
+      ++stats_by_node_[static_cast<std::size_t>(node)].retransmits;
       emitted = true;
       ++it;
     }

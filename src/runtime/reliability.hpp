@@ -64,12 +64,34 @@ class ReliableClient final : public net::Client {
   void on_delivery(Rank node, const net::Packet& packet) override;
   void on_timer(Rank node, std::uint64_t cookie) override;
 
-  const ReliabilityStats& stats() const noexcept { return stats_; }
+  /// Aggregated across nodes. All mutable protocol state is sharded per
+  /// node (a node's handlers run on exactly one slab of a parallel run), so
+  /// the accessors sum the shards instead of returning a shared counter.
+  ReliabilityStats stats() const noexcept {
+    ReliabilityStats total;
+    for (const ReliabilityStats& s : stats_by_node_) {
+      total.data_sequenced += s.data_sequenced;
+      total.retransmits += s.retransmits;
+      total.gave_up += s.gave_up;
+      total.acks_standalone += s.acks_standalone;
+      total.acks_piggybacked += s.acks_piggybacked;
+      total.duplicates_dropped += s.duplicates_dropped;
+      total.corrupt_rejected += s.corrupt_rejected;
+    }
+    return total;
+  }
 
   /// Ordered (injector, destination) pairs with at least one abandoned
   /// packet; data for these pairs is incomplete despite being routable.
-  const std::vector<std::pair<Rank, Rank>>& abandoned_pairs() const noexcept {
-    return abandoned_;
+  /// Ordered by injector rank, then abandonment time within the rank.
+  std::vector<std::pair<Rank, Rank>> abandoned_pairs() const {
+    std::vector<std::pair<Rank, Rank>> out;
+    for (Rank n = 0; n < static_cast<Rank>(abandoned_by_node_.size()); ++n) {
+      for (const Rank peer : abandoned_by_node_[static_cast<std::size_t>(n)]) {
+        out.emplace_back(n, peer);
+      }
+    }
+    return out;
   }
 
  private:
@@ -118,8 +140,9 @@ class ReliableClient final : public net::Client {
   std::vector<std::uint32_t> unacked_count_;
   std::vector<std::uint8_t> scan_armed_;
 
-  ReliabilityStats stats_;
-  std::vector<std::pair<Rank, Rank>> abandoned_;
+  // Sharded per injector node so concurrent slabs never share a counter.
+  std::vector<ReliabilityStats> stats_by_node_;
+  std::vector<std::vector<Rank>> abandoned_by_node_;
 };
 
 }  // namespace bgl::rt

@@ -5,8 +5,10 @@
 //  - A multi-threaded run preserves the per-pair delivery matrix and the
 //    delivered packet/byte totals of the single-threaded reference exactly,
 //    and is deterministic for a fixed (seed, threads).
-//  - Ineligible configurations (fault plans, legacy clients) fall back to
-//    the reference engine and report sim_threads == 1.
+//  - Fault runs are parallel-eligible (counter-based fault draws, slab-owned
+//    fault state); the remaining ineligible configurations (legacy clients,
+//    cross-node extra_deps) fall back to the reference engine and report
+//    sim_threads == 1 with the cause in sim_threads_reason.
 //  - A delayed permanent strike (fail_at > 0) is planned blind, quiesces
 //    without tripping the watchdog, and reports the relay payload stranded
 //    in dead custodians.
@@ -121,7 +123,7 @@ TEST(ParallelCore, ThreadCountCappedBySlabAxisExtent) {
   EXPECT_EQ(r.sim_threads, 8);
 }
 
-TEST(ParallelCore, FaultRunsFallBackToReferenceEngine) {
+TEST(ParallelCore, FaultRunsStayOnTheParallelEngine) {
   AlltoallOptions options;
   options.net.shape = topo::parse_shape("4x4x4");
   options.net.seed = 7;
@@ -129,7 +131,27 @@ TEST(ParallelCore, FaultRunsFallBackToReferenceEngine) {
   options.net.faults.link_fail = 0.05;
   options.msg_bytes = 240;
   const RunResult r = run_alltoall(StrategyKind::kAdaptiveRandom, options);
+  ASSERT_TRUE(r.drained);
+  EXPECT_EQ(r.sim_threads, 4);
+  EXPECT_EQ(r.sim_threads_reason, net::ThreadFallbackReason::kNone);
+}
+
+TEST(ParallelCore, FallbackReasonNamesCrossNodeDeps) {
+  net::NetworkConfig net;
+  net.shape = topo::parse_shape("4x1x1");
+  net.seed = 3;
+  net.sim_threads = 4;
+  AlltoallOptions options;
+  options.net = net;
+  options.msg_bytes = 240;
+  options.order = OrderPolicy::kRotation;
+  CommSchedule sched =
+      build_schedule(StrategyKind::kMpi, net, options.msg_bytes, options, nullptr);
+  sched.extra_deps = {{5, 0}};
+  const RunResult r = run_schedule(std::move(sched), options, "deps");
+  ASSERT_TRUE(r.drained);
   EXPECT_EQ(r.sim_threads, 1);
+  EXPECT_EQ(r.sim_threads_reason, net::ThreadFallbackReason::kCrossNodeDeps);
 }
 
 TEST(ParallelCore, EveryRegistryStrategyRunsOnTheParallelEngine) {

@@ -1,0 +1,182 @@
+// Cross-bench sweep runner (ROADMAP item 6): regenerates every table/figure
+// from one sharded command. Reads bench/manifest.json — a one-entry-per-line
+// list of (name, binary, args) — and runs each selected entry, capturing its
+// stdout/stderr to <out>/<name>.log next to whatever CSV/JSON sinks the
+// entry's own args request.
+//
+//   tools/run_manifest                         # run everything, ./RESULTS
+//   tools/run_manifest --shard 0/4             # entries 0, 4, 8, ... only
+//   tools/run_manifest --only fig --dry-run    # print fig* commands
+//   tools/run_manifest --extra="--full --jobs 4"   (= form: value starts with --)
+//
+// Sharding is by entry, so four machines with --shard i/4 regenerate the
+// whole suite in one pass; the per-bench CSV artifacts are deterministic for
+// a fixed seed regardless of which shard produced them. The runner exits
+// nonzero if any entry fails, after running all of them.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+struct Entry {
+  std::string name;
+  std::string binary;
+  std::string args;
+};
+
+std::string field(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\": \"";
+  const auto pos = line.find(tag);
+  if (pos == std::string::npos) return {};
+  const auto begin = pos + tag.size();
+  const auto end = line.find('"', begin);
+  return end == std::string::npos ? std::string{} : line.substr(begin, end - begin);
+}
+
+/// One manifest entry per line keeps the parser a string scan, the same
+/// convention as the BENCH_*.json artifacts.
+std::vector<Entry> load_manifest(const std::string& path) {
+  std::vector<Entry> entries;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read manifest: " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    Entry e;
+    e.name = field(line, "name");
+    e.binary = field(line, "binary");
+    e.args = field(line, "args");
+    if (!e.name.empty() && !e.binary.empty()) entries.push_back(e);
+  }
+  if (entries.empty())
+    throw std::runtime_error("manifest has no entries: " + path);
+  return entries;
+}
+
+void replace_all(std::string& text, const std::string& from,
+                 const std::string& to) {
+  for (auto pos = text.find(from); pos != std::string::npos;
+       pos = text.find(from, pos + to.size())) {
+    text.replace(pos, from.size(), to);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgl;
+  util::Cli cli(argc, argv);
+  cli.describe("manifest", "manifest path (default bench/manifest.json)");
+  cli.describe("build-dir", "directory holding the bench binaries (default .)");
+  cli.describe("out", "artifact directory, created if missing (default RESULTS)");
+  cli.describe("shard", "i/N: run only entries with index % N == i");
+  cli.describe("only", "substring filter on entry names");
+  cli.describe("extra",
+               "flags appended to every command; use the = form because the "
+               "value starts with dashes (e.g. --extra=\"--full --jobs 4\")");
+  cli.describe("list", "print the selected entries and exit");
+  cli.describe("dry-run", "print the commands without running them");
+  try {
+    cli.validate();
+
+    const std::string manifest_path = cli.get("manifest", "bench/manifest.json");
+    const std::string build_dir = cli.get("build-dir", ".");
+    const std::string out_dir = cli.get("out", "RESULTS");
+    const std::string only = cli.get("only", "");
+    const std::string extra = cli.get("extra", "");
+    const bool list_only = cli.get_bool("list", false);
+    const bool dry_run = cli.get_bool("dry-run", false);
+
+    std::int64_t shard_index = 0, shard_count = 1;
+    if (const std::string shard = cli.get("shard", ""); !shard.empty()) {
+      const auto slash = shard.find('/');
+      if (slash == std::string::npos)
+        throw std::runtime_error("--shard wants i/N, got: " + shard);
+      shard_index = util::parse_strict_int(shard.substr(0, slash), "--shard index");
+      shard_count = util::parse_strict_int(shard.substr(slash + 1), "--shard count");
+      if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count)
+        throw std::runtime_error("--shard wants 0 <= i < N, got: " + shard);
+    }
+
+    const auto all = load_manifest(manifest_path);
+    std::vector<std::pair<std::size_t, Entry>> selected;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (!only.empty() && all[i].name.find(only) == std::string::npos) continue;
+      selected.emplace_back(i, all[i]);
+    }
+    // Shard by position in the *filtered* list so --only + --shard compose.
+    std::vector<std::pair<std::size_t, Entry>> mine;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      if (static_cast<std::int64_t>(i % static_cast<std::size_t>(shard_count)) ==
+          shard_index) {
+        mine.push_back(selected[i]);
+      }
+    }
+
+    if (list_only) {
+      for (const auto& [index, e] : mine)
+        std::printf("%2zu  %-24s %s %s\n", index, e.name.c_str(),
+                    e.binary.c_str(), e.args.c_str());
+      return 0;
+    }
+    if (mine.empty()) {
+      std::fprintf(stderr, "no entries selected (of %zu in %s)\n", all.size(),
+                   manifest_path.c_str());
+      return 1;
+    }
+    if (!dry_run) std::filesystem::create_directories(out_dir);
+
+    struct Outcome {
+      std::string name;
+      int exit_code = 0;
+    };
+    std::vector<Outcome> outcomes;
+    for (const auto& [index, e] : mine) {
+      std::string args = e.args;
+      replace_all(args, "{out}", out_dir);
+      std::string command = build_dir + "/" + e.binary + " " + args;
+      if (!extra.empty()) command += " " + extra;
+      command += " > " + out_dir + "/" + e.name + ".log 2>&1";
+      if (dry_run) {
+        std::printf("%s\n", command.c_str());
+        continue;
+      }
+      std::printf("[%zu/%zu] %s ... ", outcomes.size() + 1, mine.size(),
+                  e.name.c_str());
+      std::fflush(stdout);
+      const int status = std::system(command.c_str());
+      const int code =
+          status < 0 ? status : (status & 0x7f) != 0 ? 128 : (status >> 8) & 0xff;
+      std::printf("%s\n", code == 0 ? "ok" : "FAIL");
+      outcomes.push_back({e.name, code});
+    }
+    if (dry_run) return 0;
+
+    util::Table table({"entry", "status", "log"});
+    int failures = 0;
+    for (const Outcome& o : outcomes) {
+      failures += o.exit_code != 0 ? 1 : 0;
+      table.add_row({o.name,
+                     o.exit_code == 0 ? "ok" : "exit " + std::to_string(o.exit_code),
+                     out_dir + "/" + o.name + ".log"});
+    }
+    table.print();
+    if (failures != 0) {
+      std::fprintf(stderr, "%d of %zu entries failed\n", failures,
+                   outcomes.size());
+      return 1;
+    }
+    std::printf("All %zu entries ok; artifacts in %s/\n", outcomes.size(),
+                out_dir.c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", cli.program().c_str(), error.what());
+    return 2;
+  }
+}

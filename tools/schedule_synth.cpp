@@ -42,6 +42,9 @@ int run(int argc, char** argv) {
   cli.describe("mutations", "mutations per survivor per generation (default 4)");
   cli.describe("sa", "simulated-annealing refinement steps (default 0)");
   cli.describe("jobs", "scoring worker threads; never changes the winner (default 1)");
+  cli.describe("sim-threads",
+               "simulator slab workers per scoring run; deterministic per "
+               "(seed, N) (default 1)");
   cli.describe("timeout-ms", "per-candidate wall-clock kill switch (default off)");
   cli.describe("cache", "winner-cache directory; hit skips the search");
   cli.describe("dump-csv", "print the winning schedule's transfer table as CSV");
@@ -59,6 +62,7 @@ int run(int argc, char** argv) {
   opts.mutations_per_survivor = static_cast<int>(cli.get_int("mutations", 4));
   opts.sa_steps = static_cast<int>(cli.get_int("sa", 0));
   opts.jobs = static_cast<int>(cli.get_int("jobs", 1));
+  opts.sim_threads = static_cast<int>(cli.get_int("sim-threads", 1));
   opts.wall_timeout_ms = cli.get_double("timeout-ms", 0.0);
 
   const std::string fault_spec = cli.get("faults", "");
